@@ -1,0 +1,150 @@
+// Package alloc is the public API of the repository: a common interface
+// over the lock-free allocator of Michael (PLDI 2004) and the three
+// baseline allocators the paper compares against (a serial global-lock
+// allocator standing in for AIX libc malloc, a Hoard-like allocator,
+// and a Ptmalloc-like arena allocator).
+//
+// All allocators operate on the simulated word-addressed heap of
+// internal/mem (see DESIGN.md for why the address space is simulated):
+//
+//	a := alloc.NewLockFree(alloc.Options{Processors: 8})
+//	t := a.NewThread()          // one handle per worker goroutine
+//	p, err := t.Malloc(64)      // pointer to 64 payload bytes
+//	h := a.Heap()
+//	h.Set(p, 42)                // write the first payload word
+//	t.Free(p)
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baseline/hoard"
+	"repro/internal/baseline/ptmalloc"
+	"repro/internal/baseline/serial"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Thread is a per-goroutine allocation handle. Handles are not safe
+// for concurrent use; each worker goroutine should obtain its own,
+// mirroring how each pthread has its own identity in the paper.
+type Thread interface {
+	// Malloc allocates a block with at least size payload bytes and
+	// returns a pointer to the payload. The word preceding the payload
+	// is the allocator's block prefix and must not be written.
+	Malloc(size uint64) (mem.Ptr, error)
+	// Free releases a block returned by any Thread of the same
+	// Allocator (cross-thread free is allowed by all allocators here).
+	Free(p mem.Ptr)
+}
+
+// Allocator is the common interface satisfied by all four allocators.
+type Allocator interface {
+	// Name identifies the allocator in benchmark output
+	// ("lockfree", "hoard", "ptmalloc", "serial").
+	Name() string
+	// NewThread registers a worker and returns its handle.
+	NewThread() Thread
+	// Heap exposes the simulated address space for payload access.
+	Heap() *mem.Heap
+}
+
+// Options configures allocator construction.
+type Options struct {
+	// Processors sizes per-processor structures (processor heaps for
+	// lockfree and hoard; initial arenas for ptmalloc). 0 selects
+	// GOMAXPROCS.
+	Processors int
+	// HeapConfig configures the simulated address space.
+	HeapConfig mem.Config
+
+	// LockFree carries lock-free-allocator-specific knobs (ablations);
+	// Processors and HeapConfig above take precedence over the
+	// corresponding fields.
+	LockFree core.Config
+}
+
+type lockFree struct{ a *core.Allocator }
+
+func (w lockFree) Name() string      { return w.a.Name() }
+func (w lockFree) NewThread() Thread { return w.a.Thread() }
+func (w lockFree) Heap() *mem.Heap   { return w.a.Heap() }
+
+// Core returns the underlying core allocator (for stats and tests).
+func (w lockFree) Core() *core.Allocator { return w.a }
+
+// CoreAccessor is implemented by the lock-free allocator wrapper to
+// expose the underlying core.Allocator.
+type CoreAccessor interface{ Core() *core.Allocator }
+
+// NewLockFree constructs the paper's lock-free allocator.
+func NewLockFree(opt Options) Allocator {
+	cfg := opt.LockFree
+	if opt.Processors != 0 {
+		cfg.Processors = opt.Processors
+	}
+	cfg.HeapConfig = opt.HeapConfig
+	return lockFree{core.New(cfg)}
+}
+
+type serialAlloc struct{ a *serial.Allocator }
+
+func (w serialAlloc) Name() string      { return w.a.Name() }
+func (w serialAlloc) NewThread() Thread { return w.a.Thread() }
+func (w serialAlloc) Heap() *mem.Heap   { return w.a.Heap() }
+
+// NewSerial constructs the single-global-lock baseline (the stand-in
+// for the default libc malloc).
+func NewSerial(opt Options) Allocator {
+	return serialAlloc{serial.New(serial.Config{HeapConfig: opt.HeapConfig})}
+}
+
+type hoardAlloc struct{ a *hoard.Allocator }
+
+func (w hoardAlloc) Name() string      { return w.a.Name() }
+func (w hoardAlloc) NewThread() Thread { return w.a.Thread() }
+func (w hoardAlloc) Heap() *mem.Heap   { return w.a.Heap() }
+
+// NewHoard constructs the Hoard-like lock-based baseline.
+func NewHoard(opt Options) Allocator {
+	return hoardAlloc{hoard.New(hoard.Config{
+		Processors: opt.Processors,
+		HeapConfig: opt.HeapConfig,
+	})}
+}
+
+type ptmallocAlloc struct{ a *ptmalloc.Allocator }
+
+func (w ptmallocAlloc) Name() string      { return w.a.Name() }
+func (w ptmallocAlloc) NewThread() Thread { return w.a.Thread() }
+func (w ptmallocAlloc) Heap() *mem.Heap   { return w.a.Heap() }
+
+// NewPtmalloc constructs the Ptmalloc-like multi-arena baseline.
+func NewPtmalloc(opt Options) Allocator {
+	return ptmallocAlloc{ptmalloc.New(ptmalloc.Config{
+		Arenas:     opt.Processors,
+		HeapConfig: opt.HeapConfig,
+	})}
+}
+
+// Names lists the registered allocator names in canonical benchmark
+// order (the paper's: new allocator, Hoard, Ptmalloc, libc).
+func Names() []string { return []string{"lockfree", "hoard", "ptmalloc", "serial"} }
+
+// New constructs an allocator by name.
+func New(name string, opt Options) (Allocator, error) {
+	switch name {
+	case "lockfree", "new":
+		return NewLockFree(opt), nil
+	case "hoard":
+		return NewHoard(opt), nil
+	case "ptmalloc":
+		return NewPtmalloc(opt), nil
+	case "serial", "libc":
+		return NewSerial(opt), nil
+	}
+	valid := Names()
+	sort.Strings(valid)
+	return nil, fmt.Errorf("alloc: unknown allocator %q (valid: %v)", name, valid)
+}

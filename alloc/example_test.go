@@ -1,0 +1,83 @@
+package alloc_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/alloc"
+	"repro/internal/mem"
+)
+
+// Example shows the basic allocate/access/free cycle.
+func Example() {
+	a := alloc.NewLockFree(alloc.Options{Processors: 2})
+	heap := a.Heap()
+	t := a.NewThread()
+
+	p, err := t.Malloc(32) // 4 payload words
+	if err != nil {
+		panic(err)
+	}
+	heap.Set(p, 7)
+	heap.Set(p.Add(3), 11)
+	fmt.Println(heap.Get(p), heap.Get(p.Add(3)))
+	t.Free(p)
+	// Output: 7 11
+}
+
+// ExampleNew constructs every allocator through the registry.
+func ExampleNew() {
+	names := alloc.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		a, err := alloc.New(name, alloc.Options{Processors: 2})
+		if err != nil {
+			panic(err)
+		}
+		th := a.NewThread()
+		p, err := th.Malloc(8)
+		if err != nil {
+			panic(err)
+		}
+		th.Free(p)
+		fmt.Println(a.Name())
+	}
+	// Output:
+	// hoard
+	// lockfree
+	// ptmalloc
+	// serial
+}
+
+// ExampleAllocator_NewThread demonstrates the cross-thread free the
+// paper's §4.2.3 producer-consumer workload relies on.
+func ExampleAllocator_NewThread() {
+	a := alloc.NewLockFree(alloc.Options{Processors: 2})
+	ch := make(chan mem.Ptr)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		th := a.NewThread()
+		for i := 0; i < 3; i++ {
+			p, _ := th.Malloc(16)
+			a.Heap().Store(p, uint64(i))
+			ch <- p
+		}
+		close(ch)
+	}()
+	go func() { // consumer frees remotely
+		defer wg.Done()
+		th := a.NewThread()
+		for p := range ch {
+			fmt.Println(a.Heap().Load(p))
+			th.Free(p)
+		}
+	}()
+	wg.Wait()
+	// Output:
+	// 0
+	// 1
+	// 2
+}

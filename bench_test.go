@@ -1,0 +1,447 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one
+// benchmark family per table/figure of §4). Sub-benchmarks select the
+// allocator and thread count:
+//
+//	go test -bench 'Fig8a/lockfree' -benchmem
+//	go test -bench . -benchmem            # everything
+//
+// The cmd/benchmal tool renders the same sweeps as the paper's tables
+// and ASCII figures with speedups over the serial baseline; these
+// testing.B benchmarks report raw ns/op for integration with standard
+// Go tooling.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/alloc"
+	"repro/internal/bench"
+	"repro/internal/mem"
+)
+
+func newAlloc(b *testing.B, name string, procs int) alloc.Allocator {
+	b.Helper()
+	a, err := alloc.New(name, alloc.Options{Processors: procs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// runThreads divides b.N operations across t goroutines, each holding
+// its own allocator thread handle, and waits for completion.
+func runThreads(b *testing.B, a alloc.Allocator, t int, fn func(th alloc.Thread, ops int)) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if t > prev {
+		runtime.GOMAXPROCS(t)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	var wg sync.WaitGroup
+	per := b.N / t
+	for i := 0; i < t; i++ {
+		n := per
+		if i == 0 {
+			n += b.N % t
+		}
+		th := a.NewThread()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(th, n)
+		}()
+	}
+	wg.Wait()
+}
+
+var benchThreads = []int{1, 2, 4, 8}
+
+// forEachConfig runs sub-benchmarks over allocator × thread count.
+func forEachConfig(b *testing.B, fn func(b *testing.B, a alloc.Allocator, threads int)) {
+	for _, name := range alloc.Names() {
+		b.Run(name, func(b *testing.B) {
+			for _, t := range benchThreads {
+				b.Run(fmt.Sprintf("t%d", t), func(b *testing.B) {
+					a := newAlloc(b, name, 8)
+					b.ResetTimer()
+					fn(b, a, t)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkTable1 measures contention-free (single-thread) malloc/free
+// pair latency per allocator on the three workloads of Table 1.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range alloc.Names() {
+		b.Run(name, func(b *testing.B) {
+			b.Run("linux-scalability", func(b *testing.B) {
+				a := newAlloc(b, name, 8)
+				th := a.NewThread()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p, err := th.Malloc(8)
+					if err != nil {
+						b.Fatal(err)
+					}
+					th.Free(p)
+				}
+			})
+			b.Run("threadtest", func(b *testing.B) {
+				a := newAlloc(b, name, 8)
+				th := a.NewThread()
+				const batch = 1000
+				blocks := make([]mem.Ptr, batch)
+				b.ResetTimer()
+				for i := 0; i < b.N; i += batch {
+					n := batch
+					if rem := b.N - i; rem < n {
+						n = rem
+					}
+					for j := 0; j < n; j++ {
+						p, err := th.Malloc(8)
+						if err != nil {
+							b.Fatal(err)
+						}
+						blocks[j] = p
+					}
+					for j := 0; j < n; j++ {
+						th.Free(blocks[j])
+					}
+				}
+			})
+			b.Run("larson", func(b *testing.B) {
+				a := newAlloc(b, name, 8)
+				th := a.NewThread()
+				rng := rand.New(rand.NewSource(1))
+				slots := make([]mem.Ptr, 1024)
+				for i := range slots {
+					p, err := th.Malloc(16 + uint64(rng.Intn(65)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					slots[i] = p
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k := rng.Intn(len(slots))
+					th.Free(slots[k])
+					p, err := th.Malloc(16 + uint64(rng.Intn(65)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					slots[k] = p
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFig8a is the Linux scalability sweep: b.N malloc/free pairs
+// of 8-byte blocks divided across t threads.
+func BenchmarkFig8a(b *testing.B) {
+	forEachConfig(b, func(b *testing.B, a alloc.Allocator, threads int) {
+		runThreads(b, a, threads, func(th alloc.Thread, ops int) {
+			for i := 0; i < ops; i++ {
+				p, err := th.Malloc(8)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				th.Free(p)
+			}
+		})
+	})
+}
+
+// BenchmarkFig8b is the Threadtest sweep: batches of 1000 8-byte
+// blocks allocated then freed in order.
+func BenchmarkFig8b(b *testing.B) {
+	forEachConfig(b, func(b *testing.B, a alloc.Allocator, threads int) {
+		runThreads(b, a, threads, func(th alloc.Thread, ops int) {
+			const batch = 1000
+			blocks := make([]mem.Ptr, batch)
+			for i := 0; i < ops; i += batch {
+				n := batch
+				if rem := ops - i; rem < n {
+					n = rem
+				}
+				for j := 0; j < n; j++ {
+					p, err := th.Malloc(8)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					blocks[j] = p
+				}
+				for j := 0; j < n; j++ {
+					th.Free(blocks[j])
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkFig8c is the Active-false sweep: each pair writes 50 times
+// to each block word between malloc and free (scaled from the paper's
+// 1000 to keep ns/op about allocation, not pure memory traffic).
+func BenchmarkFig8c(b *testing.B) {
+	forEachConfig(b, func(b *testing.B, a alloc.Allocator, threads int) {
+		heap := a.Heap()
+		runThreads(b, a, threads, func(th alloc.Thread, ops int) {
+			for i := 0; i < ops; i++ {
+				p, err := th.Malloc(8)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for rep := 0; rep < 50; rep++ {
+					heap.Set(p, uint64(rep))
+				}
+				th.Free(p)
+			}
+		})
+	})
+}
+
+// BenchmarkFig8d is the Passive-false sweep: blocks are seeded by a
+// producer thread and freed by the workers before they proceed as in
+// Active-false.
+func BenchmarkFig8d(b *testing.B) {
+	forEachConfig(b, func(b *testing.B, a alloc.Allocator, threads int) {
+		heap := a.Heap()
+		seeder := a.NewThread()
+		handed := make([]mem.Ptr, threads)
+		for i := range handed {
+			p, err := seeder.Malloc(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			handed[i] = p
+		}
+		var next atomic.Int64
+		b.ResetTimer()
+		runThreads(b, a, threads, func(th alloc.Thread, ops int) {
+			th.Free(handed[next.Add(1)-1])
+			for i := 0; i < ops; i++ {
+				p, err := th.Malloc(8)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for rep := 0; rep < 50; rep++ {
+					heap.Set(p, uint64(rep))
+				}
+				th.Free(p)
+			}
+		})
+	})
+}
+
+// BenchmarkFig8e is the Larson sweep: random-size (16..80 B) slot
+// replacement in per-thread 1024-slot arrays seeded by another thread.
+func BenchmarkFig8e(b *testing.B) {
+	forEachConfig(b, func(b *testing.B, a alloc.Allocator, threads int) {
+		b.StopTimer()
+		seeder := a.NewThread()
+		rng := rand.New(rand.NewSource(2))
+		slotsPer := make([][]mem.Ptr, threads)
+		var widx atomic.Int64
+		for t := range slotsPer {
+			slotsPer[t] = make([]mem.Ptr, 1024)
+			for i := range slotsPer[t] {
+				p, err := seeder.Malloc(16 + uint64(rng.Intn(65)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				slotsPer[t][i] = p
+			}
+		}
+		b.StartTimer()
+		runThreads(b, a, threads, func(th alloc.Thread, ops int) {
+			id := int(widx.Add(1) - 1)
+			r := rand.New(rand.NewSource(int64(id) + 3))
+			mine := slotsPer[id]
+			for i := 0; i < ops; i++ {
+				k := r.Intn(len(mine))
+				th.Free(mine[k])
+				p, err := th.Malloc(16 + uint64(r.Intn(65)))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				mine[k] = p
+			}
+		})
+	})
+}
+
+// producerConsumerBench drives b.N tasks through the lock-free queue
+// with 1 producer (the benchmark goroutine) and consumers consuming
+// concurrently; ns/op is the per-task cost including the producer's 3
+// mallocs and the consumers' 1 malloc + 4 frees.
+func producerConsumerBench(work int) func(b *testing.B, a alloc.Allocator, threads int) {
+	return func(b *testing.B, a alloc.Allocator, threads int) {
+		heap := a.Heap()
+		prod := a.NewThread()
+		q := bench.NewQueue(a, prod)
+		consumers := threads - 1
+		if consumers < 1 {
+			consumers = 1
+		}
+		var consumed atomic.Int64
+		var done atomic.Bool
+		var wg sync.WaitGroup
+		consume := func(th alloc.Thread, task mem.Ptr) {
+			idxBlock := mem.Ptr(heap.Load(task))
+			hist, err := th.Malloc(64)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			sink := uint64(0)
+			for i := 0; i < work; i++ {
+				sink = sink*2862933555777941757 + 3037000493
+			}
+			heap.Store(hist, sink)
+			th.Free(hist)
+			th.Free(idxBlock)
+			th.Free(task)
+			consumed.Add(1)
+		}
+		for c := 0; c < consumers; c++ {
+			th := a.NewThread()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if task, ok := q.Dequeue(th); ok {
+						consume(th, mem.Ptr(task))
+						continue
+					}
+					if done.Load() {
+						return
+					}
+					runtime.Gosched()
+				}
+			}()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idxBlock, err := prod.Malloc(40)
+			if err != nil {
+				b.Fatal(err)
+			}
+			task, err := prod.Malloc(32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			heap.Store(task, uint64(idxBlock))
+			q.Enqueue(prod, uint64(task))
+			if q.Len() > 1000 {
+				if task, ok := q.Dequeue(prod); ok {
+					consume(prod, mem.Ptr(task))
+				}
+			}
+		}
+		for consumed.Load() < int64(b.N) {
+			if task, ok := q.Dequeue(prod); ok {
+				consume(prod, mem.Ptr(task))
+				continue
+			}
+			runtime.Gosched()
+		}
+		b.StopTimer()
+		done.Store(true)
+		wg.Wait()
+	}
+}
+
+// BenchmarkFig8f is Producer-consumer with work=500.
+func BenchmarkFig8f(b *testing.B) { forEachConfig(b, producerConsumerBench(500)) }
+
+// BenchmarkFig8g is Producer-consumer with work=750.
+func BenchmarkFig8g(b *testing.B) { forEachConfig(b, producerConsumerBench(750)) }
+
+// BenchmarkFig8h is Producer-consumer with work=1000.
+func BenchmarkFig8h(b *testing.B) { forEachConfig(b, producerConsumerBench(1000)) }
+
+// BenchmarkLatency isolates the §4.2.1 latency comparison: a single
+// thread's malloc/free pair per allocator, plus the raw lock-pair cost
+// the paper uses as its lower bound.
+func BenchmarkLatency(b *testing.B) {
+	for _, name := range alloc.Names() {
+		b.Run(name, func(b *testing.B) {
+			a := newAlloc(b, name, 8)
+			th := a.NewThread()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := th.Malloc(8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				th.Free(p)
+			}
+		})
+	}
+	b.Run("mutex-pair", func(b *testing.B) {
+		var mu sync.Mutex
+		for i := 0; i < b.N; i++ {
+			mu.Lock()
+			mu.Unlock() //lint:ignore SA2001 empty critical section is the point
+		}
+	})
+	b.Run("cas", func(b *testing.B) {
+		var v atomic.Uint64
+		for i := 0; i < b.N; i++ {
+			v.CompareAndSwap(uint64(i), uint64(i+1))
+		}
+	})
+}
+
+// BenchmarkAblations measures the §3.2 design-choice ablations of the
+// lock-free allocator on the Linux-scalability loop at 4 threads.
+func BenchmarkAblations(b *testing.B) {
+	variants := []struct {
+		name string
+		opt  alloc.Options
+	}{
+		{"baseline", alloc.Options{Processors: 8}},
+		{"credits1", optsWith(func(o *alloc.Options) { o.LockFree.MaxCredits = 1 })},
+		{"credits8", optsWith(func(o *alloc.Options) { o.LockFree.MaxCredits = 8 })},
+		{"lifo-partial", optsWith(func(o *alloc.Options) { o.LockFree.PartialLIFO = true })},
+		{"keep-sb-on-race", optsWith(func(o *alloc.Options) { o.LockFree.KeepNewSBOnRaceLoss = true })},
+		{"no-partial-slot", optsWith(func(o *alloc.Options) { o.LockFree.NoPartialSlot = true })},
+		{"partial-slots-4", optsWith(func(o *alloc.Options) { o.LockFree.PartialSlots = 4 })},
+		{"hyperblocks", optsWith(func(o *alloc.Options) { o.LockFree.Hyperblocks = true })},
+		{"single-heap", optsWith(func(o *alloc.Options) { o.Processors = 1 })},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			a := alloc.NewLockFree(v.opt)
+			b.ResetTimer()
+			runThreads(b, a, 4, func(th alloc.Thread, ops int) {
+				for i := 0; i < ops; i++ {
+					p, err := th.Malloc(8)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					th.Free(p)
+				}
+			})
+		})
+	}
+}
+
+func optsWith(f func(*alloc.Options)) alloc.Options {
+	o := alloc.Options{Processors: 8}
+	f(&o)
+	return o
+}

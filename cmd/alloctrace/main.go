@@ -1,0 +1,147 @@
+// Command alloctrace generates, inspects, and replays allocation
+// traces against the four allocators.
+//
+//	alloctrace gen  -pattern private|prodcons|bursty -events N -threads T -o trace.bin
+//	alloctrace info -i trace.bin
+//	alloctrace run  -i trace.bin [-allocs lockfree,hoard,ptmalloc,serial]
+//
+// Replays are deterministic (a total order of events), so a trace that
+// exposes a bug replays it identically every time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/alloc"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: alloctrace gen|info|run [flags]")
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	pattern := fs.String("pattern", "private", "private|prodcons|bursty")
+	events := fs.Int("events", 100000, "trace length")
+	threads := fs.Int("threads", 4, "thread count")
+	seed := fs.Int64("seed", 1, "PRNG seed")
+	minSize := fs.Uint64("min", 8, "min payload bytes")
+	maxSize := fs.Uint64("max", 256, "max payload bytes")
+	out := fs.String("o", "trace.bin", "output file")
+	fs.Parse(args)
+
+	var p trace.Pattern
+	switch *pattern {
+	case "private":
+		p = trace.Private
+	case "prodcons":
+		p = trace.ProducerConsumer
+	case "bursty":
+		p = trace.Bursty
+	default:
+		fatal("unknown pattern %q", *pattern)
+	}
+	tr := trace.Generate(trace.GenConfig{
+		Threads: *threads,
+		Events:  *events,
+		Seed:    *seed,
+		Pattern: p,
+		MinSize: *minSize,
+		MaxSize: *maxSize,
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		fatal("write: %v", err)
+	}
+	s := tr.Stats()
+	fmt.Printf("wrote %s: %d events (%d mallocs, %d frees), max live %d blocks / %d bytes\n",
+		*out, s.Events, s.Mallocs, s.Frees, s.MaxLive, s.MaxBytes)
+}
+
+func loadTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal("read %s: %v", path, err)
+	}
+	return tr
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "trace.bin", "input file")
+	fs.Parse(args)
+	tr := loadTrace(*in)
+	s := tr.Stats()
+	fmt.Printf("trace %s:\n  threads  %d\n  events   %d\n  mallocs  %d\n  frees    %d\n",
+		*in, tr.Threads, s.Events, s.Mallocs, s.Frees)
+	fmt.Printf("  max live %d blocks, %d bytes\n  end live %d blocks\n",
+		s.MaxLive, s.MaxBytes, s.EndLive)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	in := fs.String("i", "trace.bin", "input file")
+	allocs := fs.String("allocs", "", "comma-separated allocators (default all)")
+	procs := fs.Int("procs", 0, "processor heaps (default trace threads)")
+	fs.Parse(args)
+	tr := loadTrace(*in)
+
+	names := alloc.Names()
+	if *allocs != "" {
+		names = strings.Split(*allocs, ",")
+	}
+	p := *procs
+	if p == 0 {
+		p = tr.Threads
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "allocator\tevents/s\tmax live B\t")
+	for _, name := range names {
+		a, err := alloc.New(name, alloc.Options{Processors: p})
+		if err != nil {
+			fatal("%v", err)
+		}
+		res, err := trace.Replay(tr, a)
+		if err != nil {
+			fatal("replay on %s: %v", name, err)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%d\t\n", name, res.EventsPerSec(), res.MaxLiveBytes)
+	}
+	w.Flush()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "alloctrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command benchmal regenerates the tables and figures of the paper's
+// evaluation section (§4) over the four allocators in this repository.
+//
+// Usage:
+//
+//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate]
+//	         [-threads 1,2,4,8,16] [-scale 0.01] [-allocs lockfree,hoard,...]
+//	         [-procs N] [-list] [-v]
+//
+// -scale 1.0 runs the paper's full parameters (10M malloc/free pairs
+// per thread, 30-second timed phases); the default 0.01 finishes each
+// experiment in seconds and preserves the qualitative shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "all", "experiment id (or comma list, or 'all')")
+		threadsFlag = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
+		scaleFlag   = flag.Float64("scale", 0.01, "fraction of the paper's full parameters (1.0 = full)")
+		allocsFlag  = flag.String("allocs", "", "comma-separated allocators (default: all)")
+		procsFlag   = flag.Int("procs", 0, "processor heaps per allocator (default: max threads)")
+		listFlag    = flag.Bool("list", false, "list experiments and exit")
+		verboseFlag = flag.Bool("v", false, "print every individual measurement")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range report.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		fatal("invalid -threads: %v", err)
+	}
+	cfg := report.RunConfig{
+		Threads:    threads,
+		Scale:      *scaleFlag,
+		Processors: *procsFlag,
+	}
+	if *allocsFlag != "" {
+		cfg.Allocators = strings.Split(*allocsFlag, ",")
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		for _, e := range report.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	fmt.Printf("benchmal: GOMAXPROCS=%d NumCPU=%d scale=%g threads=%v\n\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), *scaleFlag, threads)
+
+	for _, id := range ids {
+		e, ok := report.ByID(strings.TrimSpace(id))
+		if !ok {
+			fatal("unknown experiment %q (use -list)", id)
+		}
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		if e.Paper != "" {
+			fmt.Printf("paper: %s\n\n", e.Paper)
+		}
+		var out io.Writer = os.Stdout
+		if !*verboseFlag {
+			out = &filterComments{w: os.Stdout}
+		}
+		if err := e.Run(cfg, out); err != nil {
+			fatal("%s: %v", e.ID, err)
+		}
+		fmt.Println()
+	}
+}
+
+// filterComments drops lines starting with "# " (per-measurement
+// detail) unless -v is given.
+type filterComments struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (f *filterComments) Write(p []byte) (int, error) {
+	f.buf = append(f.buf, p...)
+	for {
+		i := indexByte(f.buf, '\n')
+		if i < 0 {
+			break
+		}
+		line := f.buf[:i+1]
+		if !(len(line) >= 2 && line[0] == '#' && line[1] == ' ') {
+			if _, err := f.w.Write(line); err != nil {
+				return len(p), err
+			}
+		}
+		f.buf = f.buf[i+1:]
+	}
+	return len(p), nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("thread count %d < 1", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchmal: "+format+"\n", args...)
+	os.Exit(1)
+}

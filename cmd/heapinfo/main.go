@@ -1,0 +1,42 @@
+// Command heapinfo prints the allocator's compile-time geometry: the
+// size-class table (payload, block words, blocks per superblock), the
+// packed-word layouts of Figure 3, and the large-allocation threshold.
+// Useful for sanity-checking configuration against the paper.
+//
+//	heapinfo
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/sizeclass"
+)
+
+func main() {
+	fmt.Println("Packed word layouts (paper Figure 3):")
+	fmt.Printf("  anchor: avail:%d count:%d state:%d tag:%d (bits)\n",
+		atomicx.AnchorAvailBits, atomicx.AnchorCountBits,
+		atomicx.AnchorStateBits, atomicx.AnchorTagBits)
+	fmt.Printf("  active: ptr:%d credits:%d  (MAXCREDITS=%d)\n",
+		atomicx.ActivePtrBits, atomicx.ActiveCreditsBits, atomicx.MaxCredits)
+	fmt.Printf("  tagged index: idx:%d tag:%d\n\n",
+		atomicx.TaggedIdxBits, atomicx.TaggedTagBits)
+
+	fmt.Printf("Superblock: %d words (%d KiB); word = %d bytes (block prefix)\n",
+		sizeclass.SuperblockWords, sizeclass.SuperblockWords*mem.WordBytes/1024, mem.WordBytes)
+	fmt.Printf("Large-allocation threshold: > %d payload bytes -> direct OS region\n\n",
+		sizeclass.MaxPayloadBytes)
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "class\tpayload B\tblock words\tblocks/SB\twaste/SB words\t")
+	for _, c := range sizeclass.All() {
+		waste := c.SBWords - c.MaxCount*c.BlockWords
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t\n",
+			c.Index, c.PayloadBytes, c.BlockWords, c.MaxCount, waste)
+	}
+	w.Flush()
+}

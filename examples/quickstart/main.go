@@ -1,0 +1,76 @@
+// Quickstart: construct the lock-free allocator, allocate and free
+// blocks from several goroutines, and inspect allocator statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/alloc"
+	"repro/internal/mem"
+)
+
+func main() {
+	// One allocator per process; Processors sizes the per-size-class
+	// processor heaps (defaults to GOMAXPROCS).
+	a := alloc.NewLockFree(alloc.Options{Processors: 4})
+	heap := a.Heap()
+
+	// Single-threaded use: a Thread handle is this goroutine's
+	// identity, like a pthread's id in the paper.
+	t := a.NewThread()
+	p, err := t.Malloc(64) // 64 payload bytes = 8 words
+	if err != nil {
+		panic(err)
+	}
+	// Payload access goes through the simulated heap.
+	for i := uint64(0); i < 8; i++ {
+		heap.Set(p.Add(i), i*i)
+	}
+	fmt.Printf("allocated %v, payload[3] = %d\n", p, heap.Get(p.Add(3)))
+	t.Free(p)
+
+	// Multi-threaded use: each goroutine takes its own handle. Blocks
+	// may be freed by a different thread than allocated them (the
+	// producer-consumer pattern the paper§4.2.3 stresses).
+	const workers = 4
+	const blocksEach = 100000
+	var wg sync.WaitGroup
+	ch := make(chan mem.Ptr, 1024)
+	wg.Add(1)
+	go func() { // producer
+		defer wg.Done()
+		th := a.NewThread()
+		for i := 0; i < workers*blocksEach; i++ {
+			p, err := th.Malloc(48)
+			if err != nil {
+				panic(err)
+			}
+			heap.Set(p, uint64(i))
+			ch <- p
+		}
+		close(ch)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() { // consumers free remotely
+			defer wg.Done()
+			th := a.NewThread()
+			for p := range ch {
+				_ = heap.Get(p)
+				th.Free(p)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ca, ok := a.(alloc.CoreAccessor); ok {
+		s := ca.Core().Stats()
+		fmt.Printf("mallocs=%d frees=%d (active=%d partial=%d newSB=%d)\n",
+			s.Ops.Mallocs, s.Ops.Frees, s.Ops.FromActive, s.Ops.FromPartial, s.Ops.FromNewSB)
+		fmt.Printf("heap: reserved=%d KiB, live=%d KiB, max-live=%d KiB\n",
+			s.Heap.ReservedWords*8/1024, s.Heap.LiveWords*8/1024, s.Heap.MaxLiveWords*8/1024)
+	}
+}

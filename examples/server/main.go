@@ -1,0 +1,123 @@
+// Server: a Larson-style long-running server simulation (§4.1) that
+// compares all four allocators side by side. Worker "connections"
+// hold a window of live request buffers of irregular sizes, freeing a
+// random old buffer and allocating a new one per request — the
+// allocation pattern of a web or database server over a long uptime.
+//
+//	go run ./examples/server [-workers N] [-seconds S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"repro/alloc"
+	"repro/internal/mem"
+)
+
+func main() {
+	workers := flag.Int("workers", 8, "concurrent server workers")
+	seconds := flag.Float64("seconds", 1.0, "timed phase per allocator")
+	flag.Parse()
+
+	if *workers > runtime.GOMAXPROCS(0) {
+		runtime.GOMAXPROCS(*workers)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "allocator\trequests/s\tmax live KiB\t")
+	for _, name := range alloc.Names() {
+		a, err := alloc.New(name, alloc.Options{Processors: *workers})
+		if err != nil {
+			panic(err)
+		}
+		reqs, maxLive := serve(a, *workers, time.Duration(*seconds*float64(time.Second)))
+		fmt.Fprintf(w, "%s\t%.0f\t%d\t\n", name, reqs, maxLive/1024)
+	}
+	w.Flush()
+}
+
+// serve runs the server simulation and returns requests/second and the
+// maximum live heap bytes.
+func serve(a alloc.Allocator, workers int, d time.Duration) (float64, uint64) {
+	heap := a.Heap()
+	const window = 512 // live buffers per connection
+
+	// Connection setup: one thread seeds every worker's window, so
+	// workers begin by freeing remotely (passive handoff).
+	setup := a.NewThread()
+	rng := rand.New(rand.NewSource(1))
+	buffers := make([][]mem.Ptr, workers)
+	for c := range buffers {
+		buffers[c] = make([]mem.Ptr, window)
+		for i := range buffers[c] {
+			p, err := setup.Malloc(requestSize(rng))
+			if err != nil {
+				panic(err)
+			}
+			buffers[c][i] = p
+		}
+	}
+
+	var stop atomic.Bool
+	var requests atomic.Uint64
+	heap.ResetMaxLive()
+	var wg sync.WaitGroup
+	for c := 0; c < workers; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := a.NewThread()
+			r := rand.New(rand.NewSource(int64(id)))
+			mine := buffers[id]
+			var n uint64
+			for !stop.Load() {
+				for k := 0; k < 64; k++ {
+					i := r.Intn(window)
+					th.Free(mine[i])
+					sz := requestSize(r)
+					p, err := th.Malloc(sz)
+					if err != nil {
+						panic(err)
+					}
+					// Touch the buffer like a request parser would.
+					words := sz / mem.WordBytes
+					for wd := uint64(0); wd < words; wd += 4 {
+						heap.Set(p.Add(wd), n)
+					}
+					mine[i] = p
+				}
+				n += 64
+			}
+			requests.Add(n)
+		}(c)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+
+	maxLive := heap.Stats().MaxLiveWords * 8
+	// Teardown.
+	for c := range buffers {
+		for _, p := range buffers[c] {
+			setup.Free(p)
+		}
+	}
+	return float64(requests.Load()) / d.Seconds(), maxLive
+}
+
+// requestSize mimics Larson's irregular 16..80-byte requests with an
+// occasional large response buffer.
+func requestSize(r *rand.Rand) uint64 {
+	if r.Intn(64) == 0 {
+		return 4096 + uint64(r.Intn(8192))
+	}
+	return 16 + uint64(r.Intn(65))
+}

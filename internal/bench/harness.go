@@ -1,0 +1,117 @@
+// Package bench implements the six multithreaded allocator benchmarks
+// of the paper's evaluation (§4.1): Linux scalability, Threadtest,
+// Active-false, Passive-false, Larson, and the lock-free
+// Producer-consumer benchmark, all expressed against the common
+// alloc.Allocator interface so that every workload runs unmodified on
+// the lock-free allocator and on all three baselines.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/alloc"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Workload  string
+	Allocator string
+	Threads   int
+	// Ops counts the workload's unit of work (malloc/free pairs for
+	// Linux scalability and Larson, blocks for Threadtest, tasks for
+	// Producer-consumer, ...).
+	Ops     uint64
+	Elapsed time.Duration
+	// MaxLiveBytes is the high-water mark of OS-level memory held
+	// during the run (§4.2.5 space efficiency).
+	MaxLiveBytes uint64
+}
+
+// OpsPerSec returns the throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// SpeedupOver returns this result's throughput relative to a baseline
+// measurement (the paper reports speedups over contention-free libc
+// malloc).
+func (r Result) SpeedupOver(base Result) float64 {
+	b := base.OpsPerSec()
+	if b == 0 {
+		return 0
+	}
+	return r.OpsPerSec() / b
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s t=%d: %d ops in %v (%.0f ops/s, maxlive %d B)",
+		r.Workload, r.Allocator, r.Threads, r.Ops, r.Elapsed.Round(time.Millisecond),
+		r.OpsPerSec(), r.MaxLiveBytes)
+}
+
+// Workload is one of the paper's benchmarks.
+type Workload interface {
+	Name() string
+	// Run executes the workload with the given number of threads and
+	// returns the measurement.
+	Run(a alloc.Allocator, threads int) Result
+}
+
+// runWorkers starts one goroutine per worker, each with its own Thread
+// handle, releases them simultaneously, and returns the wall-clock time
+// from release to the last worker's completion. The worker function
+// returns its operation count.
+func runWorkers(a alloc.Allocator, workers int, fn func(id int, th alloc.Thread) uint64) (uint64, time.Duration) {
+	ths := make([]alloc.Thread, workers)
+	for i := range ths {
+		ths[i] = a.NewThread()
+	}
+	ops := make([]uint64, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			ops[i] = fn(i, ths[i])
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	var total uint64
+	for _, n := range ops {
+		total += n
+	}
+	return total, elapsed
+}
+
+// measure wraps runWorkers with max-live-space tracking. It raises
+// GOMAXPROCS to the worker count for the duration of the run: on
+// machines with fewer cores than workers this makes kernel preemption
+// of lock holders real — the preemption-tolerance scenario of §1 —
+// instead of letting the cooperative scheduler serialize the workers.
+func measure(w Workload, a alloc.Allocator, threads int, fn func(id int, th alloc.Thread) uint64) Result {
+	if prev := runtime.GOMAXPROCS(0); threads > prev {
+		runtime.GOMAXPROCS(threads)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	a.Heap().ResetMaxLive()
+	ops, elapsed := runWorkers(a, threads, fn)
+	return Result{
+		Workload:     w.Name(),
+		Allocator:    a.Name(),
+		Threads:      threads,
+		Ops:          ops,
+		Elapsed:      elapsed,
+		MaxLiveBytes: a.Heap().Stats().MaxLiveWords * 8,
+	}
+}

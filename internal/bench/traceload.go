@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/alloc"
+	"repro/internal/trace"
+)
+
+// TraceWorkload adapts a generated allocation trace (internal/trace)
+// to the Workload interface, extending the harness beyond the paper's
+// six microbenchmarks with parameterized patterns. The trace is
+// regenerated for the requested thread count from the same seed, so a
+// sweep varies concurrency structure deterministically.
+type TraceWorkload struct {
+	// Gen parameterizes the trace; Gen.Threads is overridden by the
+	// Run thread count.
+	Gen trace.GenConfig
+	// NamePrefix distinguishes workload variants in reports.
+	NamePrefix string
+}
+
+// Name identifies the workload.
+func (w TraceWorkload) Name() string {
+	prefix := w.NamePrefix
+	if prefix == "" {
+		prefix = "trace"
+	}
+	return fmt.Sprintf("%s-p%d", prefix, w.Gen.Pattern)
+}
+
+// Run regenerates the trace for the thread count and replays it; Ops
+// counts trace events. Note that replay preserves the trace's total
+// order (thread attribution without true concurrency), measuring the
+// allocator's sequential behaviour on a concurrent-shaped trace.
+func (w TraceWorkload) Run(a alloc.Allocator, threads int) Result {
+	gen := w.Gen
+	gen.Threads = threads
+	tr := trace.Generate(gen)
+	a.Heap().ResetMaxLive()
+	res, err := trace.Replay(tr, a)
+	if err != nil {
+		panic(fmt.Sprintf("trace workload: %v", err))
+	}
+	return Result{
+		Workload:     w.Name(),
+		Allocator:    a.Name(),
+		Threads:      threads,
+		Ops:          uint64(res.Events),
+		Elapsed:      res.Elapsed,
+		MaxLiveBytes: res.MaxLiveBytes,
+	}
+}

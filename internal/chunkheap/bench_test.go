@@ -1,0 +1,57 @@
+package chunkheap
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func benchPolicy(b *testing.B, pol Policy) {
+	m := mem.NewHeap(mem.Config{})
+	c := New(m, 0, pol)
+	b.Run("pair-small", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := c.Alloc(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Free(p)
+		}
+	})
+	b.Run("pair-large", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := c.Alloc(300)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Free(p)
+		}
+	})
+	b.Run("churn", func(b *testing.B) {
+		var held [64]mem.Ptr
+		for i := 0; i < b.N; i++ {
+			k := i % len(held)
+			if !held[k].IsNil() {
+				c.Free(held[k])
+			}
+			p, err := c.Alloc(uint64(1 + i%200))
+			if err != nil {
+				b.Fatal(err)
+			}
+			held[k] = p
+		}
+		for _, p := range held {
+			if !p.IsNil() {
+				c.Free(p)
+			}
+		}
+	})
+}
+
+// BenchmarkFastBins measures the dlmalloc-style policy (ptmalloc's
+// per-arena engine).
+func BenchmarkFastBins(b *testing.B) { benchPolicy(b, FastBins) }
+
+// BenchmarkBestFitTree measures the AIX-libc-style best-fit tree
+// (the serial baseline's engine).
+func BenchmarkBestFitTree(b *testing.B) { benchPolicy(b, BestFitTree) }

@@ -1,0 +1,103 @@
+package chunkheap
+
+import "repro/internal/mem"
+
+// Small-bin and FastBins large-bin management: doubly-linked free
+// lists threaded through free-chunk payload words (fd at word 1, bk at
+// word 2), as in dlmalloc.
+
+// numLargeBins must match the length of Heap.large.
+const numLargeBins = 24
+
+func largeBinIndex(size uint64) int {
+	idx := 0
+	for s := size >> 7; s > 0; s >>= 1 { // sizes below 128 words never land here
+		idx++
+	}
+	if idx >= numLargeBins {
+		idx = numLargeBins - 1
+	}
+	return idx
+}
+
+// binChunk files a free chunk (header/footer already written).
+func (c *Heap) binChunk(ch mem.Ptr, size uint64) {
+	if idx := size - minChunkWords; idx < smallBins {
+		c.pushList(&c.small[idx], ch)
+		return
+	}
+	if c.policy == FastBins {
+		c.pushList(&c.large[largeBinIndex(size)], ch)
+		return
+	}
+	c.treeInsert(ch, size)
+}
+
+// unbinChunk removes a specific free chunk (found via coalescing).
+func (c *Heap) unbinChunk(ch mem.Ptr, size uint64) {
+	if idx := size - minChunkWords; idx < smallBins {
+		c.removeList(&c.small[idx], ch)
+		return
+	}
+	if c.policy == FastBins {
+		c.removeList(&c.large[largeBinIndex(size)], ch)
+		return
+	}
+	c.treeRemove(ch, size)
+}
+
+// takeFit finds and unbins a free chunk of at least need words, or nil.
+func (c *Heap) takeFit(need uint64) mem.Ptr {
+	// Exact and larger small bins.
+	if need-minChunkWords < smallBins {
+		for idx := need - minChunkWords; idx < smallBins; idx++ {
+			if head := c.small[idx]; !head.IsNil() {
+				c.removeList(&c.small[idx], head)
+				return head
+			}
+		}
+	}
+	if c.policy == FastBins {
+		// First-fit within the range bin of need, then any chunk from
+		// higher bins.
+		start := largeBinIndex(need)
+		for ch := c.large[start]; !ch.IsNil(); ch = c.fd(ch) {
+			if c.size(ch) >= need {
+				c.removeList(&c.large[start], ch)
+				return ch
+			}
+		}
+		for idx := start + 1; idx < len(c.large); idx++ {
+			if head := c.large[idx]; !head.IsNil() {
+				c.removeList(&c.large[idx], head)
+				return head
+			}
+		}
+		return 0
+	}
+	return c.treeTakeFit(need)
+}
+
+// pushList inserts ch at the head of a nil-terminated doubly-linked
+// list.
+func (c *Heap) pushList(head *mem.Ptr, ch mem.Ptr) {
+	c.setFd(ch, *head)
+	c.setBk(ch, 0)
+	if !head.IsNil() {
+		c.setBk(*head, ch)
+	}
+	*head = ch
+}
+
+// removeList unlinks ch from the list rooted at head.
+func (c *Heap) removeList(head *mem.Ptr, ch mem.Ptr) {
+	fd, bk := c.fd(ch), c.bk(ch)
+	if bk.IsNil() {
+		*head = fd
+	} else {
+		c.setFd(bk, fd)
+	}
+	if !fd.IsNil() {
+		c.setBk(fd, bk)
+	}
+}

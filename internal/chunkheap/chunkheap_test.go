@@ -1,0 +1,332 @@
+package chunkheap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func newTestMem() *mem.Heap {
+	return mem.NewHeap(mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 26})
+}
+
+func policies() map[string]Policy {
+	return map[string]Policy{"FastBins": FastBins, "BestFitTree": BestFitTree}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	for name, pol := range policies() {
+		m := newTestMem()
+		c := New(m, 7, pol)
+		p, err := c.Alloc(4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := uint64(0); i < 4; i++ {
+			m.Set(p.Add(i), i+100)
+		}
+		if Tag(m, p) != 7 {
+			t.Errorf("%s: tag = %d, want 7", name, Tag(m, p))
+		}
+		c.Free(p)
+	}
+}
+
+func TestReuseAfterFree(t *testing.T) {
+	for name, pol := range policies() {
+		m := newTestMem()
+		c := New(m, 0, pol)
+		p, _ := c.Alloc(8)
+		c.Free(p)
+		q, _ := c.Alloc(8)
+		if p != q {
+			t.Errorf("%s: freed chunk not reused: %v then %v", name, p, q)
+		}
+		c.Free(q)
+	}
+}
+
+func TestBlocksDisjoint(t *testing.T) {
+	for name, pol := range policies() {
+		m := newTestMem()
+		c := New(m, 0, pol)
+		const n = 500
+		type blk struct {
+			p mem.Ptr
+			w uint64
+		}
+		var blocks []blk
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < n; i++ {
+			w := uint64(1 + rng.Intn(300))
+			p, err := c.Alloc(w)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			blocks = append(blocks, blk{p, w})
+		}
+		for i, a := range blocks {
+			for j, b := range blocks {
+				if i < j && uint64(a.p) < uint64(b.p)+b.w && uint64(b.p) < uint64(a.p)+a.w {
+					t.Fatalf("%s: blocks %d and %d overlap", name, i, j)
+				}
+			}
+		}
+		for _, b := range blocks {
+			c.Free(b.p)
+		}
+	}
+}
+
+func TestPayloadIntegrityUnderChurn(t *testing.T) {
+	for name, pol := range policies() {
+		m := newTestMem()
+		c := New(m, 3, pol)
+		rng := rand.New(rand.NewSource(42))
+		type blk struct {
+			p   mem.Ptr
+			w   uint64
+			tag uint64
+		}
+		var live []blk
+		for i := 0; i < 20000; i++ {
+			if len(live) > 0 && (rng.Intn(2) == 0 || len(live) > 100) {
+				k := rng.Intn(len(live))
+				b := live[k]
+				for w := uint64(0); w < b.w; w++ {
+					if m.Get(b.p.Add(w)) != b.tag+w {
+						t.Fatalf("%s: corruption in block %v word %d", name, b.p, w)
+					}
+				}
+				c.Free(b.p)
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			w := uint64(1 + rng.Intn(200))
+			p, err := c.Alloc(w)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			tag := uint64(i) << 20
+			for j := uint64(0); j < w; j++ {
+				m.Set(p.Add(j), tag+j)
+			}
+			live = append(live, blk{p, w, tag})
+		}
+		for _, b := range live {
+			c.Free(b.p)
+		}
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	for name, pol := range policies() {
+		m := newTestMem()
+		c := New(m, 0, pol)
+		// Allocate three adjacent chunks, free outer two, then middle:
+		// all three must merge and be reusable as one block.
+		a1, _ := c.Alloc(10)
+		a2, _ := c.Alloc(10)
+		a3, _ := c.Alloc(10)
+		// Guard so the merged chunk does not merge into the wilderness.
+		guard, _ := c.Alloc(10)
+		c.Free(a1)
+		c.Free(a3)
+		before := c.Stats().Coalesces
+		c.Free(a2)
+		if got := c.Stats().Coalesces; got != before+2 {
+			t.Errorf("%s: coalesces = %d, want %d (both neighbors)", name, got, before+2)
+		}
+		// The merged chunk spans 33 words: a 30-word request fits it.
+		big, err := c.Alloc(30)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if big != a1 {
+			t.Errorf("%s: merged chunk not reused for big request: got %v want %v", name, big, a1)
+		}
+		c.Free(big)
+		c.Free(guard)
+	}
+}
+
+func TestSplitLeavesUsableRemainder(t *testing.T) {
+	for name, pol := range policies() {
+		m := newTestMem()
+		c := New(m, 0, pol)
+		big, _ := c.Alloc(200)
+		guard, _ := c.Alloc(8)
+		c.Free(big)
+		small, err := c.Alloc(50)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if small != big {
+			t.Errorf("%s: split did not reuse the freed chunk", name)
+		}
+		if c.Stats().Splits == 0 {
+			t.Errorf("%s: no split recorded", name)
+		}
+		// The remainder must be allocatable.
+		rem, err := c.Alloc(100)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c.Free(small)
+		c.Free(rem)
+		c.Free(guard)
+	}
+}
+
+func TestTreeBestFit(t *testing.T) {
+	m := newTestMem()
+	c := New(m, 0, BestFitTree)
+	// Create free chunks of sizes ~100, ~200, ~300 words.
+	var ptrs []mem.Ptr
+	for _, w := range []uint64{100, 200, 300} {
+		p, _ := c.Alloc(w)
+		ptrs = append(ptrs, p)
+		g, _ := c.Alloc(1) // guards prevent coalescing
+		defer c.Free(g)
+	}
+	for _, p := range ptrs {
+		c.Free(p)
+	}
+	if n := c.treeCount(); n != 3 {
+		t.Fatalf("treeCount = %d, want 3", n)
+	}
+	// Best fit for 150 must take the 200-word chunk (ptrs[1]), not 300.
+	p, err := c.Alloc(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != ptrs[1] {
+		t.Errorf("best fit chose %v, want %v (the 200-word chunk)", p, ptrs[1])
+	}
+}
+
+func TestTreeSameSizeList(t *testing.T) {
+	m := newTestMem()
+	c := New(m, 0, BestFitTree)
+	var ptrs, guards []mem.Ptr
+	for i := 0; i < 10; i++ {
+		p, _ := c.Alloc(150)
+		g, _ := c.Alloc(1)
+		ptrs = append(ptrs, p)
+		guards = append(guards, g)
+	}
+	for _, p := range ptrs {
+		c.Free(p)
+	}
+	if n := c.treeCount(); n != 10 {
+		t.Fatalf("treeCount = %d, want 10", n)
+	}
+	// All ten must be allocatable again.
+	seen := map[mem.Ptr]bool{}
+	for i := 0; i < 10; i++ {
+		p, err := c.Alloc(150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("chunk %v handed out twice", p)
+		}
+		seen[p] = true
+	}
+	if n := c.treeCount(); n != 0 {
+		t.Fatalf("treeCount after drain = %d, want 0", n)
+	}
+	for _, g := range guards {
+		c.Free(g)
+	}
+}
+
+func TestTreeRandomizedChurn(t *testing.T) {
+	m := newTestMem()
+	c := New(m, 0, BestFitTree)
+	rng := rand.New(rand.NewSource(9))
+	var live []mem.Ptr
+	sizes := map[mem.Ptr]uint64{}
+	for i := 0; i < 30000; i++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			k := rng.Intn(len(live))
+			c.Free(live[k])
+			delete(sizes, live[k])
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		w := uint64(64 + rng.Intn(1000)) // tree-managed sizes
+		p, err := c.Alloc(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+		sizes[p] = w
+	}
+	for _, p := range live {
+		c.Free(p)
+	}
+}
+
+func TestExtendAcrossRegions(t *testing.T) {
+	for name, pol := range policies() {
+		m := newTestMem()
+		c := New(m, 0, pol)
+		// Allocate far more than one 16384-word region.
+		var ptrs []mem.Ptr
+		for i := 0; i < 40; i++ {
+			p, err := c.Alloc(2000)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ptrs = append(ptrs, p)
+		}
+		if c.Stats().Extends < 2 {
+			t.Errorf("%s: extends = %d, want several", name, c.Stats().Extends)
+		}
+		for _, p := range ptrs {
+			c.Free(p)
+		}
+	}
+}
+
+func TestZeroSizeAlloc(t *testing.T) {
+	m := newTestMem()
+	c := New(m, 0, FastBins)
+	p, err := c.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Free(p)
+}
+
+func TestLargeHeaderHelpers(t *testing.T) {
+	h := MakeLargeHeader(12345)
+	if !IsLargeHeader(h) {
+		t.Error("large header not detected")
+	}
+	if LargeWords(h) != 12345 {
+		t.Errorf("LargeWords = %d", LargeWords(h))
+	}
+	if IsLargeHeader(packHeader(10, 3, flagInUse)) {
+		t.Error("ordinary header detected as large")
+	}
+}
+
+func TestTagRange(t *testing.T) {
+	m := newTestMem()
+	c := New(m, 65535, FastBins)
+	p, _ := c.Alloc(5)
+	if Tag(m, p) != 65535 {
+		t.Errorf("tag = %d", Tag(m, p))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range tag did not panic")
+		}
+	}()
+	New(m, 65536, FastBins)
+}

@@ -1,0 +1,66 @@
+package chunkheap
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzChunkOps drives both bin policies with arbitrary alloc/free
+// sequences, verifying payload integrity and boundary-tag consistency
+// (corruption of headers/footers surfaces as overlap or panic).
+func FuzzChunkOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0x81, 0x82, 200, 0xff})
+	f.Add([]byte("coalesce me if you can"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		for _, pol := range []Policy{FastBins, BestFitTree} {
+			m := mem.NewHeap(mem.Config{SegmentWordsLog2: 16, TotalWordsLog2: 26})
+			c := New(m, 1, pol)
+			type held struct {
+				p     mem.Ptr
+				words uint64
+				tag   uint64
+			}
+			var live []held
+			for i, b := range data {
+				if b&0x80 != 0 && len(live) > 0 {
+					k := int(b&0x7f) % len(live)
+					h := live[k]
+					for w := uint64(0); w < h.words; w++ {
+						if m.Get(h.p.Add(w)) != h.tag+w {
+							t.Fatalf("policy %d op %d: corruption", pol, i)
+						}
+					}
+					c.Free(h.p)
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+					continue
+				}
+				words := uint64(b&0x7f)*7 + 1 // 1..890 words
+				p, err := c.Alloc(words)
+				if err != nil {
+					t.Fatalf("policy %d op %d: %v", pol, i, err)
+				}
+				if Tag(m, p) != 1 {
+					t.Fatalf("policy %d op %d: tag lost", pol, i)
+				}
+				tag := uint64(i) << 12
+				for w := uint64(0); w < words; w++ {
+					m.Set(p.Add(w), tag+w)
+				}
+				live = append(live, held{p, words, tag})
+			}
+			for _, h := range live {
+				for w := uint64(0); w < h.words; w++ {
+					if m.Get(h.p.Add(w)) != h.tag+w {
+						t.Fatalf("policy %d drain: corruption", pol)
+					}
+				}
+				c.Free(h.p)
+			}
+		}
+	})
+}

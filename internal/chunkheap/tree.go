@@ -1,0 +1,209 @@
+package chunkheap
+
+import "repro/internal/mem"
+
+// BestFitTree policy: a size-keyed binary search tree of free chunks
+// with same-size chunks hanging off the tree node in a doubly-linked
+// list — a stand-in for the Cartesian-tree best-fit allocator of the
+// classic AIX libc malloc the paper benchmarks against.
+//
+// Tree chunks use five payload words:
+//
+//	word 1: left child      word 2: right child
+//	word 3: parent (or memberMark for same-size list members)
+//	word 4: same-size next  word 5: same-size prev
+//
+// The smallest tree-managed chunk is minChunkWords+smallBins (= 68)
+// words, far above the six words these fields plus the footer need.
+
+const memberMark = ^uint64(0)
+
+func (c *Heap) left(ch mem.Ptr) mem.Ptr           { return mem.Ptr(c.mem.Get(ch.Add(1))) }
+func (c *Heap) right(ch mem.Ptr) mem.Ptr          { return mem.Ptr(c.mem.Get(ch.Add(2))) }
+func (c *Heap) parent(ch mem.Ptr) mem.Ptr         { return mem.Ptr(c.mem.Get(ch.Add(3))) }
+func (c *Heap) sameNext(ch mem.Ptr) mem.Ptr       { return mem.Ptr(c.mem.Get(ch.Add(4))) }
+func (c *Heap) samePrev(ch mem.Ptr) mem.Ptr       { return mem.Ptr(c.mem.Get(ch.Add(5))) }
+func (c *Heap) setLeft(ch, v mem.Ptr)             { c.mem.Store(ch.Add(1), uint64(v)) }
+func (c *Heap) setRight(ch, v mem.Ptr)            { c.mem.Store(ch.Add(2), uint64(v)) }
+func (c *Heap) setParent(ch, v mem.Ptr)           { c.mem.Store(ch.Add(3), uint64(v)) }
+func (c *Heap) setParentRaw(ch mem.Ptr, v uint64) { c.mem.Store(ch.Add(3), v) }
+func (c *Heap) setSameNext(ch, v mem.Ptr)         { c.mem.Store(ch.Add(4), uint64(v)) }
+func (c *Heap) setSamePrev(ch, v mem.Ptr)         { c.mem.Store(ch.Add(5), uint64(v)) }
+
+func (c *Heap) isMember(ch mem.Ptr) bool { return c.mem.Get(ch.Add(3)) == memberMark }
+
+// treeInsert files a free chunk into the BST.
+func (c *Heap) treeInsert(ch mem.Ptr, size uint64) {
+	c.setLeft(ch, 0)
+	c.setRight(ch, 0)
+	c.setSameNext(ch, 0)
+	c.setSamePrev(ch, 0)
+	if c.root.IsNil() {
+		c.setParent(ch, 0)
+		c.root = ch
+		return
+	}
+	cur := c.root
+	for {
+		cs := c.size(cur)
+		switch {
+		case size == cs:
+			// Join cur's same-size list right after the head.
+			nxt := c.sameNext(cur)
+			c.setParentRaw(ch, memberMark)
+			c.setSameNext(ch, nxt)
+			c.setSamePrev(ch, cur)
+			if !nxt.IsNil() {
+				c.setSamePrev(nxt, ch)
+			}
+			c.setSameNext(cur, ch)
+			return
+		case size < cs:
+			if l := c.left(cur); !l.IsNil() {
+				cur = l
+				continue
+			}
+			c.setLeft(cur, ch)
+			c.setParent(ch, cur)
+			return
+		default:
+			if r := c.right(cur); !r.IsNil() {
+				cur = r
+				continue
+			}
+			c.setRight(cur, ch)
+			c.setParent(ch, cur)
+			return
+		}
+	}
+}
+
+// replaceChild rewires the parent (or root) link from old to new.
+func (c *Heap) replaceChild(parent, old, new mem.Ptr) {
+	if parent.IsNil() {
+		c.root = new
+	} else if c.left(parent) == old {
+		c.setLeft(parent, new)
+	} else {
+		c.setRight(parent, new)
+	}
+	if !new.IsNil() {
+		c.setParent(new, parent)
+	}
+}
+
+// treeRemove unlinks a specific chunk from the BST.
+func (c *Heap) treeRemove(ch mem.Ptr, size uint64) {
+	if c.isMember(ch) {
+		prev := c.samePrev(ch)
+		nxt := c.sameNext(ch)
+		c.setSameNext(prev, nxt)
+		if !nxt.IsNil() {
+			c.setSamePrev(nxt, prev)
+		}
+		return
+	}
+	// ch is a tree node (head of its size's list).
+	if m := c.sameNext(ch); !m.IsNil() {
+		// Promote the first same-size member to head.
+		nxt2 := c.sameNext(m)
+		c.setSameNext(m, nxt2)
+		if !nxt2.IsNil() {
+			c.setSamePrev(nxt2, m)
+		}
+		l, r, p := c.left(ch), c.right(ch), c.parent(ch)
+		c.setLeft(m, l)
+		c.setRight(m, r)
+		if !l.IsNil() {
+			c.setParent(l, m)
+		}
+		if !r.IsNil() {
+			c.setParent(r, m)
+		}
+		c.replaceChild(p, ch, m)
+		return
+	}
+	c.bstDelete(ch)
+	_ = size
+}
+
+// bstDelete removes a tree node with no same-size members.
+func (c *Heap) bstDelete(ch mem.Ptr) {
+	l, r := c.left(ch), c.right(ch)
+	p := c.parent(ch)
+	switch {
+	case l.IsNil():
+		c.replaceChild(p, ch, r)
+	case r.IsNil():
+		c.replaceChild(p, ch, l)
+	default:
+		// Successor: minimum of the right subtree.
+		s := r
+		for !c.left(s).IsNil() {
+			s = c.left(s)
+		}
+		if s != r {
+			sp := c.parent(s)
+			sr := c.right(s)
+			c.setLeft(sp, sr)
+			if !sr.IsNil() {
+				c.setParent(sr, sp)
+			}
+			c.setRight(s, r)
+			c.setParent(r, s)
+		}
+		c.setLeft(s, l)
+		c.setParent(l, s)
+		c.replaceChild(p, ch, s)
+	}
+}
+
+// treeTakeFit finds, unlinks, and returns the best-fit chunk of at
+// least need words (smallest adequate size; same-size list members
+// preferred over the head to avoid tree surgery), or nil.
+func (c *Heap) treeTakeFit(need uint64) mem.Ptr {
+	var best mem.Ptr
+	cur := c.root
+	for !cur.IsNil() {
+		cs := c.size(cur)
+		if cs >= need {
+			best = cur
+			if cs == need {
+				break
+			}
+			cur = c.left(cur)
+		} else {
+			cur = c.right(cur)
+		}
+	}
+	if best.IsNil() {
+		return 0
+	}
+	if m := c.sameNext(best); !m.IsNil() {
+		// Take a list member: O(1).
+		nxt := c.sameNext(m)
+		c.setSameNext(best, nxt)
+		if !nxt.IsNil() {
+			c.setSamePrev(nxt, best)
+		}
+		return m
+	}
+	c.bstDelete(best)
+	return best
+}
+
+// treeCount returns the number of chunks in the tree (tests).
+func (c *Heap) treeCount() int {
+	var walk func(ch mem.Ptr) int
+	walk = func(ch mem.Ptr) int {
+		if ch.IsNil() {
+			return 0
+		}
+		n := 1
+		for m := c.sameNext(ch); !m.IsNil(); m = c.sameNext(m) {
+			n++
+		}
+		return n + walk(c.left(ch)) + walk(c.right(ch))
+	}
+	return walk(c.root)
+}

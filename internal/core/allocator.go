@@ -1,0 +1,345 @@
+// Package core implements the completely lock-free dynamic memory
+// allocator of Michael, "Scalable Lock-Free Dynamic Memory Allocation"
+// (PLDI 2004), over the simulated address space of internal/mem.
+//
+// The structure follows the paper exactly (§3): the heap is composed of
+// 16 KiB superblocks divided into equal-size blocks; superblocks are
+// distributed among size classes; each size class has one processor
+// heap per processor; a processor heap holds at most one ACTIVE
+// superblock (through its Active word) and one most-recently-used
+// PARTIAL superblock (through its Partial slot); each size class keeps
+// a lock-free FIFO list of further partial superblocks. Large blocks
+// bypass all of this and go straight to the OS layer.
+//
+// Every operation is lock-free: a thread delayed (or stopped forever —
+// see internal/sched's kill-tolerance tests) at any point between
+// atomic steps never prevents other threads from allocating and
+// freeing.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/partial"
+	"repro/internal/sizeclass"
+)
+
+// Config parameterizes the allocator. The zero value selects paper
+// defaults.
+type Config struct {
+	// Processors is the number of processor heaps per size class
+	// (the paper sizes this proportionally to the machine's
+	// processors). 0 selects GOMAXPROCS at construction time via
+	// DefaultProcessors.
+	Processors int
+
+	// MaxCredits caps blocks reserved through the Active word at once
+	// (the paper's MAXCREDITS, default and maximum 64). Setting 1
+	// disables batched credits: every malloc from the active
+	// superblock takes the last credit — the credit-free ablation.
+	MaxCredits int
+
+	// PartialLIFO selects the Treiber-stack partial lists instead of
+	// the preferred FIFO lists (§3.2.6 ablation).
+	PartialLIFO bool
+
+	// KeepNewSBOnRaceLoss selects the alternative policy in
+	// MallocFromNewSB (Figure 4 line 16 comment): when losing the race
+	// to install a new active superblock, take a block from the new
+	// superblock and keep it as PARTIAL instead of deallocating it.
+	// The paper prefers deallocation to limit external fragmentation.
+	KeepNewSBOnRaceLoss bool
+
+	// NoPartialSlot disables the per-heap most-recently-used Partial
+	// slot, sending all partial superblocks straight to the size-class
+	// list (§3.2.6 ablation).
+	NoPartialSlot bool
+
+	// PartialSlots sets the number of most-recently-used Partial slots
+	// per processor heap (the paper's "multiple slots can be used if
+	// desired", §3.2.6). 0 or 1 selects the paper's default single
+	// slot. Ignored when NoPartialSlot is set.
+	PartialSlots int
+
+	// Hyperblocks enables the §3.2.5 extension: superblocks are
+	// allocated in 1 MiB hyperblock batches (reducing OS calls and
+	// leaving unused superblocks unwritten) and fully-free hyperblocks
+	// can be returned to the OS via Scavenge.
+	Hyperblocks bool
+
+	// Heap supplies an existing simulated address space; if nil a new
+	// one is created with mem.Config defaults.
+	Heap *mem.Heap
+
+	// HeapConfig configures the created heap when Heap is nil.
+	HeapConfig mem.Config
+}
+
+// DefaultProcessors is used when Config.Processors is 0; it is a
+// variable so tests can pin it.
+var DefaultProcessors = defaultProcessors
+
+// Allocator is the lock-free allocator. Obtain per-goroutine Thread
+// handles with Thread; all methods on Allocator and Thread are safe for
+// concurrent use and lock-free (Thread registration uses a mutex once
+// per goroutine, outside the malloc/free paths).
+type Allocator struct {
+	heap  *mem.Heap
+	hyper *mem.Hyper // non-nil when cfg.Hyperblocks
+	cfg   Config
+	procs uint64
+
+	maxCredits uint64
+
+	classes []scState
+	descs   *descTable
+
+	mu      sync.Mutex
+	threads []*Thread
+
+	nextThread atomic.Uint64
+}
+
+// scState is the per-size-class state (paper's sizeclass structure).
+type scState struct {
+	class   sizeclass.Class
+	heaps   []ProcHeap
+	partial partial.List
+}
+
+// ProcHeap is a processor heap (paper Figure 3). Padded so distinct
+// heaps do not share cache lines.
+type ProcHeap struct {
+	// Active is the packed (descriptor index, credits) word; zero is
+	// NULL.
+	Active atomic.Uint64
+	// Partial is the most-recently-used partial superblock's
+	// descriptor index; zero is NULL.
+	Partial atomic.Uint64
+
+	// extraPartial holds additional MRU slots when Config.PartialSlots
+	// exceeds one (§3.2.6: "multiple slots can be used if desired").
+	extraPartial []atomic.Uint64
+
+	sc *scState
+	id uint64 // global heap id: class*procs + proc
+
+	_ [3]uint64 // pad to 64 bytes
+}
+
+// New constructs an allocator. The static structures for all size
+// classes and processor heaps are allocated and initialized here (the
+// paper does this lazily on the first malloc, also without locking).
+func New(cfg Config) *Allocator {
+	if cfg.Processors <= 0 {
+		cfg.Processors = DefaultProcessors()
+	}
+	if cfg.MaxCredits <= 0 || cfg.MaxCredits > atomicx.MaxCredits {
+		cfg.MaxCredits = atomicx.MaxCredits
+	}
+	h := cfg.Heap
+	if h == nil {
+		h = mem.NewHeap(cfg.HeapConfig)
+	}
+	a := &Allocator{
+		heap:       h,
+		cfg:        cfg,
+		procs:      uint64(cfg.Processors),
+		maxCredits: uint64(cfg.MaxCredits),
+		classes:    make([]scState, sizeclass.NumClasses()),
+		descs:      newDescTable(),
+	}
+	if cfg.Hyperblocks {
+		// 64 superblocks per hyperblock = 1 MiB batches (§3.2.5).
+		a.hyper = mem.NewHyper(h, sizeclass.SuperblockWords, 64)
+	}
+	for i := range a.classes {
+		sc := &a.classes[i]
+		sc.class = sizeclass.ByIndex(i)
+		sc.heaps = make([]ProcHeap, cfg.Processors)
+		if cfg.PartialLIFO {
+			sc.partial = partial.NewLIFO()
+		} else {
+			sc.partial = partial.NewFIFO()
+		}
+		for p := range sc.heaps {
+			sc.heaps[p].sc = sc
+			sc.heaps[p].id = uint64(i)*a.procs + uint64(p)
+			if cfg.PartialSlots > 1 {
+				sc.heaps[p].extraPartial = make([]atomic.Uint64, cfg.PartialSlots-1)
+			}
+		}
+	}
+	return a
+}
+
+// Name identifies the allocator in benchmark output.
+func (a *Allocator) Name() string { return "lockfree" }
+
+// Heap returns the simulated address space backing the allocator.
+func (a *Allocator) Heap() *mem.Heap { return a.heap }
+
+// Processors returns the number of processor heaps per size class.
+func (a *Allocator) Processors() int { return int(a.procs) }
+
+// procHeap maps a global heap id back to its ProcHeap.
+func (a *Allocator) procHeap(id uint64) *ProcHeap {
+	sc := &a.classes[id/a.procs]
+	return &sc.heaps[id%a.procs]
+}
+
+// desc returns the descriptor with the given index.
+func (a *Allocator) desc(idx uint64) *Descriptor { return a.descs.get(idx) }
+
+// allocSB obtains a superblock region, through the hyperblock layer
+// when enabled (paper §3.2.5).
+func (a *Allocator) allocSB(words uint64) (mem.Ptr, error) {
+	if a.hyper != nil && words == a.hyper.SBWords() {
+		return a.hyper.Alloc()
+	}
+	p, _, err := a.heap.AllocRegion(words)
+	return p, err
+}
+
+// freeSB returns a superblock region.
+func (a *Allocator) freeSB(p mem.Ptr, words uint64) {
+	if a.hyper != nil && words == a.hyper.SBWords() {
+		a.hyper.Free(p)
+		return
+	}
+	a.heap.FreeRegion(p, words)
+}
+
+// Scavenge returns fully-free hyperblocks to the OS layer (no-op
+// unless Hyperblocks is enabled). Quiescent callers only.
+func (a *Allocator) Scavenge() int {
+	if a.hyper == nil {
+		return 0
+	}
+	return a.hyper.Scavenge()
+}
+
+// HyperStats reports hyperblock-layer counters (zero value when the
+// layer is disabled).
+func (a *Allocator) HyperStats() mem.HyperStats {
+	if a.hyper == nil {
+		return mem.HyperStats{}
+	}
+	return a.hyper.Stats()
+}
+
+// Thread registers a new thread (goroutine) with the allocator and
+// returns its handle. The handle is not safe for concurrent use; each
+// worker goroutine should hold its own, as each OS thread does in the
+// paper's pthread environment.
+func (a *Allocator) Thread() *Thread {
+	t := &Thread{a: a, id: a.nextThread.Add(1) - 1}
+	// Resolve this thread's processor heap per size class once (the
+	// paper's find_heap computes heap = f(sz, thread id) per malloc;
+	// the function is pure, so caching it is behaviour-preserving).
+	t.heaps = make([]*ProcHeap, len(a.classes))
+	for i := range a.classes {
+		sc := &a.classes[i]
+		t.heaps[i] = &sc.heaps[t.id%a.procs]
+	}
+	a.mu.Lock()
+	a.threads = append(a.threads, t)
+	a.mu.Unlock()
+	return t
+}
+
+// Thread is a per-goroutine allocation handle. Malloc/Free are the
+// paper's malloc/free; the thread id selects processor heaps the way
+// pthread ids do in the paper.
+type Thread struct {
+	a      *Allocator
+	id     uint64
+	heaps  []*ProcHeap // per-size-class processor heap for this thread
+	hookFn func(HookPoint)
+
+	// Operation counters, aggregated by Allocator.Stats. Plain fields:
+	// the handle is single-goroutine by contract; aggregation reads
+	// are racy-by-design snapshots documented on Stats.
+	ops OpStats
+}
+
+// OpStats counts allocator operations observed by one thread or
+// aggregated across threads.
+type OpStats struct {
+	Mallocs       uint64 // successful small mallocs
+	Frees         uint64 // small frees
+	LargeMallocs  uint64
+	LargeFrees    uint64
+	FromActive    uint64 // mallocs satisfied by MallocFromActive
+	FromPartial   uint64 // mallocs satisfied by MallocFromPartial
+	FromNewSB     uint64 // mallocs satisfied by MallocFromNewSB
+	NewSBRaceLoss uint64 // new superblocks discarded after losing the install race
+	EmptySBFreed  uint64 // superblocks returned to the OS layer
+	// EmptyPartialSkips counts EMPTY descriptors encountered (and
+	// retired) while taking a superblock from a partial list
+	// (MallocFromPartial line 6).
+	EmptyPartialSkips uint64
+}
+
+func (s *OpStats) add(o OpStats) {
+	s.Mallocs += o.Mallocs
+	s.Frees += o.Frees
+	s.LargeMallocs += o.LargeMallocs
+	s.LargeFrees += o.LargeFrees
+	s.FromActive += o.FromActive
+	s.FromPartial += o.FromPartial
+	s.FromNewSB += o.FromNewSB
+	s.NewSBRaceLoss += o.NewSBRaceLoss
+	s.EmptySBFreed += o.EmptySBFreed
+	s.EmptyPartialSkips += o.EmptyPartialSkips
+}
+
+// Stats is an allocator-wide snapshot.
+type Stats struct {
+	Ops             OpStats
+	DescsAllocated  uint64
+	DescsOnFreelist uint64
+	Heap            mem.Stats
+}
+
+// Stats aggregates (racily, as a snapshot) per-thread counters and
+// descriptor/heap statistics.
+func (a *Allocator) Stats() Stats {
+	var s Stats
+	a.mu.Lock()
+	for _, t := range a.threads {
+		s.Ops.add(t.ops)
+	}
+	a.mu.Unlock()
+	s.DescsAllocated = a.descs.allocated.Load()
+	s.DescsOnFreelist = a.descs.retired.Load()
+	s.Heap = a.heap.Stats()
+	return s
+}
+
+// ID returns the thread id used for processor-heap selection.
+func (t *Thread) ID() uint64 { return t.id }
+
+// Allocator returns the owning allocator.
+func (t *Thread) Allocator() *Allocator { return t.a }
+
+// findHeap maps (size class, thread id) to a processor heap (paper:
+// "Use sz and thread id to find heap").
+func (t *Thread) findHeap(sc *scState) *ProcHeap {
+	return t.heaps[sc.class.Index]
+}
+
+// prefix encoding: small blocks store descIdx<<1 (bit 0 clear); large
+// blocks store totalWords<<1|1 (the paper's "desc holds sz+1" with the
+// large-block bit set).
+func smallPrefix(descIdx uint64) uint64 { return descIdx << 1 }
+
+func largePrefix(totalWords uint64) uint64 { return totalWords<<1 | 1 }
+
+func prefixIsLarge(p uint64) bool { return p&1 != 0 }
+
+var errSizeOverflow = fmt.Errorf("core: allocation size exceeds maximum region: %w", mem.ErrOutOfMemory)

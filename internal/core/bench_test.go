@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func benchConfig() Config {
+	return Config{Processors: 4}
+}
+
+func BenchmarkMallocFreePair(b *testing.B) {
+	a := New(benchConfig())
+	th := a.Thread()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := th.Malloc(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		th.Free(p)
+	}
+}
+
+func BenchmarkMallocFreeBatch100(b *testing.B) {
+	a := New(benchConfig())
+	th := a.Thread()
+	var ptrs [100]mem.Ptr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ptrs {
+			p, err := th.Malloc(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ptrs[j] = p
+		}
+		for j := range ptrs {
+			th.Free(ptrs[j])
+		}
+	}
+}
+
+func BenchmarkMallocFreeParallel(b *testing.B) {
+	a := New(benchConfig())
+	b.RunParallel(func(pb *testing.PB) {
+		th := a.Thread()
+		for pb.Next() {
+			p, err := th.Malloc(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			th.Free(p)
+		}
+	})
+}

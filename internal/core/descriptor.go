@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+)
+
+// Descriptor is a superblock descriptor (paper Figure 3). Each
+// superblock of every size class is associated with one descriptor;
+// every allocated block's one-word prefix identifies its descriptor.
+//
+// Descriptors are identified by dense indices into a chunked table
+// rather than by address: the Active word packs a 58-bit descriptor
+// index with 6 credit bits, reproducing the paper's trick of carving
+// credits out of the alignment bits of descriptor addresses. Index 0 is
+// reserved as NULL.
+//
+// As in the paper (§3.2.5), descriptor storage is never returned to the
+// OS; retired descriptors are recycled through a lock-free freelist
+// (DescAvail). Fields that may be written during one lifetime and read
+// during a concurrent stale access from a previous lifetime are atomic,
+// which also keeps the implementation clean under the Go race detector.
+type Descriptor struct {
+	// Anchor is the packed anchor word (avail, count, state, tag); all
+	// malloc/free coordination for the superblock happens through CAS
+	// on this word.
+	Anchor atomic.Uint64
+
+	// next links retired descriptors in the DescAvail freelist
+	// (Figure 7).
+	next atomic.Uint64
+
+	// sb is the base pointer of the associated superblock.
+	sb atomic.Uint64
+
+	// heapID identifies the processor heap that owns (last owned) the
+	// superblock. Written on ownership transfer (MallocFromPartial
+	// line 3), read by free (Figure 6 line 13).
+	heapID atomic.Uint64
+
+	// szWords is the block size in words (payload + prefix).
+	szWords atomic.Uint64
+
+	// szMagic is ceil(2^64/szWords), the reciprocal used to divide a
+	// block offset by the block size with one multiplication in free
+	// (exact for all offsets within a superblock).
+	szMagic atomic.Uint64
+
+	// maxCount is the number of blocks in the superblock.
+	maxCount atomic.Uint64
+
+	// sbWords is the superblock size in words, needed to return the
+	// superblock region to the OS layer.
+	sbWords atomic.Uint64
+
+	// classIdx is the size-class index of the superblock.
+	classIdx atomic.Int64
+}
+
+// SB returns the superblock base pointer.
+func (d *Descriptor) SB() mem.Ptr { return mem.Ptr(d.sb.Load()) }
+
+// Size returns the block size in words.
+func (d *Descriptor) Size() uint64 { return d.szWords.Load() }
+
+// MaxCount returns the number of blocks in the superblock.
+func (d *Descriptor) MaxCount() uint64 { return d.maxCount.Load() }
+
+// SBWords returns the superblock size in words.
+func (d *Descriptor) SBWords() uint64 { return d.sbWords.Load() }
+
+// ClassIndex returns the size-class index.
+func (d *Descriptor) ClassIndex() int { return int(d.classIdx.Load()) }
+
+// HeapID returns the id of the processor heap that last owned the
+// superblock.
+func (d *Descriptor) HeapID() uint64 { return d.heapID.Load() }
+
+const (
+	// descChunkLog2 is the log2 of descriptors per table chunk; a chunk
+	// is also the unit of descriptor-superblock allocation (the paper's
+	// DESCSBSIZE).
+	descChunkLog2 = 6
+	descChunk     = 1 << descChunkLog2
+	descChunkMask = descChunk - 1
+
+	// maxDescChunks bounds the descriptor table (2^24 descriptors,
+	// i.e. 2^24 superblocks ≈ 256 GiB of small-block heap).
+	maxDescChunks = 1 << 18
+)
+
+// descTable is the chunked, lock-free-growable descriptor store plus
+// the global DescAvail freelist of Figure 7.
+type descTable struct {
+	chunks []atomic.Pointer[[]Descriptor]
+
+	// nextIdx is the bump counter for never-used descriptor indices;
+	// it advances in whole chunks. It starts at descChunk so that the
+	// first chunk (containing reserved index 0) is never handed out in
+	// a batch, keeping batches chunk-aligned.
+	nextIdx atomic.Uint64
+
+	// avail is the DescAvail head: a packed (index:40, tag:24) word.
+	// The paper prevents ABA on this freelist with hazard pointers
+	// (SafeCAS, Figure 7 line 4); because our descriptors live at
+	// stable indices and are never unmapped, a wide version tag is an
+	// equally safe and simpler choice here (see internal/hazard for
+	// the hazard-pointer methodology itself, which the lock-free FIFO
+	// queue substrate uses).
+	avail atomic.Uint64
+
+	allocated atomic.Uint64 // descriptors ever created (for stats)
+	retired   atomic.Uint64 // descriptors currently on the freelist
+}
+
+func newDescTable() *descTable {
+	t := &descTable{chunks: make([]atomic.Pointer[[]Descriptor], maxDescChunks)}
+	t.nextIdx.Store(descChunk)
+	return t
+}
+
+// get returns the descriptor with the given index. The index must have
+// been produced by alloc.
+func (t *descTable) get(idx uint64) *Descriptor {
+	cp := t.chunks[idx>>descChunkLog2].Load()
+	return &(*cp)[idx&descChunkMask]
+}
+
+// alloc pops a retired descriptor or carves a fresh chunk (DescAlloc,
+// Figure 7). Lock-free.
+func (t *descTable) alloc() uint64 {
+	for {
+		oldHead := t.avail.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		if h.Idx != 0 {
+			next := t.get(h.Idx).next.Load()
+			newHead := atomicx.Tagged{Idx: next, Tag: h.Tag + 1}.Pack()
+			// The paper uses SafeCAS (hazard-pointer protected); the
+			// tagged head provides the same ABA safety for
+			// index-addressed descriptors.
+			if t.avail.CompareAndSwap(oldHead, newHead) {
+				t.retired.Add(^uint64(0))
+				return h.Idx
+			}
+			continue
+		}
+		// Freelist empty: allocate a descriptor superblock (a chunk),
+		// take its first descriptor, and install the rest. The paper
+		// frees the chunk if another thread repopulated the freelist
+		// first (Figure 7 lines 8-9); table chunks cannot be unmapped,
+		// so on that race the loser pushes its whole chain instead —
+		// a bounded over-allocation noted in DESIGN.md.
+		first := t.grow()
+		rest := t.get(first).next.Load()
+		atomicx.Fence() // Figure 7 line 7
+		newHead := atomicx.Tagged{Idx: rest, Tag: h.Tag + 1}.Pack()
+		if t.avail.CompareAndSwap(oldHead, newHead) {
+			t.retired.Add(descChunk - 1) // the rest of the chunk is now available
+			return first
+		}
+		last := first + descChunk - 1
+		t.retireChain(first, last, descChunk)
+	}
+}
+
+// grow materializes one chunk of fresh descriptors linked
+// first→first+1→…→0 and returns the first index.
+func (t *descTable) grow() uint64 {
+	base := t.nextIdx.Add(descChunk) - descChunk
+	ci := base >> descChunkLog2
+	if ci >= maxDescChunks {
+		panic("core: descriptor table exhausted")
+	}
+	s := make([]Descriptor, descChunk)
+	for i := range s {
+		n := base + uint64(i) + 1
+		if i == len(s)-1 {
+			n = 0
+		}
+		s[i].next.Store(n)
+	}
+	if !t.chunks[ci].CompareAndSwap(nil, &s) {
+		panic("core: descriptor chunk slot already populated")
+	}
+	t.allocated.Add(descChunk)
+	return base
+}
+
+// retire pushes a descriptor onto the DescAvail freelist (DescRetire,
+// Figure 7). Lock-free.
+func (t *descTable) retire(idx uint64) {
+	t.retireChain(idx, idx, 1)
+}
+
+// retireChain pushes the chain first..last (already linked via next,
+// except last) onto the freelist.
+func (t *descTable) retireChain(first, last, n uint64) {
+	for {
+		oldHead := t.avail.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		t.get(last).next.Store(h.Idx)
+		atomicx.Fence() // Figure 7 line 3
+		newHead := atomicx.Tagged{Idx: first, Tag: h.Tag + 1}.Pack()
+		if t.avail.CompareAndSwap(oldHead, newHead) {
+			t.retired.Add(n)
+			return
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpState(t *testing.T) {
+	a := newTestAllocator(t, testConfig())
+	th := a.Thread()
+	p, err := th.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := th.Malloc(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	a.DumpState(&b)
+	out := b.String()
+	for _, want := range []string{
+		"class 0",          // the 8-byte class section
+		"Active=desc",      // an installed active superblock
+		"state=ACTIVE",     // its descriptor line
+		"live superblocks", // the summary
+		"heap: reserved",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	th.Free(p)
+	th.Free(q)
+	var b2 strings.Builder
+	a.DumpState(&b2)
+	if !strings.Contains(b2.String(), "EMPTY(retired)") {
+		t.Error("dump after frees missing state summary")
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/sizeclass"
+)
+
+// sizeclassFor maps a payload size to a size-class index.
+func sizeclassFor(size uint64) (int, bool) {
+	return sizeclass.IndexFor(size)
+}
+
+// Free returns a block allocated by Malloc (paper Figure 6). Freeing
+// the nil pointer is a no-op. Free is lock-free and may be called by
+// any thread, not just the allocating one.
+func (t *Thread) Free(ptr mem.Ptr) {
+	if ptr.IsNil() { // line 1
+		return
+	}
+	a := t.a
+	block := ptr - 1 // line 2: get prefix
+	prefix := a.heap.Load(block)
+	if prefixIsLarge(prefix) { // line 4
+		// Large block: return directly to the OS layer (line 5).
+		a.heap.FreeRegion(block, prefix>>1)
+		t.ops.LargeFrees++
+		return
+	}
+	descIdx := prefix >> 1
+	desc := a.desc(descIdx) // line 3
+	sb := desc.SB()         // line 6
+	maxcount := desc.MaxCount()
+	// line 9: this block's index, offset/size via the precomputed
+	// reciprocal (exact within a superblock).
+	idx, _ := bits.Mul64(block.Sub(sb), desc.szMagic.Load())
+
+	// Fast path: the superblock stays in its current state (not FULL,
+	// not about to become EMPTY); only avail, count, and the link word
+	// change. Operates on the packed anchor word directly.
+	for {
+		w := desc.Anchor.Load()
+		if w>>atomicx.AnchorStateShift&atomicx.AnchorStateMask == atomicx.StateFull ||
+			w>>atomicx.AnchorCountShift&atomicx.AnchorCountMask == maxcount-1 {
+			break // slow path below
+		}
+		a.heap.Store(block, w&atomicx.AnchorAvailMask) // line 8: link to old head
+		nw := (w &^ uint64(atomicx.AnchorAvailMask)) | idx
+		nw += 1 << atomicx.AnchorCountShift // count++
+		t.hook(HookFreeBeforeCAS)
+		if desc.Anchor.CompareAndSwap(w, nw) {
+			t.ops.Frees++
+			return
+		}
+	}
+
+	var oldAnchor, newAnchor atomicx.Anchor
+	var heapID uint64
+	for {
+		oldWord := desc.Anchor.Load()
+		oldAnchor = atomicx.UnpackAnchor(oldWord) // line 7
+		newAnchor = oldAnchor
+		// Push the freed block onto the superblock's LIFO list: the
+		// block's first word becomes the link to the previous head
+		// (line 8), and avail points at this block (line 9).
+		a.heap.Store(block, oldAnchor.Avail)
+		newAnchor.Avail = idx
+		if oldAnchor.State == atomicx.StateFull { // lines 10-11
+			newAnchor.State = atomicx.StatePartial
+		}
+		if oldAnchor.Count == maxcount-1 { // line 12
+			heapID = desc.heapID.Load()          // line 13
+			atomicx.InstructionFence()           // line 14
+			newAnchor.State = atomicx.StateEmpty // line 15
+		} else {
+			newAnchor.Count++ // line 16
+		}
+		atomicx.Fence() // line 17: publish the link store before the CAS
+		t.hook(HookFreeBeforeCAS)
+		if desc.Anchor.CompareAndSwap(oldWord, newAnchor.Pack()) { // line 18
+			break
+		}
+	}
+	t.ops.Frees++
+
+	if newAnchor.State == atomicx.StateEmpty { // lines 19-21
+		// This thread freed the last allocated block: the superblock
+		// is EMPTY and safe to return to the OS.
+		a.freeSB(sb, desc.SBWords())
+		t.ops.EmptySBFreed++
+		t.hook(HookFreeBeforeRetire)
+		a.removeEmptyDesc(heapID, descIdx)
+	} else if oldAnchor.State == atomicx.StateFull { // lines 22-23
+		// First free into a FULL superblock: this thread takes
+		// responsibility for linking it back into the allocator
+		// structures.
+		t.hook(HookFreeBeforePutPartial)
+		a.heapPutPartial(descIdx)
+	}
+}
+
+// heapPutPartial is Figure 6's HeapPutPartial: atomically swap the
+// descriptor into the Partial slot of the heap that last owned the
+// superblock; a displaced previous occupant moves to the size class's
+// partial list.
+func (a *Allocator) heapPutPartial(descIdx uint64) {
+	desc := a.desc(descIdx)
+	h := a.procHeap(desc.heapID.Load())
+	if a.cfg.NoPartialSlot {
+		h.sc.partial.Put(descIdx)
+		return
+	}
+	// With multiple slots (§3.2.6 option), fill an empty extra slot
+	// before displacing the MRU slot.
+	for i := range h.extraPartial {
+		if h.extraPartial[i].CompareAndSwap(0, descIdx) {
+			return
+		}
+	}
+	var prev uint64
+	for { // lines 1-2
+		prev = h.Partial.Load()
+		if h.Partial.CompareAndSwap(prev, descIdx) {
+			break
+		}
+	}
+	if prev != 0 { // line 3
+		h.sc.partial.Put(prev) // ListPutPartial
+	}
+}
+
+// removeEmptyDesc is Figure 6's RemoveEmptyDesc: retire the descriptor
+// if it can be removed from the heap's Partial slot with a single CAS;
+// otherwise ask the size class's list to shed an empty descriptor.
+func (a *Allocator) removeEmptyDesc(heapID, descIdx uint64) {
+	h := a.procHeap(heapID)
+	if !a.cfg.NoPartialSlot {
+		if h.Partial.CompareAndSwap(descIdx, 0) { // line 1
+			a.descs.retire(descIdx) // line 2
+			return
+		}
+		for i := range h.extraPartial {
+			if h.extraPartial[i].CompareAndSwap(descIdx, 0) {
+				a.descs.retire(descIdx)
+				return
+			}
+		}
+	}
+	a.listRemoveEmptyDesc(h.sc) // line 3
+}
+
+// listRemoveEmptyDesc is the FIFO-list variant of ListRemoveEmptyDesc
+// (§3.2.6): dequeue from the head until an empty descriptor is removed
+// (and retired) or the end of the list is reached; a dequeued non-empty
+// descriptor is re-enqueued at the tail. Moving at most two non-empty
+// descriptors per call bounds the empty fraction of the list at one
+// half. The goal is only that empty descriptors are *eventually*
+// recycled, not that this particular one is removed now.
+func (a *Allocator) listRemoveEmptyDesc(sc *scState) {
+	for moved := 0; moved < 2; {
+		descIdx, ok := sc.partial.Get()
+		if !ok {
+			return
+		}
+		desc := a.desc(descIdx)
+		if atomicx.UnpackAnchor(desc.Anchor.Load()).State == atomicx.StateEmpty {
+			a.descs.retire(descIdx)
+			return
+		}
+		sc.partial.Put(descIdx)
+		moved++
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzMallocFreeSequence interprets the fuzz input as a single-thread
+// operation sequence — each byte either allocates (size derived from
+// the byte) or frees a pseudo-randomly chosen live block — and checks
+// payload integrity plus global invariants at the end. Run with
+// `go test -fuzz FuzzMallocFreeSequence ./internal/core/`; the seed
+// corpus also runs under plain `go test`.
+func FuzzMallocFreeSequence(f *testing.F) {
+	f.Add([]byte{0x01, 0x80, 0x02, 0x81, 0xff, 0x00})
+	f.Add([]byte("allocate and free some blocks please"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x7f, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		a := New(Config{
+			Processors: 2,
+			HeapConfig: mem.Config{SegmentWordsLog2: 16, TotalWordsLog2: 26},
+		})
+		th := a.Thread()
+		type held struct {
+			p     mem.Ptr
+			words uint64
+			tag   uint64
+		}
+		var live []held
+		for i, b := range data {
+			if b&0x80 != 0 && len(live) > 0 {
+				// Free a pseudo-random live block.
+				k := int(b&0x7f) % len(live)
+				h := live[k]
+				for w := uint64(0); w < h.words; w++ {
+					if a.heap.Get(h.p.Add(w)) != h.tag+w {
+						t.Fatalf("op %d: corruption in %v word %d", i, h.p, w)
+					}
+				}
+				th.Free(h.p)
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			// Allocate: size spans all classes plus occasional large.
+			size := uint64(b&0x7f)*24 + 1 // 1..3049 bytes
+			p, err := th.Malloc(size)
+			if err != nil {
+				t.Fatalf("op %d: malloc(%d): %v", i, size, err)
+			}
+			words := (size + mem.WordBytes - 1) / mem.WordBytes
+			tag := uint64(i) << 16
+			for w := uint64(0); w < words; w++ {
+				a.heap.Set(p.Add(w), tag+w)
+			}
+			live = append(live, held{p, words, tag})
+		}
+		n := int64(0)
+		for _, h := range live {
+			if h.words <= 256 { // small blocks only in descriptor stats
+				n++
+			}
+		}
+		if err := a.CheckInvariants(n); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range live {
+			th.Free(h.p)
+		}
+		if err := a.CheckInvariants(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzReallocSequence drives Realloc with arbitrary grow/shrink
+// patterns, verifying the preserved prefix every step.
+func FuzzReallocSequence(f *testing.F) {
+	f.Add([]byte{1, 200, 3, 255, 0, 9})
+	f.Add([]byte{255, 254, 253, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		a := New(Config{
+			Processors: 1,
+			HeapConfig: mem.Config{SegmentWordsLog2: 16, TotalWordsLog2: 26},
+		})
+		th := a.Thread()
+		p, err := th.MallocZeroed(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		knownWords := uint64(1)
+		a.heap.Set(p, 42)
+		for i, b := range data {
+			newSize := (uint64(b) + 1) * 16 // 16..4096 bytes
+			np, err := th.Realloc(p, newSize)
+			if err != nil {
+				t.Fatalf("op %d: realloc(%d): %v", i, newSize, err)
+			}
+			p = np
+			keep := knownWords
+			if w := newSize / mem.WordBytes; w < keep {
+				keep = w
+			}
+			if keep > 0 && a.heap.Get(p) != 42 {
+				t.Fatalf("op %d: first word lost", i)
+			}
+			knownWords = newSize / mem.WordBytes
+			if knownWords == 0 {
+				knownWords = 1
+			}
+			a.heap.Set(p, 42)
+		}
+		th.Free(p)
+		if err := a.CheckInvariants(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

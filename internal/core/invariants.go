@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/atomicx"
+)
+
+// CheckInvariants validates allocator-wide structural invariants. It
+// must only be called while the allocator is quiescent (no concurrent
+// Malloc/Free in flight); it is a test and diagnostic aid, not part of
+// the lock-free algorithm.
+//
+// expectLive, if non-negative, is the number of small blocks the caller
+// believes are currently allocated; the checker confirms it against the
+// descriptor statistics.
+//
+// Checked invariants:
+//   - every heap's Active word names a descriptor in ACTIVE state whose
+//     heapID is that heap, with credits+1 <= available reservations;
+//   - every descriptor's anchor fields are within range;
+//   - each non-EMPTY superblock's free list is acyclic, in-bounds, and
+//     exactly count+reserved long;
+//   - the sum over descriptors of allocated blocks equals expectLive.
+func (a *Allocator) CheckInvariants(expectLive int64) error {
+	// reserved[desc] = blocks reserved through some heap's Active word.
+	reserved := make(map[uint64]uint64)
+	for ci := range a.classes {
+		sc := &a.classes[ci]
+		for pi := range sc.heaps {
+			h := &sc.heaps[pi]
+			act := atomicx.UnpackActive(h.Active.Load())
+			if act.IsNull() {
+				continue
+			}
+			desc := a.desc(act.Desc)
+			anchor := atomicx.UnpackAnchor(desc.Anchor.Load())
+			if anchor.State != atomicx.StateActive {
+				return fmt.Errorf("heap %d Active names desc %d in state %s",
+					h.id, act.Desc, atomicx.StateName(anchor.State))
+			}
+			if desc.HeapID() != h.id {
+				return fmt.Errorf("heap %d Active names desc %d owned by heap %d",
+					h.id, act.Desc, desc.HeapID())
+			}
+			if _, dup := reserved[act.Desc]; dup {
+				return fmt.Errorf("desc %d installed as Active in two heaps", act.Desc)
+			}
+			reserved[act.Desc] = act.Credits + 1
+		}
+	}
+
+	var totalAllocated int64
+	limit := a.descs.nextIdx.Load()
+	for idx := uint64(descChunk); idx < limit; idx++ {
+		desc := a.desc(idx)
+		anchor := atomicx.UnpackAnchor(desc.Anchor.Load())
+		if desc.MaxCount() == 0 {
+			continue // never initialized
+		}
+		maxcount := desc.MaxCount()
+		if anchor.State == atomicx.StateEmpty {
+			continue // retired or about to be; superblock returned to OS
+		}
+		if anchor.Avail >= maxcount && anchor.Count+reserved[idx] > 0 {
+			return fmt.Errorf("desc %d: avail %d out of range (maxcount %d, state %s)",
+				idx, anchor.Avail, maxcount, atomicx.StateName(anchor.State))
+		}
+		if anchor.Count > maxcount-1 {
+			return fmt.Errorf("desc %d: count %d exceeds maxcount-1 (%d)",
+				idx, anchor.Count, maxcount-1)
+		}
+		res := reserved[idx]
+		free := anchor.Count + res
+		if free > maxcount {
+			return fmt.Errorf("desc %d: count %d + reserved %d exceeds maxcount %d",
+				idx, anchor.Count, res, maxcount)
+		}
+		// Walk the free list: must be acyclic, in-bounds, and exactly
+		// `free` blocks long.
+		if err := a.walkFreeList(idx, desc, anchor, free); err != nil {
+			return err
+		}
+		totalAllocated += int64(maxcount - free)
+	}
+
+	if expectLive >= 0 && totalAllocated != expectLive {
+		return fmt.Errorf("allocated blocks: descriptors say %d, caller says %d",
+			totalAllocated, expectLive)
+	}
+	return nil
+}
+
+func (a *Allocator) walkFreeList(idx uint64, desc *Descriptor, anchor atomicx.Anchor, free uint64) error {
+	maxcount := desc.MaxCount()
+	sb := desc.SB()
+	sz := desc.Size()
+	visited := make(map[uint64]bool, free)
+	cur := anchor.Avail
+	for n := uint64(0); n < free; n++ {
+		if cur >= maxcount {
+			return fmt.Errorf("desc %d (%s): free-list index %d out of range after %d steps",
+				idx, atomicx.StateName(anchor.State), cur, n)
+		}
+		if visited[cur] {
+			return fmt.Errorf("desc %d: free list cycles at block %d", idx, cur)
+		}
+		visited[cur] = true
+		cur = a.heap.Load(sb.Add(cur*sz)) & atomicx.AnchorAvailMask
+	}
+	return nil
+}
+
+// DescriptorCount returns how many descriptors have ever been created
+// (diagnostics).
+func (a *Allocator) DescriptorCount() uint64 { return a.descs.allocated.Load() }

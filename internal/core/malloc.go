@@ -1,0 +1,353 @@
+package core
+
+import (
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+)
+
+// Malloc allocates a block with at least size payload bytes and returns
+// a pointer to the payload (paper Figure 4). The returned pointer is
+// word-aligned; the word before it is the block prefix identifying the
+// block's superblock descriptor (or, for large blocks, its size).
+func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
+	sc, small := t.a.classFor(size)
+	if !small {
+		return t.mallocLarge(size)
+	}
+	heap := t.findHeap(sc)
+	for {
+		if addr := t.mallocFromActive(heap); !addr.IsNil() {
+			t.ops.Mallocs++
+			t.ops.FromActive++
+			return addr, nil
+		}
+		if addr := t.mallocFromPartial(heap); !addr.IsNil() {
+			t.ops.Mallocs++
+			t.ops.FromPartial++
+			return addr, nil
+		}
+		addr, err := t.mallocFromNewSB(heap)
+		if err != nil {
+			return 0, err
+		}
+		if !addr.IsNil() {
+			t.ops.Mallocs++
+			t.ops.FromNewSB++
+			return addr, nil
+		}
+	}
+}
+
+func (a *Allocator) classFor(size uint64) (*scState, bool) {
+	cls, ok := sizeclassFor(size)
+	if !ok {
+		return nil, false
+	}
+	return &a.classes[cls], true
+}
+
+// mallocLarge allocates a block directly from the OS layer (paper:
+// "If the block size is large, then the block is allocated directly
+// from the OS and its prefix is set to indicate the block's size").
+func (t *Thread) mallocLarge(size uint64) (mem.Ptr, error) {
+	payloadWords := (size + mem.WordBytes - 1) / mem.WordBytes
+	if payloadWords == 0 {
+		payloadWords = 1
+	}
+	totalWords := payloadWords + 1
+	if totalWords > t.a.heap.MaxRegionWords() {
+		return 0, errSizeOverflow
+	}
+	base, _, err := t.a.heap.AllocRegion(totalWords)
+	if err != nil {
+		return 0, err
+	}
+	t.a.heap.Store(base, largePrefix(totalWords))
+	t.ops.LargeMallocs++
+	return base.Add(1), nil
+}
+
+// mallocFromActive is Figure 4's MallocFromActive: reserve a block by
+// decrementing the Active credits, then pop it from the superblock's
+// LIFO free list via the anchor.
+func (t *Thread) mallocFromActive(h *ProcHeap) mem.Ptr {
+	a := t.a
+	// First step: reserve block (lines 1-6). Credits occupy the low 6
+	// bits of the Active word, so the common-case decrement is a plain
+	// subtraction on the packed word.
+	var oldWord uint64
+	for {
+		oldWord = h.Active.Load()
+		if oldWord == 0 {
+			return 0 // Active is NULL
+		}
+		var newWord uint64
+		if oldWord&atomicx.ActiveCreditsMask != 0 {
+			newWord = oldWord - 1 // credits--
+		} // else NULL: this thread takes the last credit
+		if h.Active.CompareAndSwap(oldWord, newWord) {
+			break
+		}
+	}
+	oldActive := atomicx.UnpackActive(oldWord)
+	t.hook(HookMallocAfterReserve)
+	// The success of the CAS guarantees a block in this specific
+	// superblock is reserved for this thread, regardless of what state
+	// the superblock moves through meanwhile (it cannot become EMPTY).
+	desc := a.desc(oldActive.Desc)
+	sb := desc.SB()
+	sz := desc.Size()
+
+	// Second step: pop the reserved block (lines 7-18), a lock-free
+	// LIFO pop guarded against ABA by the anchor tag.
+	var addr mem.Ptr
+	if oldActive.Credits != 0 {
+		// Common case: credits remain, so only avail and tag change;
+		// operate directly on the packed anchor word.
+		for {
+			w := desc.Anchor.Load()
+			addr = sb.Add((w & atomicx.AnchorAvailMask) * sz)
+			next := a.heap.Load(addr)
+			nw := (w &^ uint64(atomicx.AnchorAvailMask)) | (next & atomicx.AnchorAvailMask)
+			nw += 1 << atomicx.AnchorTagShift // tag++ (wraps in the top bits)
+			t.hook(HookMallocDuringPop)
+			if desc.Anchor.CompareAndSwap(w, nw) {
+				break
+			}
+		}
+	} else {
+		// This thread set Active to NULL (lines 13-17): it must either
+		// declare the superblock FULL or take more credits for
+		// UpdateActive.
+		var morecredits uint64
+		for {
+			oldAnchor := desc.Anchor.Load()
+			oa := atomicx.UnpackAnchor(oldAnchor)
+			na := oa
+			addr = sb.Add(oa.Avail * sz)
+			next := a.heap.Load(addr)
+			na.Avail = next
+			na.Tag++
+			morecredits = 0
+			// The state must be ACTIVE here.
+			if oa.Count == 0 {
+				na.State = atomicx.StateFull
+			} else {
+				morecredits = minU64(oa.Count, a.maxCredits)
+				na.Count -= morecredits
+			}
+			if desc.Anchor.CompareAndSwap(oldAnchor, na.Pack()) {
+				break
+			}
+		}
+		if morecredits > 0 { // line 19
+			t.hook(HookMallocBeforeUpdateActive)
+			a.updateActive(h, oldActive.Desc, morecredits)
+		}
+	}
+	t.hook(HookMallocAfterPop)
+	a.heap.Store(addr, smallPrefix(oldActive.Desc)) // line 21
+	return addr.Add(1)
+}
+
+// updateActive is Figure 4's UpdateActive: try to reinstall desc as the
+// heap's active superblock with morecredits-1 credits; if another
+// thread installed a different superblock meanwhile, return the credits
+// to the anchor, mark the superblock PARTIAL, and make it available.
+func (a *Allocator) updateActive(h *ProcHeap, descIdx, morecredits uint64) {
+	newActive := atomicx.Active{Desc: descIdx, Credits: morecredits - 1}.Pack()
+	if h.Active.CompareAndSwap(0, newActive) { // line 3
+		return
+	}
+	// Someone installed another active superblock. Return the credits
+	// and make this superblock partial (lines 4-8).
+	desc := a.desc(descIdx)
+	for {
+		oldWord := desc.Anchor.Load()
+		na := atomicx.UnpackAnchor(oldWord)
+		na.Count += morecredits
+		na.State = atomicx.StatePartial
+		if desc.Anchor.CompareAndSwap(oldWord, na.Pack()) {
+			break
+		}
+	}
+	a.heapPutPartial(descIdx)
+}
+
+// mallocFromPartial is Figure 4's MallocFromPartial: obtain a PARTIAL
+// superblock, reserve one block for this thread plus up to MAXCREDITS
+// extra, pop the block, and deposit the extra credits in Active.
+func (t *Thread) mallocFromPartial(h *ProcHeap) mem.Ptr {
+	a := t.a
+retry:
+	descIdx := a.heapGetPartial(h) // line 1
+	if descIdx == 0 {
+		return 0
+	}
+	t.hook(HookPartialAfterGet)
+	desc := a.desc(descIdx)
+	desc.heapID.Store(h.id) // line 3: ownership transfer
+
+	var morecredits uint64
+	for { // reserve blocks (lines 4-10)
+		oldWord := desc.Anchor.Load()
+		oa := atomicx.UnpackAnchor(oldWord)
+		if oa.State == atomicx.StateEmpty {
+			t.ops.EmptyPartialSkips++
+			a.descs.retire(descIdx) // line 6
+			goto retry
+		}
+		// oa.State must be PARTIAL and oa.Count > 0.
+		morecredits = minU64(oa.Count-1, a.maxCredits)
+		na := oa
+		na.Count -= morecredits + 1
+		if morecredits > 0 {
+			na.State = atomicx.StateActive
+		} else {
+			na.State = atomicx.StateFull
+		}
+		if desc.Anchor.CompareAndSwap(oldWord, na.Pack()) {
+			break
+		}
+	}
+	t.hook(HookPartialAfterReserve)
+
+	sb := desc.SB()
+	sz := desc.Size()
+	var addr mem.Ptr
+	for { // pop reserved block (lines 11-15)
+		oldWord := desc.Anchor.Load()
+		oa := atomicx.UnpackAnchor(oldWord)
+		na := oa
+		addr = sb.Add(oa.Avail * sz)
+		na.Avail = a.heap.Load(addr)
+		na.Tag++
+		if desc.Anchor.CompareAndSwap(oldWord, na.Pack()) {
+			break
+		}
+	}
+	if morecredits > 0 {
+		a.updateActive(h, descIdx, morecredits) // lines 16-17
+	}
+	a.heap.Store(addr, smallPrefix(descIdx)) // line 18
+	return addr.Add(1)
+}
+
+// heapGetPartial is Figure 4's HeapGetPartial: pop the heap's
+// most-recently-used Partial slot, falling back to the size class's
+// partial list.
+func (a *Allocator) heapGetPartial(h *ProcHeap) uint64 {
+	for {
+		descIdx := h.Partial.Load()
+		if descIdx == 0 {
+			break
+		}
+		if h.Partial.CompareAndSwap(descIdx, 0) {
+			return descIdx
+		}
+	}
+	for i := range h.extraPartial {
+		slot := &h.extraPartial[i]
+		for {
+			descIdx := slot.Load()
+			if descIdx == 0 {
+				break
+			}
+			if slot.CompareAndSwap(descIdx, 0) {
+				return descIdx
+			}
+		}
+	}
+	if v, ok := h.sc.partial.Get(); ok { // ListGetPartial
+		return v
+	}
+	return 0
+}
+
+// mallocFromNewSB is Figure 4's MallocFromNewSB: allocate a fresh
+// superblock and try to install it as the heap's active superblock.
+// Returns a nil pointer (and nil error) if the install race was lost
+// and the caller should retry from MallocFromActive.
+func (t *Thread) mallocFromNewSB(h *ProcHeap) (mem.Ptr, error) {
+	a := t.a
+	cls := h.sc.class
+
+	descIdx := a.descs.alloc() // line 1
+	desc := a.desc(descIdx)
+	sb, err := a.allocSB(cls.SBWords) // line 2
+	if err != nil {
+		a.descs.retire(descIdx)
+		return 0, err
+	}
+
+	// Organize blocks in a linked list starting with index 0 (line 3).
+	// Block 0 is taken by this thread; blocks 1..maxcount-1 form the
+	// free list (block i links to i+1; the last link is never followed
+	// before a free, per the paper's footnote 1).
+	for i := uint64(1); i < cls.MaxCount; i++ {
+		a.heap.Store(sb.Add(i*cls.BlockWords), i+1)
+	}
+
+	desc.sb.Store(uint64(sb))
+	desc.heapID.Store(h.id) // line 4
+	desc.szWords.Store(cls.BlockWords)
+	desc.szMagic.Store(^uint64(0)/cls.BlockWords + 1)
+	desc.maxCount.Store(cls.MaxCount) // line 7
+	desc.sbWords.Store(cls.SBWords)
+	desc.classIdx.Store(int64(cls.Index))
+
+	credits := minU64(cls.MaxCount-1, a.maxCredits) - 1 // line 9
+	newActive := atomicx.Active{Desc: descIdx, Credits: credits}.Pack()
+
+	oldTag := atomicx.UnpackAnchor(desc.Anchor.Load()).Tag
+	anchor := atomicx.Anchor{
+		Avail: 1,                                  // line 5
+		Count: (cls.MaxCount - 1) - (credits + 1), // line 10
+		State: atomicx.StateActive,                // line 11
+		Tag:   oldTag + 1,                         // fresh tag across descriptor reuse
+	}
+	desc.Anchor.Store(anchor.Pack())
+
+	atomicx.Fence() // line 12: publish descriptor fields before install
+	t.hook(HookNewSBBeforeInstall)
+
+	if h.Active.CompareAndSwap(0, newActive) { // line 13
+		a.heap.Store(sb, smallPrefix(descIdx)) // line 15
+		return sb.Add(1), nil
+	}
+
+	// Lost the race: another thread installed an active superblock.
+	if a.cfg.KeepNewSBOnRaceLoss {
+		// Alternative policy (paper line 16 comment): take block 0,
+		// return the reserved credits, and keep the superblock PARTIAL.
+		for {
+			oldWord := desc.Anchor.Load()
+			na := atomicx.UnpackAnchor(oldWord)
+			na.Count += credits + 1
+			na.State = atomicx.StatePartial
+			if desc.Anchor.CompareAndSwap(oldWord, na.Pack()) {
+				break
+			}
+		}
+		a.heapPutPartial(descIdx)
+		a.heap.Store(sb, smallPrefix(descIdx))
+		return sb.Add(1), nil
+	}
+
+	// Preferred policy: deallocate to avoid external fragmentation
+	// (lines 16-17). The anchor is marked EMPTY first so diagnostics
+	// (and MallocFromPartial's EMPTY check, should a stale reference
+	// surface) see a retired descriptor, not a live superblock.
+	desc.Anchor.Store(atomicx.Anchor{State: atomicx.StateEmpty, Tag: anchor.Tag + 1}.Pack())
+	a.freeSB(sb, cls.SBWords)
+	a.descs.retire(descIdx)
+	t.ops.NewSBRaceLoss++
+	return 0, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,9 @@
+package core
+
+import "runtime"
+
+// defaultProcessors mirrors the paper's initialization-time query of
+// the system environment for the processor count (§4.2.4).
+func defaultProcessors() int {
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sizeclass"
+)
+
+// TestSpaceBlowupBounded verifies the paper's space claim (§1, §5):
+// the allocator "limits space blowup to a constant factor". The
+// adversarial pattern is the producer-consumer flow that makes pure
+// per-thread private heaps consume unbounded memory: one thread
+// allocates, another frees, forever. Max live OS space must stay a
+// constant factor of the application's live data.
+func TestSpaceBlowupBounded(t *testing.T) {
+	a := newTestAllocator(t, testConfig())
+	heap := a.Heap()
+	const window = 1000  // live blocks at any time
+	const rounds = 200   // windows cycled (200k blocks through the pattern)
+	const blockSize = 16 // 3-word blocks
+
+	prod := a.Thread()
+	cons := a.Thread()
+	ch := make(chan []mem.Ptr, 1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			batch := make([]mem.Ptr, window)
+			for i := range batch {
+				p, err := prod.Malloc(blockSize)
+				if err != nil {
+					t.Errorf("malloc: %v", err)
+					return
+				}
+				batch[i] = p
+			}
+			ch <- batch
+		}
+		close(ch)
+	}()
+	go func() {
+		defer wg.Done()
+		for batch := range ch {
+			for _, p := range batch {
+				cons.Free(p)
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	liveData := uint64(window) * 2 * 3 * mem.WordBytes // ≤2 windows in flight × words
+	maxLive := heap.Stats().MaxLiveWords * mem.WordBytes
+	// Constant-factor bound: superblock slack + per-heap caching can
+	// multiply live data, but must not grow with rounds. A generous
+	// constant: 16x live data plus 8 superblocks of fixed overhead.
+	bound := 16*liveData + 8*sizeclass.SuperblockWords*mem.WordBytes
+	if maxLive > bound {
+		t.Errorf("space blowup: max live %d bytes for %d bytes of live data (bound %d)",
+			maxLive, liveData, bound)
+	}
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreeOrderPermutationProperty: any permutation of frees of a
+// superblock's worth of blocks leaves the allocator structurally
+// consistent and every block reallocatable.
+func TestFreeOrderPermutationProperty(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processors = 1
+	f := func(seed int64) bool {
+		a := New(cfg)
+		th := a.Thread()
+		cls, _ := sizeclass.For(512)
+		n := int(cls.MaxCount) + 3 // spill into a second superblock
+		ptrs := make([]mem.Ptr, n)
+		for i := range ptrs {
+			p, err := th.Malloc(512)
+			if err != nil {
+				return false
+			}
+			ptrs[i] = p
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(n, func(i, j int) { ptrs[i], ptrs[j] = ptrs[j], ptrs[i] })
+		for _, p := range ptrs {
+			th.Free(p)
+		}
+		if err := a.CheckInvariants(0); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Everything must be reallocatable with distinct addresses.
+		seen := map[mem.Ptr]bool{}
+		for i := 0; i < n; i++ {
+			p, err := th.Malloc(512)
+			if err != nil || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return a.CheckInvariants(int64(n)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBlocksWithinSuperblockAreContiguous documents the layout
+// assumption behind the false-sharing benchmarks: blocks popped
+// consecutively from a fresh superblock are adjacent in the backing
+// array (and therefore share cache lines).
+func TestBlocksWithinSuperblockAreContiguous(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processors = 1
+	a := New(cfg)
+	th := a.Thread()
+	p0, err := th.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := th.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, _ := sizeclass.For(8)
+	if p1.Sub(p0) != cls.BlockWords {
+		t.Errorf("consecutive blocks %v and %v are %d words apart, want %d",
+			p0, p1, p1.Sub(p0), cls.BlockWords)
+	}
+	th.Free(p0)
+	th.Free(p1)
+}
+
+// TestMaxLiveReflectsRetention: after heavy churn and full free, live
+// OS space is only the cached Active/Partial superblocks (a fixed
+// number per heap), not proportional to the churn volume.
+func TestMaxLiveReflectsRetention(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processors = 2
+	a := New(cfg)
+	th := a.Thread()
+	for round := 0; round < 20; round++ {
+		var ptrs []mem.Ptr
+		for i := 0; i < 5000; i++ {
+			p, err := th.Malloc(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptrs = append(ptrs, p)
+		}
+		for _, p := range ptrs {
+			th.Free(p)
+		}
+	}
+	live := a.Heap().Stats().LiveWords
+	// One class in use, 2 heaps, ≤2 superblocks each.
+	bound := uint64(2 * 2 * sizeclass.SuperblockWords)
+	if live > bound {
+		t.Errorf("retention %d words after full free, bound %d", live, bound)
+	}
+}

@@ -1,0 +1,31 @@
+package hazard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkProtect measures the acquire-loop cost a reader pays per
+// protected dereference.
+func BenchmarkProtect(b *testing.B) {
+	d := NewDomain[tnode]()
+	r := d.Acquire()
+	defer r.Release()
+	var src atomic.Pointer[tnode]
+	src.Store(&tnode{v: 1})
+	for i := 0; i < b.N; i++ {
+		r.Protect(0, &src)
+		r.Clear(0)
+	}
+}
+
+// BenchmarkRetireScan measures amortized reclamation cost per retired
+// node (including periodic scans).
+func BenchmarkRetireScan(b *testing.B) {
+	d := NewDomain[tnode]()
+	r := d.Acquire()
+	defer r.Release()
+	for i := 0; i < b.N; i++ {
+		r.Retire(&tnode{v: i}, nil)
+	}
+}

@@ -1,0 +1,178 @@
+// Package hazard implements hazard pointers (Michael, "Hazard
+// Pointers: Safe Memory Reclamation for Lock-Free Objects", IEEE TPDS
+// 2004 — reference [19] of the paper), the safe-memory-reclamation
+// methodology the paper uses for its descriptor freelist (SafeCAS,
+// Figure 7) and partial lists.
+//
+// A thread publishes the pointers it is about to dereference in its
+// hazard slots; retired nodes are reclaimed only when no thread's
+// hazard slot holds them. This makes lock-free structures safe against
+// use-after-free and the ABA problem without double-width CAS.
+//
+// In C the reclamation callback returns memory to the allocator; under
+// Go's GC the callback typically recycles or drops the node, and the
+// guarantee that matters — a node is never passed to the callback
+// while any thread still holds a hazard pointer to it — is exactly
+// what this package enforces and what the tests verify. The
+// simulated-heap analogue with real memory reuse is bench.Queue /
+// internal/partial, which use tagged indices instead.
+package hazard
+
+import (
+	"sync/atomic"
+)
+
+// SlotsPerRecord is K, the hazard pointers per participating thread.
+// Michael's queue needs 2; list-based sets need 2; K=4 covers the
+// structures in this repository.
+const SlotsPerRecord = 4
+
+// scanThreshold is R: retired nodes accumulated before a scan. Larger
+// R amortizes scan cost; the bound on unreclaimed nodes is R per
+// thread.
+const scanThreshold = 64
+
+// Domain groups the hazard records protecting one family of nodes of
+// type T.
+type Domain[T any] struct {
+	head atomic.Pointer[Record[T]]
+
+	records   atomic.Int64
+	reclaimed atomic.Uint64
+	scans     atomic.Uint64
+}
+
+// Record is one thread's hazard-pointer record. Acquire one per
+// goroutine; it is not safe for concurrent use by multiple goroutines.
+type Record[T any] struct {
+	next   *Record[T]
+	domain *Domain[T]
+	active atomic.Bool
+	hp     [SlotsPerRecord]atomic.Pointer[T]
+
+	retired []retiredNode[T]
+}
+
+type retiredNode[T any] struct {
+	ptr  *T
+	free func(*T)
+}
+
+// NewDomain creates an empty domain.
+func NewDomain[T any]() *Domain[T] { return &Domain[T]{} }
+
+// Acquire obtains a hazard record, reusing a released one if possible
+// (the classic lock-free record list: records are never unlinked, only
+// deactivated).
+func (d *Domain[T]) Acquire() *Record[T] {
+	for r := d.head.Load(); r != nil; r = r.next {
+		if !r.active.Load() && r.active.CompareAndSwap(false, true) {
+			return r
+		}
+	}
+	r := &Record[T]{domain: d}
+	r.active.Store(true)
+	for {
+		head := d.head.Load()
+		r.next = head
+		if d.head.CompareAndSwap(head, r) {
+			d.records.Add(1)
+			return r
+		}
+	}
+}
+
+// Release returns the record for reuse by another goroutine. Any
+// still-retired nodes remain pending and are reclaimed by this
+// record's next owner or by a final Drain.
+func (r *Record[T]) Release() {
+	for i := range r.hp {
+		r.hp[i].Store(nil)
+	}
+	r.active.Store(false)
+}
+
+// Set publishes p in hazard slot i. The caller must re-validate its
+// source after Set (see Protect) before dereferencing.
+func (r *Record[T]) Set(i int, p *T) { r.hp[i].Store(p) }
+
+// Clear empties hazard slot i.
+func (r *Record[T]) Clear(i int) { r.hp[i].Store(nil) }
+
+// Protect reads *src, publishes it in slot i, and re-reads src until
+// the two agree — the standard acquire loop that guarantees the
+// returned pointer is protected before any dereference.
+func (r *Record[T]) Protect(i int, src *atomic.Pointer[T]) *T {
+	for {
+		p := src.Load()
+		r.hp[i].Store(p)
+		if src.Load() == p {
+			return p
+		}
+	}
+}
+
+// Retire schedules a node for reclamation once no hazard pointer
+// holds it. free is invoked at reclamation time (nil means drop the
+// reference and let the GC take it).
+func (r *Record[T]) Retire(p *T, free func(*T)) {
+	r.retired = append(r.retired, retiredNode[T]{p, free})
+	if len(r.retired) >= scanThreshold {
+		r.scan()
+	}
+}
+
+// scan is Michael's Scan: snapshot all hazard pointers, then reclaim
+// every retired node not in the snapshot.
+func (r *Record[T]) scan() {
+	d := r.domain
+	d.scans.Add(1)
+	protected := make(map[*T]struct{}, int(d.records.Load())*SlotsPerRecord)
+	for rec := d.head.Load(); rec != nil; rec = rec.next {
+		for i := range rec.hp {
+			if p := rec.hp[i].Load(); p != nil {
+				protected[p] = struct{}{}
+			}
+		}
+	}
+	kept := r.retired[:0]
+	for _, rn := range r.retired {
+		if _, ok := protected[rn.ptr]; ok {
+			kept = append(kept, rn)
+			continue
+		}
+		if rn.free != nil {
+			rn.free(rn.ptr)
+		}
+		d.reclaimed.Add(1)
+	}
+	// Zero the tail so dropped nodes are not pinned by the backing
+	// array.
+	for i := len(kept); i < len(r.retired); i++ {
+		r.retired[i] = retiredNode[T]{}
+	}
+	r.retired = kept
+}
+
+// Drain forces a scan (tests and shutdown paths).
+func (r *Record[T]) Drain() { r.scan() }
+
+// PendingRetired returns how many nodes this record still holds
+// un-reclaimed.
+func (r *Record[T]) PendingRetired() int { return len(r.retired) }
+
+// Stats reports domain counters.
+type Stats struct {
+	Records   int64
+	Reclaimed uint64
+	Scans     uint64
+}
+
+// Stats returns domain counters.
+func (d *Domain[T]) Stats() Stats {
+	return Stats{
+		Records:   d.records.Load(),
+		Reclaimed: d.reclaimed.Load(),
+		Scans:     d.scans.Load(),
+	}
+}

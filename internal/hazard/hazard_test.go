@@ -1,0 +1,169 @@
+package hazard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type tnode struct{ v int }
+
+func TestAcquireReusesRecords(t *testing.T) {
+	d := NewDomain[tnode]()
+	r1 := d.Acquire()
+	r1.Release()
+	r2 := d.Acquire()
+	if r1 != r2 {
+		t.Error("released record not reused")
+	}
+	if d.Stats().Records != 1 {
+		t.Errorf("records = %d, want 1", d.Stats().Records)
+	}
+	r3 := d.Acquire() // r2 is active: must create a new one
+	if r3 == r2 {
+		t.Error("active record handed out twice")
+	}
+	if d.Stats().Records != 2 {
+		t.Errorf("records = %d, want 2", d.Stats().Records)
+	}
+}
+
+func TestProtectedNodeIsNotReclaimed(t *testing.T) {
+	d := NewDomain[tnode]()
+	owner := d.Acquire()
+	reader := d.Acquire()
+
+	var src atomic.Pointer[tnode]
+	n := &tnode{v: 1}
+	src.Store(n)
+
+	got := reader.Protect(0, &src)
+	if got != n {
+		t.Fatal("Protect returned wrong pointer")
+	}
+
+	freed := map[*tnode]bool{}
+	free := func(p *tnode) { freed[p] = true }
+
+	// Retire the protected node plus enough filler to force scans.
+	owner.Retire(n, free)
+	for i := 0; i < 3*scanThreshold; i++ {
+		owner.Retire(&tnode{v: i}, free)
+	}
+	owner.Drain()
+	if freed[n] {
+		t.Fatal("protected node was reclaimed")
+	}
+	if owner.PendingRetired() != 1 {
+		t.Errorf("pending = %d, want just the protected node", owner.PendingRetired())
+	}
+
+	// Clearing the hazard releases it.
+	reader.Clear(0)
+	owner.Drain()
+	if !freed[n] {
+		t.Fatal("unprotected node was not reclaimed")
+	}
+}
+
+func TestScanThresholdTriggers(t *testing.T) {
+	d := NewDomain[tnode]()
+	r := d.Acquire()
+	for i := 0; i < scanThreshold; i++ {
+		r.Retire(&tnode{}, nil)
+	}
+	if d.Stats().Scans == 0 {
+		t.Error("no scan after threshold retires")
+	}
+	if r.PendingRetired() != 0 {
+		t.Errorf("pending = %d after scan with no hazards", r.PendingRetired())
+	}
+}
+
+func TestProtectRacesWithWriter(t *testing.T) {
+	// A writer keeps swapping src while readers Protect and verify the
+	// returned node is never reclaimed while they hold it.
+	d := NewDomain[tnode]()
+	var src atomic.Pointer[tnode]
+	src.Store(&tnode{v: 0})
+
+	var reclaimedWhileHeld atomic.Int64
+	const readers = 4
+	const swaps = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := d.Acquire()
+			defer rec.Release()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := rec.Protect(0, &src)
+				// While protected, the node's fields must stay intact
+				// (the writer's free callback poisons them).
+				if n.v == -1 {
+					reclaimedWhileHeld.Add(1)
+				}
+				rec.Clear(0)
+			}
+		}()
+	}
+
+	writer := d.Acquire()
+	for i := 1; i <= swaps; i++ {
+		old := src.Load()
+		src.Store(&tnode{v: i})
+		writer.Retire(old, func(p *tnode) { p.v = -1 })
+	}
+	close(stop)
+	wg.Wait()
+	writer.Drain()
+
+	if n := reclaimedWhileHeld.Load(); n != 0 {
+		t.Fatalf("%d nodes were reclaimed while protected", n)
+	}
+	if d.Stats().Reclaimed == 0 {
+		t.Error("nothing was ever reclaimed")
+	}
+}
+
+func TestBoundOnUnreclaimed(t *testing.T) {
+	// With no hazards held, pending retired nodes per record never
+	// exceed the scan threshold.
+	d := NewDomain[tnode]()
+	r := d.Acquire()
+	for i := 0; i < 10*scanThreshold; i++ {
+		r.Retire(&tnode{}, nil)
+		if r.PendingRetired() >= scanThreshold {
+			t.Fatalf("pending %d reached threshold", r.PendingRetired())
+		}
+	}
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	d := NewDomain[tnode]()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r := d.Acquire()
+				r.Set(0, &tnode{})
+				r.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	// Records are bounded by peak concurrency, not call count.
+	if n := d.Stats().Records; n > 16 {
+		t.Errorf("records = %d, want <= 16", n)
+	}
+}

@@ -1,0 +1,42 @@
+package lflist
+
+import "testing"
+
+// BenchmarkInsertDelete measures a churn pair on a short list.
+func BenchmarkInsertDelete(b *testing.B) {
+	l := New()
+	for k := uint64(1); k <= 64; k += 2 {
+		l.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%32)*2 + 2 // even keys churn among odd residents
+		l.Insert(k)
+		l.Delete(k)
+	}
+}
+
+// BenchmarkContains measures membership tests over a 1k-key list.
+func BenchmarkContains(b *testing.B) {
+	l := New()
+	for k := uint64(1); k <= 1000; k++ {
+		l.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Contains(uint64(i%1000) + 1)
+	}
+}
+
+// BenchmarkParallelChurn measures contended insert/delete.
+func BenchmarkParallelChurn(b *testing.B) {
+	l := New()
+	b.RunParallel(func(pb *testing.PB) {
+		k := uint64(1)
+		for pb.Next() {
+			l.Insert(k)
+			l.Delete(k)
+			k = k%64 + 1
+		}
+	})
+}

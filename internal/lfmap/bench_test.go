@@ -1,0 +1,47 @@
+package lfmap
+
+import "testing"
+
+// BenchmarkInsertDelete measures a churn pair on a populated table.
+func BenchmarkInsertDelete(b *testing.B) {
+	m := New()
+	for k := uint64(1); k <= 4096; k++ {
+		m.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%4096) + 5000
+		m.Insert(k)
+		m.Delete(k)
+	}
+}
+
+// BenchmarkContains measures lookups across many buckets (each a short
+// split-order run, unlike the O(n) plain list).
+func BenchmarkContains(b *testing.B) {
+	m := New()
+	for k := uint64(1); k <= 100000; k++ {
+		m.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Contains(uint64(i%100000) + 1)
+	}
+}
+
+// BenchmarkParallelChurn measures contended mixed operations.
+func BenchmarkParallelChurn(b *testing.B) {
+	m := New()
+	for k := uint64(1); k <= 1024; k++ {
+		m.Insert(k)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		k := uint64(1)
+		for pb.Next() {
+			m.Insert(k + 2000)
+			m.Contains(k)
+			m.Delete(k + 2000)
+			k = k%1024 + 1
+		}
+	})
+}

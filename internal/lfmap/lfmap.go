@@ -1,0 +1,174 @@
+// Package lfmap implements a split-ordered lock-free hash set (Shalev
+// & Shavit, "Split-Ordered Lists: Lock-Free Extensible Hash Tables",
+// PODC 2003 — reference [21] of the paper), the last of the §5
+// structures the paper's techniques make "completely dynamic and
+// completely lock-free": an extensible hash table that never rehashes.
+//
+// All items live in ONE lock-free ordered list (internal/lflist),
+// sorted by split-order (bit-reversed) keys. Buckets are lazily
+// created dummy nodes inside that list; growing the table only doubles
+// the bucket count — existing items never move, because bit-reversal
+// makes each bucket's items a contiguous run that splits in place.
+//
+// Keys are limited to 63 bits: the low bit of the reversed key
+// distinguishes regular nodes (1) from bucket dummies (0).
+package lfmap
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/lflist"
+)
+
+// MaxKey is the largest storable key (63 bits).
+const MaxKey = 1<<63 - 1
+
+const (
+	segLog2  = 10
+	segSize  = 1 << segLog2
+	segMask  = segSize - 1
+	maxSegs  = 1 << 14 // up to 2^24 buckets
+	loadFact = 4       // average items per bucket before doubling
+)
+
+// Map is a lock-free hash set of uint64 keys (< 2^63).
+type Map struct {
+	list *lflist.List
+
+	// buckets is a two-level table of dummy-node indices (0 =
+	// uninitialized bucket), growable without copying.
+	buckets [maxSegs]atomic.Pointer[[]atomic.Uint64]
+
+	// size is the current bucket count (a power of two).
+	size  atomic.Uint64
+	count atomic.Int64 // item count, drives resizing
+}
+
+// New creates an empty map with two initial buckets.
+func New() *Map {
+	m := &Map{list: lflist.New()}
+	seg := make([]atomic.Uint64, segSize)
+	m.buckets[0].Store(&seg)
+	m.size.Store(2)
+	// Bucket 0's dummy anchors the whole list.
+	idx, _ := m.list.InsertHead(dummyKey(0))
+	seg[0].Store(idx)
+	return m
+}
+
+// dummyKey is the split-order key of bucket b's dummy node.
+func dummyKey(b uint64) uint64 { return bits.Reverse64(b) }
+
+// regularKey is the split-order key of item k.
+func regularKey(k uint64) uint64 { return bits.Reverse64(k) | 1 }
+
+func (m *Map) bucketSlot(b uint64) *atomic.Uint64 {
+	si := b >> segLog2
+	seg := m.buckets[si].Load()
+	if seg == nil {
+		s := make([]atomic.Uint64, segSize)
+		m.buckets[si].CompareAndSwap(nil, &s)
+		seg = m.buckets[si].Load()
+	}
+	return &(*seg)[b&segMask]
+}
+
+// parent clears the highest set bit of b (the bucket whose run splits
+// into b when the table doubles).
+func parent(b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return b &^ (1 << (63 - bits.LeadingZeros64(b)))
+}
+
+// bucketStart returns the traversal-start link of bucket b,
+// initializing the bucket (and, recursively, its ancestors) on first
+// touch.
+func (m *Map) bucketStart(b uint64) *atomic.Uint64 {
+	slot := m.bucketSlot(b)
+	if idx := slot.Load(); idx != 0 {
+		return m.list.LinkOf(idx)
+	}
+	// Initialize: insert b's dummy starting from the parent bucket.
+	var startLink *atomic.Uint64
+	if b == 0 {
+		panic("lfmap: bucket 0 must be initialized at construction")
+	}
+	startLink = m.bucketStart(parent(b))
+	idx, _ := m.list.InsertFrom(startLink, dummyKey(b))
+	// Publish (racers may have published the same pre-existing dummy).
+	slot.CompareAndSwap(0, idx)
+	return m.list.LinkOf(slot.Load())
+}
+
+func (m *Map) bucketOf(k uint64) *atomic.Uint64 {
+	return m.bucketStart(k & (m.size.Load() - 1))
+}
+
+// Insert adds k; it returns false if already present.
+func (m *Map) Insert(k uint64) bool {
+	if k > MaxKey {
+		panic("lfmap: key exceeds 63 bits")
+	}
+	_, inserted := m.list.InsertFrom(m.bucketOf(k), regularKey(k))
+	if !inserted {
+		return false
+	}
+	n := m.count.Add(1)
+	// Double the bucket count when the load factor is exceeded.
+	for {
+		size := m.size.Load()
+		if uint64(n) <= size*loadFact || size >= maxSegs*segSize {
+			break
+		}
+		m.size.CompareAndSwap(size, size*2)
+	}
+	return true
+}
+
+// Delete removes k; it returns false if absent.
+func (m *Map) Delete(k uint64) bool {
+	if k > MaxKey {
+		panic("lfmap: key exceeds 63 bits")
+	}
+	if !m.list.DeleteFrom(m.bucketOf(k), regularKey(k)) {
+		return false
+	}
+	m.count.Add(-1)
+	return true
+}
+
+// Contains reports whether k is present.
+func (m *Map) Contains(k uint64) bool {
+	if k > MaxKey {
+		panic("lfmap: key exceeds 63 bits")
+	}
+	return m.list.ContainsFrom(m.bucketOf(k), regularKey(k))
+}
+
+// Len returns a racy item-count estimate.
+func (m *Map) Len() int {
+	n := m.count.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// Buckets returns the current bucket count (diagnostics).
+func (m *Map) Buckets() uint64 { return m.size.Load() }
+
+// Keys returns the items in split order reversed back to natural
+// order is NOT guaranteed; it returns them in split order (quiescent
+// callers only, diagnostics).
+func (m *Map) Keys() []uint64 {
+	var out []uint64
+	for _, so := range m.list.Snapshot() {
+		if so&1 == 1 { // regular node
+			out = append(out, bits.Reverse64(so&^1))
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package lfmap
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	m := New()
+	if m.Contains(7) {
+		t.Fatal("empty map contains 7")
+	}
+	if !m.Insert(7) {
+		t.Fatal("insert 7")
+	}
+	if m.Insert(7) {
+		t.Fatal("duplicate insert")
+	}
+	if !m.Contains(7) {
+		t.Fatal("contains 7")
+	}
+	if !m.Delete(7) {
+		t.Fatal("delete 7")
+	}
+	if m.Contains(7) || m.Delete(7) {
+		t.Fatal("ghost key")
+	}
+}
+
+func TestManyKeysAcrossResizes(t *testing.T) {
+	m := New()
+	const n = 10000
+	for k := uint64(1); k <= n; k++ {
+		if !m.Insert(k) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	if m.Buckets() < n/loadFact {
+		t.Errorf("buckets = %d after %d inserts; table never grew", m.Buckets(), n)
+	}
+	for k := uint64(1); k <= n; k++ {
+		if !m.Contains(k) {
+			t.Fatalf("lost key %d after resizes", k)
+		}
+	}
+	if m.Contains(n + 1) {
+		t.Error("phantom key")
+	}
+	if m.Len() != n {
+		t.Errorf("Len = %d", m.Len())
+	}
+	// Delete everything.
+	for k := uint64(1); k <= n; k++ {
+		if !m.Delete(k) {
+			t.Fatalf("delete %d", k)
+		}
+	}
+	if m.Len() != 0 {
+		t.Errorf("Len after drain = %d", m.Len())
+	}
+}
+
+func TestSparseKeys(t *testing.T) {
+	// Keys that collide in small tables (same low bits).
+	m := New()
+	var keys []uint64
+	for i := uint64(0); i < 64; i++ {
+		keys = append(keys, i<<32|5)
+	}
+	for _, k := range keys {
+		if !m.Insert(k) {
+			t.Fatalf("insert %#x", k)
+		}
+	}
+	for _, k := range keys {
+		if !m.Contains(k) {
+			t.Fatalf("contains %#x", k)
+		}
+	}
+}
+
+func TestMaxKeyBoundary(t *testing.T) {
+	m := New()
+	if !m.Insert(MaxKey) {
+		t.Fatal("insert MaxKey")
+	}
+	if !m.Contains(MaxKey) {
+		t.Fatal("contains MaxKey")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("key > MaxKey accepted")
+		}
+	}()
+	m.Insert(MaxKey + 1)
+}
+
+func TestKeysRoundTrip(t *testing.T) {
+	m := New()
+	want := []uint64{3, 1, 4, 1 << 40, 9, 2, 6}
+	inserted := 0
+	for _, k := range want {
+		if m.Insert(k) {
+			inserted++
+		}
+	}
+	got := m.Keys()
+	if len(got) != inserted {
+		t.Fatalf("Keys len = %d, want %d", len(got), inserted)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	wantSet := []uint64{1, 2, 3, 4, 6, 9, 1 << 40}
+	for i := range wantSet {
+		if got[i] != wantSet[i] {
+			t.Fatalf("Keys = %v", got)
+		}
+	}
+}
+
+func TestSplitOrderProperty(t *testing.T) {
+	// The defining invariant: regular keys sort between the right
+	// dummies. Check via quick: for random k and bucket count 2^i, the
+	// reversed key of k falls in bucket (k mod 2^i)'s split-order run.
+	f := func(raw uint64, ilog uint8) bool {
+		k := raw & MaxKey
+		i := uint(ilog%10) + 1
+		size := uint64(1) << i
+		b := k & (size - 1)
+		// dummy(b) <= regular(k) and regular(k) < dummy of the next
+		// bucket in split order.
+		if regularKey(k) <= dummyKey(b) {
+			return false
+		}
+		// The next dummy after b in split order is found by
+		// incrementing the reversed prefix; equivalently any other
+		// bucket's dummy run must not contain k's regular key when k
+		// does not hash there. Weak check: reversing back recovers k.
+		return bits.Reverse64(regularKey(k)&^1) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	m := New()
+	const goroutines = 6
+	const perG = 4000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < perG; i++ {
+				k := g*perG + i + 1
+				if !m.Insert(k) {
+					t.Errorf("insert %d", k)
+					return
+				}
+				if !m.Contains(k) {
+					t.Errorf("immediate contains %d failed", k)
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if m.Len() != goroutines*perG {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for k := uint64(1); k <= goroutines*perG; k++ {
+		if !m.Contains(k) {
+			t.Fatalf("lost %d", k)
+		}
+	}
+}
+
+func TestConcurrentChurnConservation(t *testing.T) {
+	m := New()
+	const goroutines = 6
+	const iters = 6000
+	var inserts, deletes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				k := uint64(rng.Intn(64) + 1)
+				if rng.Intn(2) == 0 {
+					if m.Insert(k) {
+						inserts.Add(1)
+					}
+				} else {
+					if m.Delete(k) {
+						deletes.Add(1)
+					}
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	keys := m.Keys()
+	if got := inserts.Load() - deletes.Load(); got != int64(len(keys)) {
+		t.Fatalf("conservation: %d - %d = %d, but %d keys present",
+			inserts.Load(), deletes.Load(), got, len(keys))
+	}
+	seen := map[uint64]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestStableReadersDuringResize(t *testing.T) {
+	// Permanent keys must stay visible while inserts force the table
+	// through several doublings.
+	m := New()
+	stable := []uint64{100001, 200002, 300003, 400004}
+	for _, k := range stable {
+		m.Insert(k)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer driving resizes
+		defer wg.Done()
+		for k := uint64(1); k <= 20000; k++ {
+			m.Insert(k)
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				k := stable[i%len(stable)]
+				if !m.Contains(k) {
+					t.Errorf("stable key %d disappeared during resize", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Buckets() <= 2 {
+		t.Error("table never grew during the test")
+	}
+}
+
+func TestParentBucket(t *testing.T) {
+	cases := map[uint64]uint64{1: 0, 2: 0, 3: 1, 4: 0, 5: 1, 6: 2, 7: 3, 8: 0, 12: 4}
+	for b, want := range cases {
+		if got := parent(b); got != want {
+			t.Errorf("parent(%d) = %d, want %d", b, got, want)
+		}
+	}
+}

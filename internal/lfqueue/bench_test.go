@@ -1,0 +1,29 @@
+package lfqueue
+
+import "testing"
+
+// BenchmarkEnqueueDequeue measures the hazard-pointer MS queue's
+// sequential round trip.
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	q := New[uint64]()
+	h := q.Handle()
+	defer h.Close()
+	for i := 0; i < b.N; i++ {
+		h.Enqueue(uint64(i))
+		h.Dequeue()
+	}
+}
+
+// BenchmarkParallel measures the queue under producer/consumer
+// contention, including hazard-pointer scans.
+func BenchmarkParallel(b *testing.B) {
+	q := New[uint64]()
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.Handle()
+		defer h.Close()
+		for pb.Next() {
+			h.Enqueue(1)
+			h.Dequeue()
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package lfqueue_test
+
+import (
+	"fmt"
+
+	"repro/internal/lfqueue"
+)
+
+// Example shows FIFO semantics and per-goroutine handles.
+func Example() {
+	q := lfqueue.New[string]()
+	h := q.Handle()
+	defer h.Close()
+
+	h.Enqueue("first")
+	h.Enqueue("second")
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// first
+	// second
+}

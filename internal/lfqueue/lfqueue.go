@@ -1,0 +1,136 @@
+// Package lfqueue implements the Michael–Scott lock-free FIFO queue
+// (Michael & Scott, PODC 1996 — reference [20] of the paper) with
+// hazard-pointer-based memory reclamation (reference [19]), the
+// combination the paper's §3.2.6 and §5 describe: a fully dynamic
+// lock-free queue whose retired nodes are reclaimed safely.
+//
+// This is the general-purpose, heap-of-Go-objects variant used as a
+// substrate and reference implementation; the allocator-internal
+// partial lists (internal/partial) and the benchmark queue
+// (internal/bench.Queue) are the index-tagged variants specialized for
+// the simulated address space.
+package lfqueue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/hazard"
+)
+
+type node[T any] struct {
+	value T
+	next  atomic.Pointer[node[T]]
+}
+
+// Queue is an unbounded multi-producer multi-consumer FIFO. All
+// operations are lock-free. Handles (see Handle) carry per-goroutine
+// hazard records.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]]
+	tail atomic.Pointer[node[T]]
+	dom  *hazard.Domain[node[T]]
+
+	size atomic.Int64
+}
+
+// New creates an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{dom: hazard.NewDomain[node[T]]()}
+	dummy := &node[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Handle is a per-goroutine accessor for the queue. Not safe for
+// concurrent use; obtain one per goroutine and Close it when done.
+type Handle[T any] struct {
+	q   *Queue[T]
+	rec *hazard.Record[node[T]]
+}
+
+// Handle returns a new per-goroutine handle.
+func (q *Queue[T]) Handle() *Handle[T] {
+	return &Handle[T]{q: q, rec: q.dom.Acquire()}
+}
+
+// Close releases the handle's hazard record for reuse.
+func (h *Handle[T]) Close() {
+	h.rec.Drain()
+	h.rec.Release()
+}
+
+// Enqueue appends v.
+func (h *Handle[T]) Enqueue(v T) {
+	q := h.q
+	n := &node[T]{value: v}
+	for {
+		tail := h.rec.Protect(0, &q.tail)
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			h.rec.Clear(0)
+			q.size.Add(1)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value.
+func (h *Handle[T]) Dequeue() (T, bool) {
+	q := h.q
+	var zero T
+	for {
+		head := h.rec.Protect(0, &q.head)
+		tail := q.tail.Load()
+		next := h.rec.Protect(1, &head.next)
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			h.rec.Clear(0)
+			h.rec.Clear(1)
+			return zero, false
+		}
+		if head == tail {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.value
+		if q.head.CompareAndSwap(head, next) {
+			h.rec.Clear(0)
+			h.rec.Clear(1)
+			// Retire the old dummy; reclamation (here: dropping the
+			// reference for the GC, after clearing fields as a C
+			// implementation would free them) waits until no hazard
+			// pointer protects it.
+			h.rec.Retire(head, func(n *node[T]) {
+				n.next.Store(nil)
+				var z T
+				n.value = z
+			})
+			q.size.Add(-1)
+			return v, true
+		}
+	}
+}
+
+// Len returns a racy size estimate.
+func (q *Queue[T]) Len() int {
+	n := q.size.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// ReclaimStats exposes the hazard domain's counters (tests,
+// diagnostics).
+func (q *Queue[T]) ReclaimStats() hazard.Stats { return q.dom.Stats() }

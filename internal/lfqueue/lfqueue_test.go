@@ -1,0 +1,182 @@
+package lfqueue
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New[int]()
+	h := q.Handle()
+	defer h.Close()
+	if v, ok := h.Dequeue(); ok {
+		t.Errorf("empty dequeue returned %d", v)
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int]()
+	h := q.Handle()
+	defer h.Close()
+	for i := 1; i <= 1000; i++ {
+		h.Enqueue(i)
+	}
+	if q.Len() != 1000 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	for i := 1; i <= 1000; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = (%d, %v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Error("drained queue still dequeues")
+	}
+}
+
+func TestGenericTypes(t *testing.T) {
+	type task struct {
+		id   int
+		name string
+	}
+	q := New[task]()
+	h := q.Handle()
+	defer h.Close()
+	h.Enqueue(task{1, "a"})
+	h.Enqueue(task{2, "b"})
+	v, ok := h.Dequeue()
+	if !ok || v != (task{1, "a"}) {
+		t.Errorf("got %+v", v)
+	}
+}
+
+func TestConcurrentExactlyOnce(t *testing.T) {
+	q := New[uint64]()
+	const producers = 4
+	const consumers = 4
+	const perProducer = 25000
+	var wg sync.WaitGroup
+	results := make(chan uint64, producers*perProducer)
+	stop := make(chan struct{})
+	var consWg sync.WaitGroup
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p uint64) {
+			defer wg.Done()
+			h := q.Handle()
+			defer h.Close()
+			for i := uint64(0); i < perProducer; i++ {
+				h.Enqueue(p*perProducer + i + 1)
+			}
+		}(uint64(p))
+	}
+	for c := 0; c < consumers; c++ {
+		consWg.Add(1)
+		go func() {
+			defer consWg.Done()
+			h := q.Handle()
+			defer h.Close()
+			for {
+				if v, ok := h.Dequeue(); ok {
+					results <- v
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := h.Dequeue()
+						if !ok {
+							return
+						}
+						results <- v
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	consWg.Wait()
+	close(results)
+
+	seen := make(map[uint64]bool, producers*perProducer)
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("delivered %d, want %d", len(seen), producers*perProducer)
+	}
+	if q.ReclaimStats().Reclaimed == 0 {
+		t.Error("hazard domain never reclaimed a node")
+	}
+}
+
+func TestPerProducerOrderUnderConcurrency(t *testing.T) {
+	q := New[uint64]()
+	const producers = 3
+	const perProducer = 20000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p uint64) {
+			defer wg.Done()
+			h := q.Handle()
+			defer h.Close()
+			for i := uint64(1); i <= perProducer; i++ {
+				h.Enqueue(p<<32 | i)
+			}
+		}(uint64(p))
+	}
+	// Concurrent consumer checks per-producer monotonicity.
+	last := make([]uint64, producers)
+	h := q.Handle()
+	defer h.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			select {
+			case <-done:
+				if _, ok := h.Dequeue(); !ok {
+					goto check
+				}
+			default:
+			}
+			continue
+		}
+		p := v >> 32
+		seq := v & 0xffffffff
+		if seq <= last[p] {
+			t.Fatalf("producer %d: %d after %d", p, seq, last[p])
+		}
+		last[p] = seq
+	}
+check:
+	for p, l := range last {
+		if l != perProducer {
+			t.Errorf("producer %d drained to %d", p, l)
+		}
+	}
+}
+
+func TestHandleReuseAfterClose(t *testing.T) {
+	q := New[int]()
+	h1 := q.Handle()
+	h1.Enqueue(1)
+	h1.Close()
+	h2 := q.Handle()
+	defer h2.Close()
+	if v, ok := h2.Dequeue(); !ok || v != 1 {
+		t.Errorf("Dequeue = (%d, %v)", v, ok)
+	}
+}

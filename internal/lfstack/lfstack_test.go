@@ -1,0 +1,156 @@
+package lfstack
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// sliceLinks is a Links over a plain slice (atomic because pushers and
+// poppers race on link words in the tagged algorithm).
+type sliceLinks struct {
+	words []atomic.Uint64
+}
+
+func newSliceLinks(n int) *sliceLinks {
+	return &sliceLinks{words: make([]atomic.Uint64, n)}
+}
+
+func (l *sliceLinks) LoadLink(idx uint64) uint64 { return l.words[idx].Load() }
+func (l *sliceLinks) StoreLink(idx, next uint64) { l.words[idx].Store(next) }
+
+func TestTaggedLIFO(t *testing.T) {
+	s := NewTagged(newSliceLinks(128))
+	if _, ok := s.Pop(); ok {
+		t.Fatal("empty pop succeeded")
+	}
+	for i := uint64(1); i <= 100; i++ {
+		s.Push(i)
+	}
+	if s.Len() != 100 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	for i := uint64(100); i >= 1; i-- {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d, %v), want %d", v, ok, i)
+		}
+	}
+}
+
+func TestTaggedPushZeroPanics(t *testing.T) {
+	s := NewTagged(newSliceLinks(4))
+	defer func() {
+		if recover() == nil {
+			t.Error("Push(0) did not panic")
+		}
+	}()
+	s.Push(0)
+}
+
+func TestTaggedConcurrentConservation(t *testing.T) {
+	const n = 1024
+	s := NewTagged(newSliceLinks(n + 1))
+	for i := uint64(1); i <= n; i++ {
+		s.Push(i)
+	}
+	// Goroutines pop and re-push; every index must remain present
+	// exactly once at the end (the invariant the ABA tag protects).
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				if v, ok := s.Pop(); ok {
+					s.Push(v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for {
+		v, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("index %d present twice (ABA corruption)", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d indices, want %d", len(seen), n)
+	}
+}
+
+func TestPointerLIFO(t *testing.T) {
+	s := NewPointer[int]()
+	h := s.Handle()
+	defer h.Close()
+	if _, ok := h.Pop(); ok {
+		t.Fatal("empty pop succeeded")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Push(i)
+	}
+	for i := 100; i >= 1; i-- {
+		v, ok := h.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d, %v), want %d", v, ok, i)
+		}
+	}
+}
+
+func TestPointerConcurrentConservation(t *testing.T) {
+	s := NewPointer[uint64]()
+	const producers = 4
+	const perProducer = 20000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p uint64) {
+			defer wg.Done()
+			h := s.Handle()
+			defer h.Close()
+			for i := uint64(0); i < perProducer; i++ {
+				h.Push(p*perProducer + i + 1)
+				if i%3 == 0 {
+					h.Pop()
+				}
+			}
+		}(uint64(p))
+	}
+	wg.Wait()
+	h := s.Handle()
+	defer h.Close()
+	seen := map[uint64]bool{}
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPointerReclamation(t *testing.T) {
+	s := NewPointer[int]()
+	h := s.Handle()
+	for i := 0; i < 10000; i++ {
+		h.Push(i)
+		h.Pop()
+	}
+	h.Drain()
+	if s.dom.Stats().Reclaimed == 0 {
+		t.Error("no nodes reclaimed")
+	}
+	h.Close()
+}
+
+// Drain is exported on Handle for tests via the embedded record.
+func (h *Handle[T]) Drain() { h.rec.Drain() }

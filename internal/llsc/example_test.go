@@ -1,0 +1,51 @@
+package llsc_test
+
+import (
+	"fmt"
+
+	"repro/internal/llsc"
+)
+
+// Example demonstrates that ideal LL/SC is immune to the ABA problem:
+// another thread changes the value A -> B -> A, and the pending SC
+// still fails — unlike a value-based CAS, which would succeed.
+func Example() {
+	v := llsc.New("A")
+	victim := v.Handle()
+	defer victim.Close()
+	other := v.Handle()
+	defer other.Close()
+
+	fmt.Println("LL:", victim.LL())
+
+	// Interference: A -> B -> A by another thread.
+	other.LL()
+	other.SC("B")
+	other.LL()
+	other.SC("A")
+	fmt.Println("value restored to:", v.Load())
+
+	fmt.Println("victim SC succeeds:", victim.SC("C"))
+	// Output:
+	// LL: A
+	// value restored to: A
+	// victim SC succeeds: false
+}
+
+// Example_counter builds the paper's Figure 2 atomic increment on
+// LL/SC instead of CAS.
+func Example_counter() {
+	v := llsc.New(0)
+	h := v.Handle()
+	defer h.Close()
+	for i := 0; i < 5; i++ {
+		for {
+			cur := h.LL()
+			if h.SC(cur + 1) {
+				break
+			}
+		}
+	}
+	fmt.Println(v.Load())
+	// Output: 5
+}

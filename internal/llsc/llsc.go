@@ -1,0 +1,127 @@
+// Package llsc implements ideal Load-Linked/Store-Conditional from
+// pointer-sized CAS (Michael, "ABA Prevention Using Single-Word
+// Instructions", IBM RC 23089 — reference [18] of the paper).
+//
+// Real LL/SC (PowerPC lwarx/stwcx) is restricted: no nesting, spurious
+// failures, no memory accesses between LL and SC. Ideal LL/SC has none
+// of those restrictions and inherently prevents the ABA problem: SC
+// succeeds only if no successful SC intervened since the LL — even if
+// the value was changed back. The paper's §3.2.6 uses this
+// construction for ABA prevention on pointer-sized variables in the
+// partial-list implementations, and §5 highlights it as a companion
+// technique.
+//
+// Construction: the variable holds a pointer to an immutable node
+// containing the current value. LL reads the node (protected by a
+// hazard pointer) and returns its value; SC installs a fresh node with
+// CAS on the node pointer — which succeeds only for the exact node
+// observed by LL, regardless of value equality. Retired nodes are
+// reclaimed through hazard pointers (reference [19]), which is what
+// makes the node-identity argument sound under reuse.
+package llsc
+
+import (
+	"sync/atomic"
+
+	"repro/internal/hazard"
+)
+
+type node[T any] struct {
+	value T
+}
+
+// Var is an LL/SC variable holding a value of type T.
+type Var[T any] struct {
+	ptr atomic.Pointer[node[T]]
+	dom *hazard.Domain[node[T]]
+}
+
+// New creates a variable with the given initial value.
+func New[T any](initial T) *Var[T] {
+	v := &Var[T]{dom: hazard.NewDomain[node[T]]()}
+	v.ptr.Store(&node[T]{value: initial})
+	return v
+}
+
+// Handle is a per-goroutine accessor. Not safe for concurrent use.
+type Handle[T any] struct {
+	v      *Var[T]
+	rec    *hazard.Record[node[T]]
+	linked *node[T] // node observed by the last LL
+}
+
+// Handle returns a new per-goroutine handle.
+func (v *Var[T]) Handle() *Handle[T] {
+	return &Handle[T]{v: v, rec: v.dom.Acquire()}
+}
+
+// Close releases the handle's hazard record.
+func (h *Handle[T]) Close() {
+	h.rec.Drain()
+	h.rec.Release()
+}
+
+// LL load-links the variable: returns the current value and remembers
+// the linked node for a subsequent SC or VL.
+func (h *Handle[T]) LL() T {
+	h.linked = h.rec.Protect(0, &h.v.ptr)
+	return h.linked.value
+}
+
+// SC store-conditionally writes v: it succeeds iff no successful SC
+// (by any thread) intervened since this handle's last LL. Unlike
+// hardware SC, it never fails spuriously.
+func (h *Handle[T]) SC(value T) bool {
+	old := h.linked
+	if old == nil {
+		return false
+	}
+	h.linked = nil
+	n := &node[T]{value: value}
+	ok := h.v.ptr.CompareAndSwap(old, n)
+	if ok {
+		// The old node is retired; hazard pointers keep it alive for
+		// concurrent LL holders until they unlink.
+		h.rec.Retire(old, nil)
+	}
+	h.rec.Clear(0)
+	return ok
+}
+
+// VL validate-links: reports whether the last LL is still valid (no
+// successful SC intervened).
+func (h *Handle[T]) VL() bool {
+	return h.linked != nil && h.v.ptr.Load() == h.linked
+}
+
+// Unlink abandons the current link without storing.
+func (h *Handle[T]) Unlink() {
+	h.linked = nil
+	h.rec.Clear(0)
+}
+
+// Load returns the current value without linking (a plain read).
+func (v *Var[T]) Load() T {
+	return v.ptr.Load().value
+}
+
+// CAS implements an ABA-immune compare-and-swap over the LL/SC pair,
+// exactly the paper's §2.1 simulation:
+//
+//	do { if (LL(addr) != expval) return false } until SC(addr, newval)
+//	return true
+//
+// but with value equality supplied by the caller (T may not be
+// comparable).
+func (h *Handle[T]) CAS(eq func(a, b T) bool, expval, newval T) bool {
+	for {
+		cur := h.LL()
+		if !eq(cur, expval) {
+			h.Unlink()
+			return false
+		}
+		if h.SC(newval) {
+			return true
+		}
+	}
+}

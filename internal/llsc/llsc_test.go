@@ -1,0 +1,159 @@
+package llsc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLLSCBasic(t *testing.T) {
+	v := New(10)
+	h := v.Handle()
+	defer h.Close()
+	if got := h.LL(); got != 10 {
+		t.Fatalf("LL = %d", got)
+	}
+	if !h.SC(20) {
+		t.Fatal("uncontended SC failed")
+	}
+	if v.Load() != 20 {
+		t.Fatalf("Load = %d", v.Load())
+	}
+}
+
+func TestSCWithoutLLFails(t *testing.T) {
+	v := New(1)
+	h := v.Handle()
+	defer h.Close()
+	if h.SC(2) {
+		t.Fatal("SC without LL succeeded")
+	}
+}
+
+func TestSCFailsAfterInterveningSC(t *testing.T) {
+	v := New(1)
+	h1 := v.Handle()
+	h2 := v.Handle()
+	defer h1.Close()
+	defer h2.Close()
+	_ = h1.LL()
+	_ = h2.LL()
+	if !h2.SC(2) {
+		t.Fatal("h2 SC failed")
+	}
+	if h1.SC(3) {
+		t.Fatal("h1 SC succeeded despite intervening SC")
+	}
+	if v.Load() != 2 {
+		t.Fatalf("Load = %d", v.Load())
+	}
+}
+
+func TestABAImmunity(t *testing.T) {
+	// The defining property: the value is changed A -> B -> A by other
+	// threads; a pending SC must STILL fail, unlike value-based CAS.
+	v := New("A")
+	victim := v.Handle()
+	other := v.Handle()
+	defer victim.Close()
+	defer other.Close()
+
+	if got := victim.LL(); got != "A" {
+		t.Fatal("LL")
+	}
+	// Interference: A -> B -> A.
+	_ = other.LL()
+	if !other.SC("B") {
+		t.Fatal("interference SC 1")
+	}
+	_ = other.LL()
+	if !other.SC("A") {
+		t.Fatal("interference SC 2")
+	}
+	if v.Load() != "A" {
+		t.Fatal("value should be back to A")
+	}
+	if victim.SC("C") {
+		t.Fatal("SC succeeded across an ABA — ideal LL/SC must fail")
+	}
+}
+
+func TestVL(t *testing.T) {
+	v := New(1)
+	h1 := v.Handle()
+	h2 := v.Handle()
+	defer h1.Close()
+	defer h2.Close()
+	_ = h1.LL()
+	if !h1.VL() {
+		t.Fatal("VL false immediately after LL")
+	}
+	_ = h2.LL()
+	h2.SC(2)
+	if h1.VL() {
+		t.Fatal("VL true after intervening SC")
+	}
+}
+
+func TestCASHelper(t *testing.T) {
+	v := New(5)
+	h := v.Handle()
+	defer h.Close()
+	eq := func(a, b int) bool { return a == b }
+	if h.CAS(eq, 4, 9) {
+		t.Fatal("CAS with wrong expected succeeded")
+	}
+	if !h.CAS(eq, 5, 9) {
+		t.Fatal("CAS with correct expected failed")
+	}
+	if v.Load() != 9 {
+		t.Fatalf("Load = %d", v.Load())
+	}
+}
+
+func TestAtomicCounterViaLLSC(t *testing.T) {
+	// The paper's Figure 2 increment, built on LL/SC: exactly one
+	// increment per iteration even under heavy contention.
+	v := New(uint64(0))
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := v.Handle()
+			defer h.Close()
+			for i := 0; i < perG; i++ {
+				for {
+					cur := h.LL()
+					if h.SC(cur + 1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Load(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestNoSpuriousFailure(t *testing.T) {
+	// Ideal LL/SC never fails spuriously: a solo thread's LL/SC pairs
+	// always succeed, with arbitrary memory traffic in between.
+	v := New(0)
+	h := v.Handle()
+	defer h.Close()
+	junk := make([]int, 4096)
+	for i := 0; i < 10000; i++ {
+		cur := h.LL()
+		junk[i%len(junk)] = cur // memory access between LL and SC
+		if !h.SC(cur + 1) {
+			t.Fatalf("solo SC failed at %d", i)
+		}
+	}
+	if v.Load() != 10000 {
+		t.Fatalf("Load = %d", v.Load())
+	}
+}

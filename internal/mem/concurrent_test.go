@@ -1,0 +1,135 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSegmentMaterialization hammers the lazy segment
+// installation from many goroutines: every allocated region must be
+// usable even when two goroutines race to materialize the same
+// segment (one make() wins, the loser's is dropped).
+func TestConcurrentSegmentMaterialization(t *testing.T) {
+	h := NewHeap(Config{SegmentWordsLog2: 12, TotalWordsLog2: 24}) // many tiny segments
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				p, w, err := h.AllocRegion(PageWords)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				h.Store(p, id)
+				h.Store(p.Add(w-1), id)
+				if h.Load(p) != id || h.Load(p.Add(w-1)) != id {
+					t.Error("segment materialization lost a write")
+					return
+				}
+				h.FreeRegion(p, PageWords)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+}
+
+// TestConcurrentAlignedAlloc races aligned and unaligned allocations;
+// all alignments must hold and regions stay disjoint.
+func TestConcurrentAlignedAlloc(t *testing.T) {
+	h := NewHeap(Config{SegmentWordsLog2: 18, TotalWordsLog2: 27})
+	const goroutines = 6
+	var mu sync.Mutex
+	type region struct {
+		p Ptr
+		w uint64
+	}
+	var all []region
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var p Ptr
+				var w uint64
+				var err error
+				if id%2 == 0 {
+					const align = 1 << 14
+					p, err = h.AllocRegionAligned(align, align)
+					w = align
+					if err == nil && uint64(p)%align != 0 {
+						t.Errorf("misaligned region %v", p)
+						return
+					}
+				} else {
+					p, w, err = h.AllocRegion(3 * PageWords)
+				}
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				mu.Lock()
+				all = append(all, region{p, w})
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[i], all[j]
+			if uint64(a.p) < uint64(b.p)+b.w && uint64(b.p) < uint64(a.p)+a.w {
+				t.Fatalf("regions overlap: %v+%d and %v+%d", a.p, a.w, b.p, b.w)
+			}
+		}
+	}
+}
+
+// TestHyperConcurrentWithScavengeWindows alternates concurrent
+// churn phases with quiescent scavenges.
+func TestHyperConcurrentWithScavengeWindows(t *testing.T) {
+	h := NewHeap(Config{SegmentWordsLog2: 18, TotalWordsLog2: 27})
+	hy := NewHyper(h, 2048, 8) // tiny hyperblocks: frequent full-free
+	for phase := 0; phase < 5; phase++ {
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var held []Ptr
+				for i := 0; i < 500; i++ {
+					sb, err := hy.Alloc()
+					if err != nil {
+						t.Errorf("alloc: %v", err)
+						return
+					}
+					held = append(held, sb)
+					// A window of 8 per goroutine keeps several
+					// hyperblocks in play (8 superblocks each), so
+					// non-current ones can fully empty.
+					if len(held) > 8 {
+						hy.Free(held[0])
+						held = held[1:]
+					}
+				}
+				for _, sb := range held {
+					hy.Free(sb)
+				}
+			}()
+		}
+		wg.Wait()
+		hy.Scavenge() // quiescent point
+		// Allocator still serves after scavenging.
+		sb, err := hy.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hy.Free(sb)
+	}
+	if hy.Stats().HyperReleases == 0 {
+		t.Error("no hyperblock was ever released across 5 scavenges")
+	}
+}

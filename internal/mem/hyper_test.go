@@ -1,0 +1,213 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+const testSBWords = 2048 // 16 KiB superblocks, 64 per 1 MiB hyperblock
+
+func newTestHyper() (*Heap, *Hyper) {
+	h := NewHeap(Config{SegmentWordsLog2: 18, TotalWordsLog2: 28})
+	return h, NewHyper(h, testSBWords, 64)
+}
+
+func TestHyperAllocBasic(t *testing.T) {
+	h, hy := newTestHyper()
+	sb, err := hy.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.IsNil() {
+		t.Fatal("nil superblock")
+	}
+	// The whole superblock is writable.
+	for i := uint64(0); i < testSBWords; i++ {
+		h.Store(sb.Add(i), i)
+	}
+	hy.Free(sb)
+}
+
+func TestHyperBatching(t *testing.T) {
+	_, hy := newTestHyper()
+	// 64 superblocks should consume exactly one hyperblock (one OS
+	// region), the point of §3.2.5.
+	var sbs []Ptr
+	for i := 0; i < 64; i++ {
+		sb, err := hy.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sbs = append(sbs, sb)
+	}
+	if got := hy.Stats().HyperAllocs; got != 1 {
+		t.Errorf("hyperblocks allocated = %d, want 1", got)
+	}
+	// The 65th triggers a second hyperblock.
+	sb, err := hy.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hy.Stats().HyperAllocs; got != 2 {
+		t.Errorf("hyperblocks allocated = %d, want 2", got)
+	}
+	for _, s := range append(sbs, sb) {
+		hy.Free(s)
+	}
+}
+
+func TestHyperSuperblocksDisjointAndAligned(t *testing.T) {
+	_, hy := newTestHyper()
+	seen := map[Ptr]bool{}
+	for i := 0; i < 200; i++ {
+		sb, err := hy.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[sb] {
+			t.Fatalf("superblock %v handed out twice", sb)
+		}
+		seen[sb] = true
+		if uint64(sb)%testSBWords != 0 {
+			t.Fatalf("superblock %v not superblock-aligned", sb)
+		}
+	}
+}
+
+func TestHyperReuseFreed(t *testing.T) {
+	_, hy := newTestHyper()
+	sb1, _ := hy.Alloc()
+	hy.Free(sb1)
+	sb2, _ := hy.Alloc()
+	if sb1 != sb2 {
+		t.Errorf("freed superblock not reused: %v then %v", sb1, sb2)
+	}
+}
+
+func TestHyperScavenge(t *testing.T) {
+	h, hy := newTestHyper()
+	// Fill two hyperblocks, then free everything: scavenge must
+	// return at least one fully-free, non-current hyperblock.
+	var sbs []Ptr
+	for i := 0; i < 128; i++ {
+		sb, err := hy.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sbs = append(sbs, sb)
+	}
+	for _, sb := range sbs {
+		hy.Free(sb)
+	}
+	liveBefore := h.Stats().LiveWords
+	released := hy.Scavenge()
+	if released < 1 {
+		t.Fatalf("scavenge released %d hyperblocks, want >= 1", released)
+	}
+	liveAfter := h.Stats().LiveWords
+	if liveAfter >= liveBefore {
+		t.Errorf("live words did not drop: %d -> %d", liveBefore, liveAfter)
+	}
+	// Remaining free superblocks are still allocatable.
+	sb, err := hy.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy.Free(sb)
+}
+
+func TestHyperScavengeSparesPartial(t *testing.T) {
+	_, hy := newTestHyper()
+	var sbs []Ptr
+	for i := 0; i < 64; i++ {
+		sb, _ := hy.Alloc()
+		sbs = append(sbs, sb)
+	}
+	// Free all but one: the hyperblock must NOT be released.
+	for _, sb := range sbs[1:] {
+		hy.Free(sb)
+	}
+	if released := hy.Scavenge(); released != 0 {
+		t.Fatalf("scavenge released a hyperblock with a live superblock")
+	}
+	// The freed superblocks survive the scavenge round trip.
+	seen := map[Ptr]bool{}
+	for i := 0; i < 63; i++ {
+		sb, err := hy.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[sb] {
+			t.Fatal("duplicate superblock after scavenge")
+		}
+		seen[sb] = true
+	}
+}
+
+func TestHyperConcurrent(t *testing.T) {
+	h, hy := newTestHyper()
+	const goroutines = 8
+	const iters = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			var held []Ptr
+			for i := 0; i < iters; i++ {
+				sb, err := hy.Alloc()
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				h.Store(sb, id<<32|uint64(i))
+				if h.Load(sb) != id<<32|uint64(i) {
+					t.Error("superblock handed to two goroutines")
+					return
+				}
+				held = append(held, sb)
+				if len(held) > 8 {
+					hy.Free(held[0])
+					held = held[1:]
+				}
+			}
+			for _, sb := range held {
+				hy.Free(sb)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	s := hy.Stats()
+	if s.Allocs != goroutines*iters || s.Allocs != s.Frees {
+		t.Errorf("allocs=%d frees=%d", s.Allocs, s.Frees)
+	}
+}
+
+func TestAllocRegionAligned(t *testing.T) {
+	h := NewHeap(Config{SegmentWordsLog2: 18, TotalWordsLog2: 26})
+	for _, align := range []uint64{512, 4096, 1 << 17} {
+		p, err := h.AllocRegionAligned(align, align)
+		if err != nil {
+			t.Fatalf("align %d: %v", align, err)
+		}
+		if uint64(p)%align != 0 {
+			t.Errorf("align %d: base %v misaligned", align, p)
+		}
+	}
+	if _, err := h.AllocRegionAligned(100, 3); err == nil {
+		t.Error("non-power-of-two alignment accepted")
+	}
+	if _, err := h.AllocRegionAligned(100, h.SegmentWords()*2); err == nil {
+		t.Error("alignment beyond segment accepted")
+	}
+}
+
+func TestNewHyperValidation(t *testing.T) {
+	h := NewHeap(Config{SegmentWordsLog2: 18, TotalWordsLog2: 26})
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two hyperblock accepted")
+		}
+	}()
+	NewHyper(h, 1000, 3) // 3000 words: not a power of two
+}

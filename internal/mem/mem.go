@@ -1,0 +1,449 @@
+// Package mem provides the simulated 64-bit address space and the
+// operating-system memory layer (the stand-in for mmap/munmap) that the
+// allocators in this repository are built on.
+//
+// The paper's allocator runs over a real OS virtual address space; a Go
+// reproduction cannot take over the process heap, so this package
+// simulates one:
+//
+//   - The address space is word-addressed. A Ptr is a 64-bit word index
+//     into a growable set of fixed-size segments, each backed by a
+//     []uint64. Ptr 0 is the nil pointer (the first page of segment 0 is
+//     never handed out).
+//
+//   - All allocator-metadata accesses to heap words (block prefixes,
+//     free-list links) go through atomic Load/Store, mirroring how the C
+//     implementation uses ordinary and atomic memory accesses on the
+//     process heap. Payload accesses may use the non-atomic accessors.
+//
+//   - The OS layer (AllocRegion/FreeRegion) hands out page-granular
+//     regions, exactly the role mmap/munmap play in the paper: it serves
+//     superblock allocation, large-block allocation, and descriptor-
+//     superblock allocation. It is itself lock-free: an atomic bump
+//     pointer over the reserved address space plus per-size lock-free
+//     freelists of returned regions (Treiber stacks threaded through the
+//     first word of each free region, with tagged heads for ABA safety).
+//
+// Cache behaviour is real: words of one superblock are contiguous in the
+// backing array, so blocks carved from the same superblock share cache
+// lines, which is what makes the paper's false-sharing benchmarks
+// meaningful in this simulation.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+)
+
+// Ptr is a word index into a Heap's address space. The zero Ptr is nil.
+type Ptr uint64
+
+// IsNil reports whether p is the nil pointer.
+func (p Ptr) IsNil() bool { return p == 0 }
+
+// Add returns p advanced by n words.
+func (p Ptr) Add(n uint64) Ptr { return p + Ptr(n) }
+
+// Sub returns the distance in words from q to p (p must be >= q).
+func (p Ptr) Sub(q Ptr) uint64 { return uint64(p - q) }
+
+func (p Ptr) String() string { return fmt.Sprintf("mem.Ptr(%#x)", uint64(p)) }
+
+// WordBytes is the size of one heap word in bytes; it is the paper's
+// EIGHTBYTES (the block-prefix size and minimum alignment).
+const WordBytes = 8
+
+// PageWords is the OS page size in words (4 KB pages, as on the paper's
+// AIX systems).
+const PageWords = 512
+
+const (
+	defaultSegmentWordsLog2 = 21 // 2 Mi words = 16 MiB per segment
+	defaultTotalWordsLog2   = 34 // 16 Gi words = 128 GiB of address space
+)
+
+// exactBins is the number of small region bins, one per page count
+// 1..exactBins. Regions larger than exactBins pages are rounded up to a
+// power of two pages and binned by log2.
+const exactBins = 64
+
+// maxLog2Bins bounds the power-of-two bins (up to 2^40 words).
+const maxLog2Bins = 40
+
+// ErrOutOfMemory is returned when the simulated address space is
+// exhausted.
+var ErrOutOfMemory = errors.New("mem: simulated address space exhausted")
+
+// Config parameterizes a Heap.
+type Config struct {
+	// SegmentWordsLog2 is the log2 of words per segment. Segments are
+	// materialized lazily. 0 selects the default (2^21 words, 16 MiB).
+	SegmentWordsLog2 uint
+	// TotalWordsLog2 is the log2 of the total addressable words.
+	// 0 selects the default (2^34 words).
+	TotalWordsLog2 uint
+}
+
+// Heap is a simulated word-addressed address space with an OS-like
+// region allocator. All methods are safe for concurrent use; the region
+// allocator is lock-free.
+type Heap struct {
+	segLog   uint
+	segWords uint64
+	segMask  uint64
+	maxWords uint64
+
+	segments []atomic.Pointer[[]uint64]
+
+	next atomic.Uint64 // bump pointer (word index of next unreserved word)
+
+	// Free-region bins. bins[0..exactBins-1] hold regions of exactly
+	// i+1 pages; log2Bins[k] holds regions of exactly 2^k pages.
+	bins     [exactBins]atomic.Uint64
+	log2Bins [maxLog2Bins]atomic.Uint64
+
+	stats heapStats
+}
+
+type heapStats struct {
+	reservedWords atomic.Uint64 // high-water bump mark
+	liveWords     atomic.Uint64 // words in regions currently allocated
+	maxLiveWords  atomic.Uint64 // high-water of liveWords
+	regionAllocs  atomic.Uint64
+	regionFrees   atomic.Uint64
+	reusedRegions atomic.Uint64 // allocations satisfied from a bin
+	skippedWords  atomic.Uint64 // words wasted skipping segment boundaries
+}
+
+// Stats is a point-in-time snapshot of heap counters.
+type Stats struct {
+	ReservedWords uint64 // address space consumed by the bump pointer
+	LiveWords     uint64 // words currently allocated to regions
+	MaxLiveWords  uint64 // high-water mark of LiveWords
+	RegionAllocs  uint64
+	RegionFrees   uint64
+	ReusedRegions uint64
+	SkippedWords  uint64
+}
+
+// NewHeap creates a heap with the given configuration.
+func NewHeap(cfg Config) *Heap {
+	segLog := cfg.SegmentWordsLog2
+	if segLog == 0 {
+		segLog = defaultSegmentWordsLog2
+	}
+	totalLog := cfg.TotalWordsLog2
+	if totalLog == 0 {
+		totalLog = defaultTotalWordsLog2
+	}
+	if totalLog < segLog {
+		totalLog = segLog
+	}
+	if totalLog > atomicx.TaggedIdxBits {
+		// Region freelist heads pack pointers into 40 bits.
+		totalLog = atomicx.TaggedIdxBits
+	}
+	h := &Heap{
+		segLog:   segLog,
+		segWords: 1 << segLog,
+		segMask:  1<<segLog - 1,
+		maxWords: 1 << totalLog,
+	}
+	h.segments = make([]atomic.Pointer[[]uint64], h.maxWords>>segLog)
+	// Reserve the first page so Ptr 0 is never a valid region address.
+	h.next.Store(PageWords)
+	h.stats.reservedWords.Store(PageWords)
+	return h
+}
+
+// SegmentWords returns the number of words per segment; regions never
+// straddle a segment boundary, so any region's words are contiguous in
+// one backing slice.
+func (h *Heap) SegmentWords() uint64 { return h.segWords }
+
+// MaxRegionWords returns the largest region the OS layer can serve.
+func (h *Heap) MaxRegionWords() uint64 { return h.segWords }
+
+func (h *Heap) seg(p Ptr) ([]uint64, uint64) {
+	idx := uint64(p) >> h.segLog
+	sp := h.segments[idx].Load()
+	if sp == nil {
+		panic(fmt.Sprintf("mem: access to unmapped address %v", p))
+	}
+	return *sp, uint64(p) & h.segMask
+}
+
+// Load atomically reads the word at p.
+func (h *Heap) Load(p Ptr) uint64 {
+	s, off := h.seg(p)
+	return atomic.LoadUint64(&s[off])
+}
+
+// Store atomically writes the word at p.
+func (h *Heap) Store(p Ptr, v uint64) {
+	s, off := h.seg(p)
+	atomic.StoreUint64(&s[off], v)
+}
+
+// CAS performs a compare-and-swap on the word at p.
+func (h *Heap) CAS(p Ptr, old, new uint64) bool {
+	s, off := h.seg(p)
+	return atomic.CompareAndSwapUint64(&s[off], old, new)
+}
+
+// Get reads the word at p without atomicity. Intended for payload
+// access by application code that owns the block.
+func (h *Heap) Get(p Ptr) uint64 {
+	s, off := h.seg(p)
+	return s[off]
+}
+
+// Set writes the word at p without atomicity. Intended for payload
+// access by application code that owns the block.
+func (h *Heap) Set(p Ptr, v uint64) {
+	s, off := h.seg(p)
+	s[off] = v
+}
+
+// Words returns a slice aliasing the n words starting at p. The range
+// must lie within one region (regions never straddle segments).
+func (h *Heap) Words(p Ptr, n uint64) []uint64 {
+	s, off := h.seg(p)
+	if off+n > uint64(len(s)) {
+		panic(fmt.Sprintf("mem: Words(%v, %d) straddles a segment boundary", p, n))
+	}
+	return s[off : off+n : off+n]
+}
+
+// Mapped reports whether p lies in a materialized segment (and is thus
+// safe to access). The nil pointer is not mapped.
+func (h *Heap) Mapped(p Ptr) bool {
+	if uint64(p) >= h.maxWords {
+		return false
+	}
+	return h.segments[uint64(p)>>h.segLog].Load() != nil
+}
+
+func (h *Heap) ensureSegments(start, end uint64) {
+	for i := start >> h.segLog; i <= (end-1)>>h.segLog; i++ {
+		if h.segments[i].Load() != nil {
+			continue
+		}
+		s := make([]uint64, h.segWords)
+		// A racing materializer may win; the loser's slice is dropped.
+		h.segments[i].CompareAndSwap(nil, &s)
+	}
+}
+
+// RegionWords returns the actual number of words the OS layer reserves
+// for a request of n words: page-rounded, and above exactBins pages
+// rounded to the next power of two pages so that freed regions are
+// exactly reusable.
+func RegionWords(n uint64) uint64 {
+	if n == 0 {
+		n = 1
+	}
+	pages := (n + PageWords - 1) / PageWords
+	if pages <= exactBins {
+		return pages * PageWords
+	}
+	p := uint64(1)
+	for p < pages {
+		p <<= 1
+	}
+	return p * PageWords
+}
+
+func (h *Heap) binFor(words uint64) *atomic.Uint64 {
+	pages := words / PageWords
+	if pages <= exactBins {
+		return &h.bins[pages-1]
+	}
+	k := 0
+	for pages > 1 {
+		pages >>= 1
+		k++
+	}
+	return &h.log2Bins[k]
+}
+
+// AllocRegion reserves a region of at least n words and returns its base
+// pointer and actual size in words. It corresponds to the paper's
+// "allocate directly from the OS" (mmap). Lock-free.
+func (h *Heap) AllocRegion(n uint64) (Ptr, uint64, error) {
+	words := RegionWords(n)
+	if words > h.segWords {
+		return 0, 0, fmt.Errorf("mem: region of %d words exceeds segment size %d: %w",
+			words, h.segWords, ErrOutOfMemory)
+	}
+	if p := h.popRegion(words); !p.IsNil() {
+		h.noteAlloc(words, true)
+		return p, words, nil
+	}
+	p, err := h.bump(words)
+	if err != nil {
+		return 0, 0, err
+	}
+	h.noteAlloc(words, false)
+	return p, words, nil
+}
+
+// AllocRegionAligned reserves a region of at least n words whose base
+// is a multiple of align words (a power of two not exceeding the
+// segment size). Used by the hyperblock layer, which locates a
+// superblock's hyperblock descriptor by address masking. Lock-free.
+func (h *Heap) AllocRegionAligned(n, align uint64) (Ptr, error) {
+	if align == 0 || align&(align-1) != 0 {
+		return 0, fmt.Errorf("mem: alignment %d is not a power of two", align)
+	}
+	if align > h.segWords {
+		return 0, fmt.Errorf("mem: alignment %d exceeds segment size: %w", align, ErrOutOfMemory)
+	}
+	words := RegionWords(n)
+	if words > h.segWords {
+		return 0, fmt.Errorf("mem: region of %d words exceeds segment size %d: %w",
+			words, h.segWords, ErrOutOfMemory)
+	}
+	// One reuse attempt: the size bin may hold a region with the right
+	// alignment (e.g. a previously released hyperblock).
+	if p := h.popRegion(words); !p.IsNil() {
+		if uint64(p)&(align-1) == 0 {
+			h.noteAlloc(words, true)
+			return p, nil
+		}
+		h.pushRegion(p, words)
+	}
+	for {
+		cur := h.next.Load()
+		start := (cur + align - 1) &^ (align - 1)
+		if start>>h.segLog != (start+words-1)>>h.segLog {
+			seg := (start>>h.segLog + 1) << h.segLog
+			start = (seg + align - 1) &^ (align - 1)
+		}
+		end := start + words
+		if end > h.maxWords {
+			return 0, ErrOutOfMemory
+		}
+		if h.next.CompareAndSwap(cur, end) {
+			if start != cur {
+				h.stats.skippedWords.Add(start - cur)
+			}
+			h.ensureSegments(start, end)
+			for {
+				r := h.stats.reservedWords.Load()
+				if end <= r || h.stats.reservedWords.CompareAndSwap(r, end) {
+					break
+				}
+			}
+			h.noteAlloc(words, false)
+			return Ptr(start), nil
+		}
+	}
+}
+
+// FreeRegion returns a region obtained from AllocRegion(n) (same n) to
+// the OS layer. It corresponds to munmap. Lock-free.
+func (h *Heap) FreeRegion(p Ptr, n uint64) {
+	words := RegionWords(n)
+	h.stats.regionFrees.Add(1)
+	h.stats.liveWords.Add(^(words - 1)) // subtract
+	h.pushRegion(p, words)
+}
+
+func (h *Heap) noteAlloc(words uint64, reused bool) {
+	h.stats.regionAllocs.Add(1)
+	if reused {
+		h.stats.reusedRegions.Add(1)
+	}
+	live := h.stats.liveWords.Add(words)
+	for {
+		max := h.stats.maxLiveWords.Load()
+		if live <= max || h.stats.maxLiveWords.CompareAndSwap(max, live) {
+			break
+		}
+	}
+}
+
+// popRegion pops a region from the freelist bin for the exact size, or
+// returns nil. Classic IBM freelist pop with a tagged head [8].
+func (h *Heap) popRegion(words uint64) Ptr {
+	bin := h.binFor(words)
+	for {
+		oldHead := bin.Load()
+		t := atomicx.UnpackTagged(oldHead)
+		if t.Idx == 0 {
+			return 0
+		}
+		next := h.Load(Ptr(t.Idx))
+		newHead := atomicx.Tagged{Idx: next, Tag: t.Tag + 1}.Pack()
+		if bin.CompareAndSwap(oldHead, newHead) {
+			return Ptr(t.Idx)
+		}
+	}
+}
+
+// pushRegion pushes a region onto its size bin's freelist.
+func (h *Heap) pushRegion(p Ptr, words uint64) {
+	bin := h.binFor(words)
+	for {
+		oldHead := bin.Load()
+		t := atomicx.UnpackTagged(oldHead)
+		h.Store(p, t.Idx)
+		atomicx.Fence() // paper Fig 7 line 3: order link store before head CAS
+		newHead := atomicx.Tagged{Idx: uint64(p), Tag: t.Tag + 1}.Pack()
+		if bin.CompareAndSwap(oldHead, newHead) {
+			return
+		}
+	}
+}
+
+// bump reserves words from never-before-used address space, skipping to
+// the next segment boundary when the request would straddle one.
+func (h *Heap) bump(words uint64) (Ptr, error) {
+	for {
+		cur := h.next.Load()
+		start := cur
+		if start>>h.segLog != (start+words-1)>>h.segLog {
+			start = (start>>h.segLog + 1) << h.segLog
+		}
+		end := start + words
+		if end > h.maxWords {
+			return 0, ErrOutOfMemory
+		}
+		if h.next.CompareAndSwap(cur, end) {
+			if start != cur {
+				h.stats.skippedWords.Add(start - cur)
+			}
+			h.ensureSegments(start, end)
+			for {
+				r := h.stats.reservedWords.Load()
+				if end <= r || h.stats.reservedWords.CompareAndSwap(r, end) {
+					break
+				}
+			}
+			return Ptr(start), nil
+		}
+	}
+}
+
+// Stats returns a snapshot of the heap counters.
+func (h *Heap) Stats() Stats {
+	return Stats{
+		ReservedWords: h.stats.reservedWords.Load(),
+		LiveWords:     h.stats.liveWords.Load(),
+		MaxLiveWords:  h.stats.maxLiveWords.Load(),
+		RegionAllocs:  h.stats.regionAllocs.Load(),
+		RegionFrees:   h.stats.regionFrees.Load(),
+		ReusedRegions: h.stats.reusedRegions.Load(),
+		SkippedWords:  h.stats.skippedWords.Load(),
+	}
+}
+
+// ResetMaxLive resets the live-words high-water mark to the current
+// live count (used between benchmark phases).
+func (h *Heap) ResetMaxLive() {
+	h.stats.maxLiveWords.Store(h.stats.liveWords.Load())
+}

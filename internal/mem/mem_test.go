@@ -1,0 +1,331 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestHeap() *Heap {
+	return NewHeap(Config{SegmentWordsLog2: 14, TotalWordsLog2: 24})
+}
+
+func TestNilPtr(t *testing.T) {
+	var p Ptr
+	if !p.IsNil() {
+		t.Error("zero Ptr must be nil")
+	}
+	if Ptr(1).IsNil() {
+		t.Error("Ptr(1) must not be nil")
+	}
+}
+
+func TestPtrArithmetic(t *testing.T) {
+	p := Ptr(100)
+	if p.Add(5) != Ptr(105) {
+		t.Error("Add")
+	}
+	if p.Add(5).Sub(p) != 5 {
+		t.Error("Sub")
+	}
+}
+
+func TestAllocRegionBasic(t *testing.T) {
+	h := newTestHeap()
+	p, words, err := h.AllocRegion(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IsNil() {
+		t.Fatal("nil region")
+	}
+	if words != PageWords {
+		t.Errorf("words = %d, want one page (%d)", words, PageWords)
+	}
+	// The whole region must be addressable.
+	for i := uint64(0); i < words; i++ {
+		h.Store(p.Add(i), i)
+	}
+	for i := uint64(0); i < words; i++ {
+		if h.Load(p.Add(i)) != i {
+			t.Fatalf("word %d corrupted", i)
+		}
+	}
+}
+
+func TestRegionWordsRounding(t *testing.T) {
+	cases := []struct{ n, want uint64 }{
+		{0, PageWords},
+		{1, PageWords},
+		{PageWords, PageWords},
+		{PageWords + 1, 2 * PageWords},
+		{64 * PageWords, 64 * PageWords},
+		{64*PageWords + 1, 128 * PageWords},
+		{100 * PageWords, 128 * PageWords},
+	}
+	for _, c := range cases {
+		if got := RegionWords(c.n); got != c.want {
+			t.Errorf("RegionWords(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRegionWordsProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := uint64(raw)%(1<<20) + 1
+		w := RegionWords(n)
+		return w >= n && w%PageWords == 0 && RegionWords(w) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionReuse(t *testing.T) {
+	h := newTestHeap()
+	p1, _, err := h.AllocRegion(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.FreeRegion(p1, 2048)
+	p2, _, err := h.AllocRegion(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Errorf("freed region not reused: %v then %v", p1, p2)
+	}
+	s := h.Stats()
+	if s.ReusedRegions != 1 {
+		t.Errorf("ReusedRegions = %d, want 1", s.ReusedRegions)
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	h := newTestHeap()
+	type region struct {
+		p Ptr
+		w uint64
+	}
+	var regions []region
+	sizes := []uint64{1, 500, 512, 1000, 2048, 4096, 513}
+	for i := 0; i < 40; i++ {
+		n := sizes[i%len(sizes)]
+		p, w, err := h.AllocRegion(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, region{p, w})
+	}
+	for i, a := range regions {
+		for j, b := range regions {
+			if i == j {
+				continue
+			}
+			if uint64(a.p) < uint64(b.p)+b.w && uint64(b.p) < uint64(a.p)+a.w {
+				t.Fatalf("regions %d and %d overlap: %v+%d vs %v+%d", i, j, a.p, a.w, b.p, b.w)
+			}
+		}
+	}
+}
+
+func TestRegionNeverStraddlesSegment(t *testing.T) {
+	h := NewHeap(Config{SegmentWordsLog2: 12, TotalWordsLog2: 20}) // tiny 4096-word segments
+	for i := 0; i < 50; i++ {
+		p, w, err := h.AllocRegion(3 * PageWords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(p)>>12 != (uint64(p)+w-1)>>12 {
+			t.Fatalf("region %v+%d straddles a segment", p, w)
+		}
+		// Words() must accept the whole region.
+		s := h.Words(p, w)
+		if uint64(len(s)) != w {
+			t.Fatalf("Words returned %d words, want %d", len(s), w)
+		}
+	}
+	if h.Stats().SkippedWords == 0 {
+		t.Error("expected boundary skips with tiny segments")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	h := NewHeap(Config{SegmentWordsLog2: 12, TotalWordsLog2: 13})
+	var allocated int
+	for {
+		_, _, err := h.AllocRegion(PageWords)
+		if err != nil {
+			break
+		}
+		allocated++
+		if allocated > 1000 {
+			t.Fatal("never ran out of a 8192-word heap")
+		}
+	}
+	if allocated == 0 {
+		t.Fatal("could not allocate anything")
+	}
+}
+
+func TestOversizeRegionRejected(t *testing.T) {
+	h := newTestHeap()
+	if _, _, err := h.AllocRegion(h.SegmentWords() + 1); err == nil {
+		t.Error("oversize region allocation succeeded")
+	}
+}
+
+func TestMapped(t *testing.T) {
+	h := newTestHeap()
+	if h.Mapped(0) {
+		// Address 0 lies in segment 0 which is materialized at first
+		// bump; before any allocation nothing is mapped.
+		t.Error("address 0 mapped before any allocation")
+	}
+	p, _, err := h.AllocRegion(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Mapped(p) {
+		t.Error("allocated region not mapped")
+	}
+	if h.Mapped(Ptr(1 << 60)) {
+		t.Error("out-of-range address mapped")
+	}
+}
+
+func TestAtomicAndPlainAccessors(t *testing.T) {
+	h := newTestHeap()
+	p, _, _ := h.AllocRegion(8)
+	h.Set(p, 7)
+	if h.Get(p) != 7 {
+		t.Error("Set/Get")
+	}
+	h.Store(p.Add(1), 9)
+	if h.Load(p.Add(1)) != 9 {
+		t.Error("Store/Load")
+	}
+	if !h.CAS(p, 7, 8) || h.Load(p) != 8 {
+		t.Error("CAS success path")
+	}
+	if h.CAS(p, 7, 99) {
+		t.Error("CAS with stale expected value succeeded")
+	}
+}
+
+func TestMaxLiveTracking(t *testing.T) {
+	h := newTestHeap()
+	p1, w1, _ := h.AllocRegion(PageWords)
+	p2, w2, _ := h.AllocRegion(PageWords)
+	if got := h.Stats().LiveWords; got != w1+w2 {
+		t.Errorf("LiveWords = %d, want %d", got, w1+w2)
+	}
+	h.FreeRegion(p1, PageWords)
+	h.FreeRegion(p2, PageWords)
+	s := h.Stats()
+	if s.LiveWords != 0 {
+		t.Errorf("LiveWords after frees = %d, want 0", s.LiveWords)
+	}
+	if s.MaxLiveWords != w1+w2 {
+		t.Errorf("MaxLiveWords = %d, want %d", s.MaxLiveWords, w1+w2)
+	}
+	h.ResetMaxLive()
+	if h.Stats().MaxLiveWords != 0 {
+		t.Error("ResetMaxLive did not reset")
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	h := NewHeap(Config{SegmentWordsLog2: 16, TotalWordsLog2: 26})
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			var held []Ptr
+			for i := 0; i < iters; i++ {
+				p, w, err := h.AllocRegion(PageWords)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				// Stamp ownership over the region and verify: detects
+				// double-allocation of the same region.
+				h.Store(p, id*1000000+uint64(i))
+				h.Store(p.Add(w-1), id)
+				if h.Load(p) != id*1000000+uint64(i) || h.Load(p.Add(w-1)) != id {
+					t.Error("region handed to two goroutines")
+					return
+				}
+				held = append(held, p)
+				if len(held) > 4 {
+					h.FreeRegion(held[0], PageWords)
+					held = held[1:]
+				}
+			}
+			for _, p := range held {
+				h.FreeRegion(p, PageWords)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	s := h.Stats()
+	if s.LiveWords != 0 {
+		t.Errorf("LiveWords = %d after all frees", s.LiveWords)
+	}
+	if s.RegionAllocs != goroutines*iters {
+		t.Errorf("RegionAllocs = %d, want %d", s.RegionAllocs, goroutines*iters)
+	}
+	if s.RegionAllocs != s.RegionFrees {
+		t.Errorf("allocs %d != frees %d", s.RegionAllocs, s.RegionFrees)
+	}
+}
+
+func TestConcurrentBinContention(t *testing.T) {
+	// Hammer one bin from many goroutines: exercises the tagged-head
+	// push/pop ABA protection.
+	h := NewHeap(Config{SegmentWordsLog2: 16, TotalWordsLog2: 26})
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				p, _, err := h.AllocRegion(1)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				h.FreeRegion(p, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if live := h.Stats().LiveWords; live != 0 {
+		t.Errorf("LiveWords = %d", live)
+	}
+}
+
+func TestWordsPanicsOnStraddle(t *testing.T) {
+	h := newTestHeap()
+	p, _, _ := h.AllocRegion(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("Words across segment boundary did not panic")
+		}
+	}()
+	h.Words(p, h.SegmentWords()+1)
+}
+
+func TestAccessUnmappedPanics(t *testing.T) {
+	h := newTestHeap()
+	defer func() {
+		if recover() == nil {
+			t.Error("Load of unmapped address did not panic")
+		}
+	}()
+	h.Load(Ptr(1 << 22))
+}

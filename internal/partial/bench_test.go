@@ -1,0 +1,30 @@
+package partial
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func benchList(b *testing.B, l List) {
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.Put(uint64(i) + 1)
+			l.Get()
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		var v atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				l.Put(v.Add(1))
+				l.Get()
+			}
+		})
+	})
+}
+
+// BenchmarkFIFO measures the paper's preferred partial-list structure.
+func BenchmarkFIFO(b *testing.B) { benchList(b, NewFIFO()) }
+
+// BenchmarkLIFO measures the Treiber-stack alternative (§3.2.6).
+func BenchmarkLIFO(b *testing.B) { benchList(b, NewLIFO()) }

@@ -1,0 +1,273 @@
+// Package partial implements the lock-free lists of partial superblocks
+// associated with each size class (paper §3.2.6).
+//
+// The paper describes two implementations and prefers the FIFO one: a
+// version of the Michael–Scott lock-free FIFO queue [20] "with
+// optimized memory management" — queue nodes are allocated from a
+// private pool "in a manner similar but simpler than allocating
+// descriptors", and ABA on the pointer-sized head/tail is prevented
+// without a general-purpose allocator. This package reproduces that:
+// nodes live at stable indices in a chunked pool, head/tail/next are
+// packed (index, tag) words, and freed nodes are recycled through a
+// tagged freelist. The LIFO alternative (a Treiber stack) is also
+// provided for the ablation benchmark.
+package partial
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+)
+
+// List is the interface shared by the FIFO and LIFO partial lists. It
+// stores non-zero uint64 values (descriptor indices). All operations
+// are lock-free.
+type List interface {
+	// Put inserts a descriptor index (ListPutPartial).
+	Put(v uint64)
+	// Get removes and returns a descriptor index, or ok=false if the
+	// list is observed empty (ListGetPartial).
+	Get() (v uint64, ok bool)
+	// Len returns an instantaneous (racy) size estimate.
+	Len() int
+}
+
+const (
+	nodeChunkLog2 = 8
+	nodeChunk     = 1 << nodeChunkLog2
+	nodeChunkMask = nodeChunk - 1
+	maxNodeChunks = 1 << 16
+)
+
+type node struct {
+	value atomic.Uint64
+	next  atomic.Uint64 // packed (index, tag)
+}
+
+// pool is the node pool: chunked storage plus a tagged freelist,
+// mirroring the descriptor allocator but without per-node metadata.
+type pool struct {
+	chunks  []atomic.Pointer[[]node]
+	nextIdx atomic.Uint64
+	free    atomic.Uint64 // packed (index, tag) freelist head
+}
+
+func newPool() *pool {
+	p := &pool{chunks: make([]atomic.Pointer[[]node], maxNodeChunks)}
+	p.nextIdx.Store(nodeChunk) // reserve chunk 0 so index 0 is never used
+	return p
+}
+
+func (p *pool) node(idx uint64) *node {
+	cp := p.chunks[idx>>nodeChunkLog2].Load()
+	return &(*cp)[idx&nodeChunkMask]
+}
+
+func (p *pool) alloc() uint64 {
+	for {
+		oldHead := p.free.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		if h.Idx != 0 {
+			next := atomicx.UnpackTagged(p.node(h.Idx).next.Load()).Idx
+			newHead := atomicx.Tagged{Idx: next, Tag: h.Tag + 1}.Pack()
+			if p.free.CompareAndSwap(oldHead, newHead) {
+				return h.Idx
+			}
+			continue
+		}
+		first := p.grow()
+		rest := atomicx.UnpackTagged(p.node(first).next.Load()).Idx
+		newHead := atomicx.Tagged{Idx: rest, Tag: h.Tag + 1}.Pack()
+		if p.free.CompareAndSwap(oldHead, newHead) {
+			return first
+		}
+		p.pushChain(first, first+nodeChunk-1, nodeChunk)
+	}
+}
+
+func (p *pool) grow() uint64 {
+	base := p.nextIdx.Add(nodeChunk) - nodeChunk
+	ci := base >> nodeChunkLog2
+	if ci >= maxNodeChunks {
+		panic("partial: node pool exhausted")
+	}
+	s := make([]node, nodeChunk)
+	for i := range s {
+		n := base + uint64(i) + 1
+		if i == len(s)-1 {
+			n = 0
+		}
+		s[i].next.Store(atomicx.Tagged{Idx: n}.Pack())
+	}
+	if !p.chunks[ci].CompareAndSwap(nil, &s) {
+		panic("partial: node chunk slot already populated")
+	}
+	return base
+}
+
+func (p *pool) release(idx uint64) { p.pushChain(idx, idx, 1) }
+
+func (p *pool) pushChain(first, last, n uint64) {
+	_ = n
+	for {
+		oldHead := p.free.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		ln := p.node(last)
+		old := atomicx.UnpackTagged(ln.next.Load())
+		ln.next.Store(atomicx.Tagged{Idx: h.Idx, Tag: old.Tag + 1}.Pack())
+		newHead := atomicx.Tagged{Idx: first, Tag: h.Tag + 1}.Pack()
+		if p.free.CompareAndSwap(oldHead, newHead) {
+			return
+		}
+	}
+}
+
+// FIFO is the Michael–Scott lock-free queue over the node pool: the
+// paper's preferred partial-list structure, reducing contention and
+// false sharing by spreading reuse over time.
+type FIFO struct {
+	pool *pool
+	head atomic.Uint64 // packed (index, tag)
+	tail atomic.Uint64
+	size atomic.Int64
+}
+
+// NewFIFO creates an empty FIFO list. Multiple FIFO lists may share a
+// process; each owns a private node pool.
+func NewFIFO() *FIFO {
+	q := &FIFO{pool: newPool()}
+	dummy := q.pool.alloc()
+	q.pool.node(dummy).next.Store(atomicx.Tagged{Idx: 0}.Pack())
+	q.head.Store(atomicx.Tagged{Idx: dummy}.Pack())
+	q.tail.Store(atomicx.Tagged{Idx: dummy}.Pack())
+	return q
+}
+
+// Put enqueues v at the tail (ListPutPartial).
+func (q *FIFO) Put(v uint64) {
+	if v == 0 {
+		panic("partial: Put(0)")
+	}
+	n := q.pool.alloc()
+	nd := q.pool.node(n)
+	nd.value.Store(v)
+	old := atomicx.UnpackTagged(nd.next.Load())
+	nd.next.Store(atomicx.Tagged{Idx: 0, Tag: old.Tag + 1}.Pack())
+	for {
+		oldTail := q.tail.Load()
+		t := atomicx.UnpackTagged(oldTail)
+		tn := q.pool.node(t.Idx)
+		oldNext := tn.next.Load()
+		nx := atomicx.UnpackTagged(oldNext)
+		if oldTail != q.tail.Load() {
+			continue
+		}
+		if nx.Idx == 0 {
+			if tn.next.CompareAndSwap(oldNext, atomicx.Tagged{Idx: n, Tag: nx.Tag + 1}.Pack()) {
+				q.tail.CompareAndSwap(oldTail, atomicx.Tagged{Idx: n, Tag: t.Tag + 1}.Pack())
+				q.size.Add(1)
+				return
+			}
+		} else {
+			q.tail.CompareAndSwap(oldTail, atomicx.Tagged{Idx: nx.Idx, Tag: t.Tag + 1}.Pack())
+		}
+	}
+}
+
+// Get dequeues from the head (ListGetPartial).
+func (q *FIFO) Get() (uint64, bool) {
+	for {
+		oldHead := q.head.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		oldTail := q.tail.Load()
+		t := atomicx.UnpackTagged(oldTail)
+		next := atomicx.UnpackTagged(q.pool.node(h.Idx).next.Load())
+		if oldHead != q.head.Load() {
+			continue
+		}
+		if h.Idx == t.Idx {
+			if next.Idx == 0 {
+				return 0, false
+			}
+			q.tail.CompareAndSwap(oldTail, atomicx.Tagged{Idx: next.Idx, Tag: t.Tag + 1}.Pack())
+			continue
+		}
+		v := q.pool.node(next.Idx).value.Load()
+		if q.head.CompareAndSwap(oldHead, atomicx.Tagged{Idx: next.Idx, Tag: h.Tag + 1}.Pack()) {
+			q.pool.release(h.Idx)
+			q.size.Add(-1)
+			return v, true
+		}
+	}
+}
+
+// Len returns a racy size estimate.
+func (q *FIFO) Len() int {
+	n := q.size.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// LIFO is the Treiber-stack alternative partial list (the paper's
+// simpler variant, kept for the FIFO-vs-LIFO ablation). Values are
+// stored in pool nodes, with a tagged head for ABA safety.
+type LIFO struct {
+	pool *pool
+	head atomic.Uint64 // packed (index, tag)
+	size atomic.Int64
+}
+
+// NewLIFO creates an empty LIFO list.
+func NewLIFO() *LIFO {
+	return &LIFO{pool: newPool()}
+}
+
+// Put pushes v.
+func (s *LIFO) Put(v uint64) {
+	if v == 0 {
+		panic("partial: Put(0)")
+	}
+	n := s.pool.alloc()
+	nd := s.pool.node(n)
+	nd.value.Store(v)
+	for {
+		oldHead := s.head.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		old := atomicx.UnpackTagged(nd.next.Load())
+		nd.next.Store(atomicx.Tagged{Idx: h.Idx, Tag: old.Tag + 1}.Pack())
+		if s.head.CompareAndSwap(oldHead, atomicx.Tagged{Idx: n, Tag: h.Tag + 1}.Pack()) {
+			s.size.Add(1)
+			return
+		}
+	}
+}
+
+// Get pops the most recently pushed value.
+func (s *LIFO) Get() (uint64, bool) {
+	for {
+		oldHead := s.head.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		if h.Idx == 0 {
+			return 0, false
+		}
+		nd := s.pool.node(h.Idx)
+		next := atomicx.UnpackTagged(nd.next.Load())
+		if s.head.CompareAndSwap(oldHead, atomicx.Tagged{Idx: next.Idx, Tag: h.Tag + 1}.Pack()) {
+			v := nd.value.Load()
+			s.pool.release(h.Idx)
+			s.size.Add(-1)
+			return v, true
+		}
+	}
+}
+
+// Len returns a racy size estimate.
+func (s *LIFO) Len() int {
+	n := s.size.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}

@@ -1,0 +1,456 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/alloc"
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// RunConfig controls an experiment run.
+type RunConfig struct {
+	// Threads is the list of thread counts for sweeps (the paper
+	// sweeps 1..16 processors).
+	Threads []int
+	// Scale multiplies the paper's iteration counts and durations.
+	// 1.0 reproduces the paper's parameters; the default quick scale
+	// (0.01) finishes each experiment in seconds.
+	Scale float64
+	// Allocators to include; nil selects all four.
+	Allocators []string
+	// Processors sizes each allocator's per-processor structures; 0
+	// uses the maximum of Threads.
+	Processors int
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 2, 4, 8, 16}
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.01
+	}
+	if len(c.Allocators) == 0 {
+		c.Allocators = alloc.Names()
+	}
+	if c.Processors == 0 {
+		for _, t := range c.Threads {
+			if t > c.Processors {
+				c.Processors = t
+			}
+		}
+	}
+	return c
+}
+
+func (c RunConfig) scaleInt(full int) int {
+	n := int(float64(full) * c.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c RunConfig) scaleDur(full time.Duration) time.Duration {
+	d := time.Duration(float64(full) * c.Scale)
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
+func (c RunConfig) newAlloc(name string) (alloc.Allocator, error) {
+	return alloc.New(name, alloc.Options{Processors: c.Processors})
+}
+
+// workloads at paper scale, adjusted by cfg.Scale.
+func (c RunConfig) linuxScalability() bench.Workload {
+	return bench.LinuxScalability{Pairs: c.scaleInt(10_000_000), Size: 8}
+}
+
+func (c RunConfig) threadtest() bench.Workload {
+	return bench.Threadtest{Iterations: c.scaleInt(100), BlocksPerIter: 100_000, Size: 8}
+}
+
+func (c RunConfig) activeFalse() bench.Workload {
+	// The paper's 10,000 pairs run in microseconds on this substrate;
+	// a floor keeps the measurement above timer noise at small scales.
+	pairs := c.scaleInt(10_000)
+	if pairs < 5_000 {
+		pairs = 5_000
+	}
+	return bench.ActiveFalse{Pairs: pairs, WritesPerWord: 1000, Size: 8}
+}
+
+func (c RunConfig) passiveFalse() bench.Workload {
+	pairs := c.scaleInt(10_000)
+	if pairs < 5_000 {
+		pairs = 5_000
+	}
+	return bench.PassiveFalse{Pairs: pairs, WritesPerWord: 1000, Size: 8}
+}
+
+func (c RunConfig) larson() bench.Workload {
+	return bench.Larson{
+		Duration:        c.scaleDur(30 * time.Second),
+		BlocksPerThread: 1024,
+		MinSize:         16,
+		MaxSize:         80,
+	}
+}
+
+func (c RunConfig) producerConsumer(work int) bench.Workload {
+	return bench.ProducerConsumer{
+		Duration: c.scaleDur(30 * time.Second),
+		Work:     work,
+		DBSize:   1 << 20,
+	}
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // what the paper reports, for side-by-side comparison
+	Run   func(cfg RunConfig, out io.Writer) error
+}
+
+// Experiments returns all experiments in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "table1",
+			Title: "Table 1: contention-free speedup over libc (serial) malloc",
+			Paper: "POWER3/POWER4 — Linux-scalability: New 2.25/2.75 Hoard 1.11/1.38 Ptmalloc 1.83/1.92; Threadtest: 2.18/2.35 1.20/1.23 1.94/1.97; Larson: 2.90/2.95 2.22/2.37 2.53/2.67",
+			Run:   runTable1,
+		},
+		{
+			ID:    "fig8a",
+			Title: "Figure 8(a): Linux scalability — speedup over contention-free serial",
+			Paper: "New, Hoard, Ptmalloc scale with slopes ~ contention-free latency; libc collapses (0.4 at 2 procs, 331x slower than New at 16)",
+			Run:   figRunner(func(c RunConfig) bench.Workload { return c.linuxScalability() }),
+		},
+		{
+			ID:    "fig8b",
+			Title: "Figure 8(b): Threadtest — speedup over contention-free serial",
+			Paper: "New and Hoard scale per latency; Ptmalloc scales at a lower rate under high contention",
+			Run:   figRunner(func(c RunConfig) bench.Workload { return c.threadtest() }),
+		},
+		{
+			ID:    "fig8c",
+			Title: "Figure 8(c): Active false sharing — speedup over contention-free serial",
+			Paper: "New and Hoard avoid inducing false sharing; Ptmalloc and libc suffer",
+			Run:   figRunner(func(c RunConfig) bench.Workload { return c.activeFalse() }),
+		},
+		{
+			ID:    "fig8d",
+			Title: "Figure 8(d): Passive false sharing — speedup over contention-free serial",
+			Paper: "same shape as 8(c)",
+			Run:   figRunner(func(c RunConfig) bench.Workload { return c.passiveFalse() }),
+		},
+		{
+			ID:    "fig8e",
+			Title: "Figure 8(e): Larson — speedup over contention-free serial",
+			Paper: "New and Hoard scale; Ptmalloc does not (arena thrashing, 22 arenas for 16 threads)",
+			Run:   figRunner(func(c RunConfig) bench.Workload { return c.larson() }),
+		},
+		{
+			ID:    "fig8f",
+			Title: "Figure 8(f): Producer-consumer, work=500 — speedup over contention-free serial",
+			Paper: "New scales to 13 procs (then the benchmark itself saturates); Hoard suffers contention on the producer's heap",
+			Run:   figRunner(func(c RunConfig) bench.Workload { return c.producerConsumer(500) }),
+		},
+		{
+			ID:    "fig8g",
+			Title: "Figure 8(g): Producer-consumer, work=750 — speedup over contention-free serial",
+			Paper: "New scales perfectly; others below",
+			Run:   figRunner(func(c RunConfig) bench.Workload { return c.producerConsumer(750) }),
+		},
+		{
+			ID:    "fig8h",
+			Title: "Figure 8(h): Producer-consumer, work=1000 — speedup over contention-free serial",
+			Paper: "New scales perfectly; others below",
+			Run:   figRunner(func(c RunConfig) bench.Workload { return c.producerConsumer(1000) }),
+		},
+		{
+			ID:    "latency",
+			Title: "§4.2.1: contention-free latency per malloc/free pair",
+			Paper: "POWER4: New 282 ns/pair (Linux-scalability); test-and-set lock pair 165 ns; Hoard 560 ns, Ptmalloc 404 ns after lock tuning",
+			Run:   runLatency,
+		},
+		{
+			ID:    "space",
+			Title: "§4.2.5: maximum space used (Threadtest, Larson, Producer-consumer)",
+			Paper: "New slightly below Hoard; Ptmalloc/New ratio 1.16 (Threadtest) to 3.83 (Larson) on 16 procs",
+			Run:   runSpace,
+		},
+		{
+			ID:    "unip",
+			Title: "§4.2.4: uniprocessor optimization (single heap, no thread-id lookup)",
+			Paper: "+15% contention-free speedup on Linux scalability (POWER3)",
+			Run:   runUniprocessor,
+		},
+		{
+			ID:    "ablate",
+			Title: "Ablations: credits, FIFO vs LIFO partial lists, new-superblock race policy, partial slot",
+			Paper: "design choices discussed in §3.2.3 and §3.2.6",
+			Run:   runAblations,
+		},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// repetitions for the scalar (non-sweep) experiments; single runs on
+// an oversubscribed host jitter by up to 2x, so best-of-N is reported.
+const scalarReps = 3
+
+// bestOf runs the workload scalarReps times on fresh allocators and
+// returns the highest-throughput result.
+func bestOf(cfg RunConfig, name string, w bench.Workload, threads int) (bench.Result, error) {
+	var best bench.Result
+	for i := 0; i < scalarReps; i++ {
+		a, err := cfg.newAlloc(name)
+		if err != nil {
+			return bench.Result{}, err
+		}
+		runtime.GC()
+		r := w.Run(a, threads)
+		if r.OpsPerSec() > best.OpsPerSec() {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// serialBaseline measures the contention-free (1-thread) serial
+// allocator on the workload: the denominator of every speedup in the
+// paper.
+func serialBaseline(cfg RunConfig, w bench.Workload) (bench.Result, error) {
+	return bestOf(cfg, "serial", w, 1)
+}
+
+// figRunner builds a Figure 8 style sweep: speedup over contention-free
+// serial for each allocator at each thread count.
+func figRunner(mkWorkload func(RunConfig) bench.Workload) func(RunConfig, io.Writer) error {
+	return func(cfg RunConfig, out io.Writer) error {
+		cfg = cfg.withDefaults()
+		w := mkWorkload(cfg)
+		base, err := serialBaseline(cfg, w)
+		if err != nil {
+			return err
+		}
+		fig := Figure{Title: w.Name(), YLabel: "speedup over contention-free serial"}
+		for _, name := range cfg.Allocators {
+			s := Series{Name: name}
+			for _, t := range cfg.Threads {
+				a, err := cfg.newAlloc(name)
+				if err != nil {
+					return err
+				}
+				// The previous run's arena segments are garbage now;
+				// collect them outside the timed region so background
+				// sweeps do not perturb the measurement.
+				runtime.GC()
+				r := w.Run(a, t)
+				s.Points = append(s.Points, Point{Threads: t, Value: r.SpeedupOver(base)})
+				fmt.Fprintf(out, "# %s\n", r)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, fig.Render())
+		return nil
+	}
+}
+
+func runTable1(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	type row struct {
+		name string
+		w    bench.Workload
+	}
+	rows := []row{
+		{"Linux scalability", cfg.linuxScalability()},
+		{"Threadtest", cfg.threadtest()},
+		{"Larson", cfg.larson()},
+	}
+	paper := map[string][3]string{ // POWER3 values: New, Hoard, Ptmalloc
+		"Linux scalability": {"2.25", "1.11", "1.83"},
+		"Threadtest":        {"2.18", "1.20", "1.94"},
+		"Larson":            {"2.90", "2.22", "2.53"},
+	}
+	t := Table{
+		Title:   "Table 1: contention-free speedup over serial (libc stand-in), 1 thread",
+		Columns: []string{"benchmark", "lockfree", "hoard", "ptmalloc", "paper(P3): new/hoard/pt"},
+		Notes: []string{
+			"paper columns are the POWER3 values from Table 1",
+			"absolute ratios depend on the simulated heap's constant factors; the ordering lockfree > ptmalloc > hoard is the reproduction target",
+		},
+	}
+	for _, r := range rows {
+		base, err := serialBaseline(cfg, r.w)
+		if err != nil {
+			return err
+		}
+		cells := []string{r.name}
+		for _, name := range []string{"lockfree", "hoard", "ptmalloc"} {
+			res, err := bestOf(cfg, name, r.w, 1)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", res.SpeedupOver(base)))
+			fmt.Fprintf(out, "# %s\n", res)
+		}
+		p := paper[r.name]
+		cells = append(cells, fmt.Sprintf("%s/%s/%s", p[0], p[1], p[2]))
+		t.Rows = append(t.Rows, cells)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprint(out, t.Render())
+	return nil
+}
+
+func runLatency(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	w := cfg.linuxScalability().(bench.LinuxScalability)
+	t := Table{
+		Title:   "Contention-free latency (1 thread, Linux-scalability loop)",
+		Columns: []string{"allocator", "ns/pair"},
+	}
+	for _, name := range cfg.Allocators {
+		r, err := bestOf(cfg, name, w, 1)
+		if err != nil {
+			return err
+		}
+		ns := float64(r.Elapsed.Nanoseconds()) / float64(r.Ops)
+		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%.0f", ns)})
+	}
+	// Raw synchronization costs, the paper's 165 ns lock-pair datum.
+	lockNS, casNS := rawSyncCosts()
+	t.Rows = append(t.Rows,
+		[]string{"(mutex lock+unlock)", fmt.Sprintf("%.0f", lockNS)},
+		[]string{"(single CAS)", fmt.Sprintf("%.0f", casNS)},
+	)
+	t.Notes = append(t.Notes,
+		"paper (POWER4): New 282, Ptmalloc 404, Hoard 560, lock pair 165; the target is the ordering and the ~2x lock-pair bound for the lock-free allocator")
+	fmt.Fprint(out, t.Render())
+	return nil
+}
+
+func runSpace(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	maxT := cfg.Threads[len(cfg.Threads)-1]
+	workloads := []bench.Workload{cfg.threadtest(), cfg.larson(), cfg.producerConsumer(500)}
+	t := Table{
+		Title:   fmt.Sprintf("Maximum space used (bytes) at %d threads", maxT),
+		Columns: []string{"benchmark", "lockfree", "hoard", "ptmalloc", "pt/lockfree"},
+		Notes: []string{
+			"paper: New consistently slightly below Hoard; Ptmalloc/New from 1.16 (Threadtest) to 3.83 (Larson) at 16 procs",
+		},
+	}
+	for _, w := range workloads {
+		cells := []string{w.Name()}
+		var lf, pt float64
+		for _, name := range []string{"lockfree", "hoard", "ptmalloc"} {
+			a, err := cfg.newAlloc(name)
+			if err != nil {
+				return err
+			}
+			r := w.Run(a, maxT)
+			cells = append(cells, fmt.Sprintf("%d", r.MaxLiveBytes))
+			switch name {
+			case "lockfree":
+				lf = float64(r.MaxLiveBytes)
+			case "ptmalloc":
+				pt = float64(r.MaxLiveBytes)
+			}
+		}
+		if lf > 0 {
+			cells = append(cells, fmt.Sprintf("%.2f", pt/lf))
+		} else {
+			cells = append(cells, "-")
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	fmt.Fprint(out, t.Render())
+	return nil
+}
+
+func runUniprocessor(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	w := cfg.linuxScalability()
+	multi := alloc.NewLockFree(alloc.Options{Processors: cfg.Processors})
+	single := alloc.NewLockFree(alloc.Options{Processors: 1})
+	rm := w.Run(multi, 1)
+	rs := w.Run(single, 1)
+	t := Table{
+		Title:   "Uniprocessor optimization: single-heap lock-free allocator, 1 thread",
+		Columns: []string{"config", "ops/s", "vs multi-heap"},
+		Notes:   []string{"paper: +15% contention-free speedup on POWER3 (§4.2.4)"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{fmt.Sprintf("heaps=%d", cfg.Processors), fmt.Sprintf("%.0f", rm.OpsPerSec()), "1.00"},
+		[]string{"heaps=1", fmt.Sprintf("%.0f", rs.OpsPerSec()), fmt.Sprintf("%.2f", rs.OpsPerSec()/rm.OpsPerSec())},
+	)
+	fmt.Fprint(out, t.Render())
+	return nil
+}
+
+func runAblations(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	maxT := cfg.Threads[len(cfg.Threads)-1]
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"baseline (credits=64, FIFO, free-on-race-loss, partial slot)", core.Config{}},
+		{"credits=1 (no batched reservations)", core.Config{MaxCredits: 1}},
+		{"credits=8", core.Config{MaxCredits: 8}},
+		{"LIFO partial lists", core.Config{PartialLIFO: true}},
+		{"keep new SB on race loss", core.Config{KeepNewSBOnRaceLoss: true}},
+		{"no per-heap partial slot", core.Config{NoPartialSlot: true}},
+		{"4 partial slots per heap (§3.2.6 option)", core.Config{PartialSlots: 4}},
+		{"hyperblock batching (§3.2.5)", core.Config{Hyperblocks: true}},
+	}
+	workloads := []bench.Workload{cfg.linuxScalability(), cfg.larson()}
+	for _, w := range workloads {
+		t := Table{
+			Title:   fmt.Sprintf("Ablation: %s at %d threads", w.Name(), maxT),
+			Columns: []string{"variant", "ops/s", "maxlive B"},
+		}
+		for _, v := range variants {
+			var best bench.Result
+			for i := 0; i < scalarReps; i++ {
+				a := alloc.NewLockFree(alloc.Options{
+					Processors: cfg.Processors,
+					LockFree:   v.cfg,
+				})
+				runtime.GC()
+				if r := w.Run(a, maxT); r.OpsPerSec() > best.OpsPerSec() {
+					best = r
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				v.name,
+				fmt.Sprintf("%.0f", best.OpsPerSec()),
+				fmt.Sprintf("%d", best.MaxLiveBytes),
+			})
+		}
+		fmt.Fprint(out, t.Render())
+		fmt.Fprintln(out)
+	}
+	return nil
+}

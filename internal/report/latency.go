@@ -1,0 +1,31 @@
+package report
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// rawSyncCosts measures the contention-free cost of a mutex
+// lock/unlock pair and of a single successful CAS, the paper's §4.2.1
+// micro-datum (165 ns lock pair on POWER4) used to argue that no
+// lock-based allocator can beat the lock-free one's latency.
+func rawSyncCosts() (lockNS, casNS float64) {
+	const iters = 2_000_000
+	var mu sync.Mutex
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		mu.Lock()
+		//lint:ignore SA2001 intentionally empty critical section
+		mu.Unlock()
+	}
+	lockNS = float64(time.Since(t0).Nanoseconds()) / iters
+
+	var v atomic.Uint64
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		v.CompareAndSwap(uint64(i), uint64(i+1))
+	}
+	casNS = float64(time.Since(t0).Nanoseconds()) / iters
+	return lockNS, casNS
+}

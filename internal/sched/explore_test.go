@@ -1,0 +1,272 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+func exploreAlloc() *core.Allocator {
+	return core.New(core.Config{
+		Processors: 1, // one heap: maximum interference between threads
+		HeapConfig: mem.Config{SegmentWordsLog2: 16, TotalWordsLog2: 26},
+	})
+}
+
+// TestExploreMallocFreePair enumerates every interleaving of two
+// threads each doing malloc(8);free and checks structural invariants
+// and zero leakage after each.
+func TestExploreMallocFreePair(t *testing.T) {
+	res, err := Explore(ExploreConfig{
+		NewAllocator: exploreAlloc,
+		Scripts: []Script{
+			func(th *core.Thread) {
+				p, err := th.Malloc(8)
+				if err != nil {
+					panic(err)
+				}
+				th.Free(p)
+			},
+			func(th *core.Thread) {
+				p, err := th.Malloc(8)
+				if err != nil {
+					panic(err)
+				}
+				th.Free(p)
+			},
+		},
+		Check: func(a *core.Allocator) error {
+			return a.CheckInvariants(0)
+		},
+		MaxSchedules: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedules < 10 {
+		t.Errorf("only %d schedules explored; yields not interleaving", res.Schedules)
+	}
+	t.Logf("explored %d interleavings (truncated=%v)", res.Schedules, res.Truncated)
+}
+
+// TestExploreDistinctBlocks: in every interleaving of two concurrent
+// mallocs, the returned blocks must be distinct.
+func TestExploreDistinctBlocks(t *testing.T) {
+	var p0, p1 atomic.Uint64
+	res, err := Explore(ExploreConfig{
+		NewAllocator: func() *core.Allocator {
+			p0.Store(0)
+			p1.Store(0)
+			return exploreAlloc()
+		},
+		Scripts: []Script{
+			func(th *core.Thread) {
+				p, err := th.Malloc(8)
+				if err != nil {
+					panic(err)
+				}
+				p0.Store(uint64(p))
+			},
+			func(th *core.Thread) {
+				p, err := th.Malloc(8)
+				if err != nil {
+					panic(err)
+				}
+				p1.Store(uint64(p))
+			},
+		},
+		Check: func(a *core.Allocator) error {
+			if p0.Load() == 0 || p1.Load() == 0 {
+				return fmt.Errorf("a malloc did not complete")
+			}
+			if p0.Load() == p1.Load() {
+				return fmt.Errorf("both threads received block %#x", p0.Load())
+			}
+			return a.CheckInvariants(2)
+		},
+		MaxSchedules: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d interleavings", res.Schedules)
+}
+
+// TestExploreRemoteFree: thread B frees A's block if it is published
+// by the time B looks — both outcomes must leave a consistent state.
+func TestExploreRemoteFree(t *testing.T) {
+	var published atomic.Uint64
+	var consumed atomic.Bool
+	res, err := Explore(ExploreConfig{
+		NewAllocator: func() *core.Allocator {
+			published.Store(0)
+			consumed.Store(false)
+			return exploreAlloc()
+		},
+		Scripts: []Script{
+			func(th *core.Thread) {
+				p, err := th.Malloc(16)
+				if err != nil {
+					panic(err)
+				}
+				published.Store(uint64(p))
+			},
+			func(th *core.Thread) {
+				// B does its own work, then frees A's block if visible.
+				q, err := th.Malloc(16)
+				if err != nil {
+					panic(err)
+				}
+				th.Free(q)
+				if p := published.Swap(0); p != 0 {
+					th.Free(mem.Ptr(p))
+					consumed.Store(true)
+				}
+			},
+		},
+		Check: func(a *core.Allocator) error {
+			want := int64(1) // A's block lives unless B consumed it
+			if consumed.Load() {
+				want = 0
+			}
+			return a.CheckInvariants(want)
+		},
+		MaxSchedules: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d interleavings", res.Schedules)
+}
+
+// TestExploreSuperblockDrain: two threads race to fill a tiny-class
+// superblock past FULL and back; every interleaving of the
+// FULL/PARTIAL/EMPTY transitions must stay consistent.
+func TestExploreSuperblockDrain(t *testing.T) {
+	script := func(th *core.Thread) {
+		// 2048-byte class: 7 blocks per superblock; 4+4 allocations
+		// from two threads force a FULL transition and a second
+		// superblock in some interleavings.
+		var ps []mem.Ptr
+		for i := 0; i < 4; i++ {
+			p, err := th.Malloc(2048)
+			if err != nil {
+				panic(err)
+			}
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			th.Free(p)
+		}
+	}
+	res, err := Explore(ExploreConfig{
+		NewAllocator: exploreAlloc,
+		Scripts:      []Script{script, script},
+		Check: func(a *core.Allocator) error {
+			return a.CheckInvariants(0)
+		},
+		MaxSchedules: 800, // the full space is large; a bounded prefix
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated && res.Schedules < 100 {
+		t.Errorf("suspiciously small space: %d schedules", res.Schedules)
+	}
+	t.Logf("explored %d interleavings (truncated=%v)", res.Schedules, res.Truncated)
+}
+
+// TestExploreNoCreditsVariant: with MaxCredits=1 every malloc takes
+// the last credit and runs UpdateActive — the densest interleaving of
+// the §3.2.3 credit machinery. Exhaustive for two malloc/free pairs.
+func TestExploreNoCreditsVariant(t *testing.T) {
+	pair := func(th *core.Thread) {
+		p, err := th.Malloc(8)
+		if err != nil {
+			panic(err)
+		}
+		th.Free(p)
+	}
+	res, err := Explore(ExploreConfig{
+		NewAllocator: func() *core.Allocator {
+			return core.New(core.Config{
+				Processors: 1,
+				MaxCredits: 1,
+				HeapConfig: mem.Config{SegmentWordsLog2: 16, TotalWordsLog2: 26},
+			})
+		},
+		Scripts: []Script{pair, pair},
+		Check: func(a *core.Allocator) error {
+			return a.CheckInvariants(0)
+		},
+		MaxSchedules: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d interleavings (truncated=%v)", res.Schedules, res.Truncated)
+}
+
+// TestExploreHyperblocks runs the drain scenario with the hyperblock
+// layer enabled, interleaving its lock-free superblock recycling with
+// the allocator's EMPTY transitions.
+func TestExploreHyperblocks(t *testing.T) {
+	script := func(th *core.Thread) {
+		var ps []mem.Ptr
+		for i := 0; i < 3; i++ {
+			p, err := th.Malloc(2048)
+			if err != nil {
+				panic(err)
+			}
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			th.Free(p)
+		}
+	}
+	res, err := Explore(ExploreConfig{
+		NewAllocator: func() *core.Allocator {
+			return core.New(core.Config{
+				Processors:  1,
+				Hyperblocks: true,
+				HeapConfig:  mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 27},
+			})
+		},
+		Scripts: []Script{script, script},
+		Check: func(a *core.Allocator) error {
+			return a.CheckInvariants(0)
+		},
+		MaxSchedules: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d interleavings (truncated=%v)", res.Schedules, res.Truncated)
+}
+
+// TestExploreThreeThreads: a bounded sweep of a 3-thread configuration
+// (malloc/free pairs) for cross-checking beyond pairwise interactions.
+func TestExploreThreeThreads(t *testing.T) {
+	pair := func(th *core.Thread) {
+		p, err := th.Malloc(8)
+		if err != nil {
+			panic(err)
+		}
+		th.Free(p)
+	}
+	res, err := Explore(ExploreConfig{
+		NewAllocator: exploreAlloc,
+		Scripts:      []Script{pair, pair, pair},
+		Check: func(a *core.Allocator) error {
+			return a.CheckInvariants(0)
+		},
+		MaxSchedules: 1200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d interleavings (truncated=%v)", res.Schedules, res.Truncated)
+}

@@ -1,0 +1,132 @@
+// Package sizeclass defines the block size classes shared by the
+// allocators in this repository.
+//
+// The paper distributes superblocks among size classes based on block
+// size (§3.1); the exact class spacing is not specified, so this package
+// uses a conventional geometric-ish table: 8-byte spacing up to 64 B,
+// then progressively coarser spacing up to the large-allocation
+// threshold of 2 KiB. Each block carries a one-word (8-byte) prefix, as
+// in the paper, so a class's block size is its payload plus one word.
+//
+// All superblocks are 16 KiB (2048 words), the paper's example size;
+// that keeps every class's block count within the 10-bit avail/count
+// fields of the anchor word.
+package sizeclass
+
+import (
+	"fmt"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+)
+
+// SuperblockWords is the size of every small-class superblock in words
+// (16 KiB).
+const SuperblockWords = 2048
+
+// MaxPayloadBytes is the largest payload served from superblocks;
+// larger requests are large blocks allocated directly from the OS
+// layer.
+const MaxPayloadBytes = 2048
+
+// Class describes one size class.
+type Class struct {
+	Index        int
+	PayloadBytes uint64 // caller-visible bytes
+	BlockWords   uint64 // payload words + 1 prefix word
+	SBWords      uint64 // superblock size in words
+	MaxCount     uint64 // blocks per superblock
+}
+
+var classes []Class
+
+// payload sizes in bytes; 8-byte steps to 64, 16 to 128, 32 to 256,
+// 64 to 512, 128 to 1024, 256 to 2048.
+var payloadSizes = buildPayloadSizes()
+
+func buildPayloadSizes() []uint64 {
+	var out []uint64
+	add := func(from, to, step uint64) {
+		for s := from; s <= to; s += step {
+			out = append(out, s)
+		}
+	}
+	add(8, 64, 8)
+	add(80, 128, 16)
+	add(160, 256, 32)
+	add(320, 512, 64)
+	add(640, 1024, 128)
+	add(1280, 2048, 256)
+	return out
+}
+
+// lookup maps ceil(payload/8) to class index.
+var lookup [MaxPayloadBytes/mem.WordBytes + 1]int8
+
+func init() {
+	classes = make([]Class, len(payloadSizes))
+	for i, pb := range payloadSizes {
+		bw := pb/mem.WordBytes + 1
+		mc := SuperblockWords / bw
+		if mc > atomicx.MaxBlocksPerSuperblock {
+			panic(fmt.Sprintf("sizeclass: class %d (%d B) has %d blocks, exceeding anchor field width", i, pb, mc))
+		}
+		if mc < 2 {
+			panic(fmt.Sprintf("sizeclass: class %d (%d B) has fewer than 2 blocks per superblock", i, pb))
+		}
+		classes[i] = Class{
+			Index:        i,
+			PayloadBytes: pb,
+			BlockWords:   bw,
+			SBWords:      SuperblockWords,
+			MaxCount:     mc,
+		}
+	}
+	ci := 0
+	for w := 1; w <= MaxPayloadBytes/mem.WordBytes; w++ {
+		for uint64(w*mem.WordBytes) > classes[ci].PayloadBytes {
+			ci++
+		}
+		lookup[w] = int8(ci)
+	}
+}
+
+// NumClasses returns the number of size classes.
+func NumClasses() int { return len(classes) }
+
+// ByIndex returns the class with the given index.
+func ByIndex(i int) Class { return classes[i] }
+
+// For returns the class serving a payload of the given size in bytes,
+// and ok=false if the size must be served as a large block.
+func For(payloadBytes uint64) (Class, bool) {
+	i, ok := IndexFor(payloadBytes)
+	if !ok {
+		return Class{}, false
+	}
+	return classes[i], true
+}
+
+// IndexFor returns the index of the class serving the payload size,
+// avoiding the struct copy of For on hot paths.
+func IndexFor(payloadBytes uint64) (int, bool) {
+	if payloadBytes > MaxPayloadBytes {
+		return 0, false
+	}
+	if payloadBytes == 0 {
+		return 0, true
+	}
+	w := (payloadBytes + mem.WordBytes - 1) / mem.WordBytes
+	return int(lookup[w]), true
+}
+
+// IsLarge reports whether a payload of the given byte size bypasses the
+// size classes.
+func IsLarge(payloadBytes uint64) bool { return payloadBytes > MaxPayloadBytes }
+
+// All returns a copy of the class table (for tools and tests).
+func All() []Class {
+	out := make([]Class, len(classes))
+	copy(out, classes)
+	return out
+}

@@ -1,0 +1,141 @@
+package sizeclass
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+)
+
+func TestTableMonotonic(t *testing.T) {
+	prev := uint64(0)
+	for _, c := range All() {
+		if c.PayloadBytes <= prev {
+			t.Errorf("class %d payload %d not increasing after %d", c.Index, c.PayloadBytes, prev)
+		}
+		prev = c.PayloadBytes
+	}
+}
+
+func TestBlockWordsIncludePrefix(t *testing.T) {
+	for _, c := range All() {
+		if c.BlockWords != c.PayloadBytes/mem.WordBytes+1 {
+			t.Errorf("class %d: BlockWords %d != payload words + 1", c.Index, c.BlockWords)
+		}
+	}
+}
+
+func TestMaxCountWithinAnchorWidth(t *testing.T) {
+	for _, c := range All() {
+		if c.MaxCount > atomicx.MaxBlocksPerSuperblock {
+			t.Errorf("class %d: maxcount %d exceeds anchor field", c.Index, c.MaxCount)
+		}
+		if c.MaxCount < 2 {
+			t.Errorf("class %d: maxcount %d < 2", c.Index, c.MaxCount)
+		}
+		if c.MaxCount != c.SBWords/c.BlockWords {
+			t.Errorf("class %d: maxcount %d != sbsize/sz", c.Index, c.MaxCount)
+		}
+	}
+}
+
+func TestForServesRequest(t *testing.T) {
+	for sz := uint64(1); sz <= MaxPayloadBytes; sz++ {
+		c, ok := For(sz)
+		if !ok {
+			t.Fatalf("For(%d) refused a small size", sz)
+		}
+		if c.PayloadBytes < sz {
+			t.Fatalf("For(%d) returned class with payload %d", sz, c.PayloadBytes)
+		}
+	}
+}
+
+func TestForTight(t *testing.T) {
+	// Each class's own payload size must map to itself (no skipping).
+	for _, c := range All() {
+		got, ok := For(c.PayloadBytes)
+		if !ok || got.Index != c.Index {
+			t.Errorf("For(%d) = class %d, want %d", c.PayloadBytes, got.Index, c.Index)
+		}
+	}
+}
+
+func TestForMinimality(t *testing.T) {
+	// For(sz) must return the smallest class that fits: the class just
+	// below must not fit.
+	f := func(raw uint16) bool {
+		sz := uint64(raw)%MaxPayloadBytes + 1
+		c, ok := For(sz)
+		if !ok {
+			return false
+		}
+		if c.Index == 0 {
+			return true
+		}
+		return ByIndex(c.Index-1).PayloadBytes < sz
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForZero(t *testing.T) {
+	c, ok := For(0)
+	if !ok || c.Index != 0 {
+		t.Errorf("For(0) = (%v, %v), want smallest class", c, ok)
+	}
+}
+
+func TestLargeThreshold(t *testing.T) {
+	if _, ok := For(MaxPayloadBytes); !ok {
+		t.Error("MaxPayloadBytes should be small")
+	}
+	if _, ok := For(MaxPayloadBytes + 1); ok {
+		t.Error("MaxPayloadBytes+1 should be large")
+	}
+	if !IsLarge(MaxPayloadBytes + 1) {
+		t.Error("IsLarge(MaxPayloadBytes+1) = false")
+	}
+	if IsLarge(MaxPayloadBytes) {
+		t.Error("IsLarge(MaxPayloadBytes) = true")
+	}
+}
+
+func TestEightByteClassIsFirst(t *testing.T) {
+	// The paper's benchmarks allocate 8-byte blocks; they should hit
+	// the smallest class: 2 words per block, 1024 blocks per 16 KiB
+	// superblock (the paper's worked example density).
+	c, ok := For(8)
+	if !ok || c.Index != 0 {
+		t.Fatalf("For(8) = class %d", c.Index)
+	}
+	if c.BlockWords != 2 {
+		t.Errorf("8-byte class block words = %d, want 2", c.BlockWords)
+	}
+	if c.MaxCount != 1024 {
+		t.Errorf("8-byte class maxcount = %d, want 1024", c.MaxCount)
+	}
+}
+
+func TestInternalFragmentationBounded(t *testing.T) {
+	// Spacing guarantee: waste within a class is below 8 bytes
+	// absolute (word rounding) or 30% relative, whichever is larger.
+	for sz := uint64(1); sz <= MaxPayloadBytes; sz++ {
+		c, _ := For(sz)
+		waste := c.PayloadBytes - sz
+		if waste >= 8 && waste*100 > sz*30 {
+			t.Fatalf("size %d maps to class payload %d: %d%% waste",
+				sz, c.PayloadBytes, waste*100/sz)
+		}
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].PayloadBytes = 999999
+	if ByIndex(0).PayloadBytes == 999999 {
+		t.Error("All exposed internal table")
+	}
+}

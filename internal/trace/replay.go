@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/alloc"
+	"repro/internal/mem"
+)
+
+// ReplayResult reports a deterministic replay.
+type ReplayResult struct {
+	Allocator    string
+	Events       int
+	Elapsed      time.Duration
+	MaxLiveBytes uint64 // allocator-level max resident (OS regions)
+	EndLive      int    // blocks live at trace end (freed by Replay afterwards)
+}
+
+// EventsPerSec returns throughput.
+func (r ReplayResult) EventsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.Elapsed.Seconds()
+}
+
+// Replay executes the trace against the allocator, verifying payload
+// integrity: every allocated block is stamped with its id and checked
+// at free time and at the end. Events execute in trace order (threads
+// are identities, not goroutines), making replays deterministic.
+// Blocks still live at the end are freed before returning, and the
+// allocator is left quiescent.
+func Replay(tr *Trace, a alloc.Allocator) (ReplayResult, error) {
+	if err := tr.Validate(); err != nil {
+		return ReplayResult{}, err
+	}
+	heap := a.Heap()
+	threads := make([]alloc.Thread, tr.Threads)
+	for i := range threads {
+		threads[i] = a.NewThread()
+	}
+	type blk struct {
+		p     mem.Ptr
+		words uint64
+	}
+	blocks := map[uint64]blk{}
+	var nextID uint64
+
+	heap.ResetMaxLive()
+	start := time.Now()
+	for i, e := range tr.Events {
+		th := threads[e.Thread]
+		switch e.Op {
+		case OpMalloc:
+			p, err := th.Malloc(e.Size)
+			if err != nil {
+				return ReplayResult{}, fmt.Errorf("trace: event %d: malloc(%d): %w", i, e.Size, err)
+			}
+			words := (e.Size + mem.WordBytes - 1) / mem.WordBytes
+			if words > 0 {
+				heap.Set(p, nextID) // stamp
+			}
+			blocks[nextID] = blk{p, words}
+			nextID++
+		case OpFree:
+			b := blocks[e.Block]
+			if b.words > 0 {
+				if got := heap.Get(b.p); got != e.Block {
+					return ReplayResult{}, fmt.Errorf(
+						"trace: event %d: block %d payload stamp = %d (corruption)", i, e.Block, got)
+				}
+			}
+			th.Free(b.p)
+			delete(blocks, e.Block)
+		}
+	}
+	elapsed := time.Since(start)
+	res := ReplayResult{
+		Allocator:    a.Name(),
+		Events:       len(tr.Events),
+		Elapsed:      elapsed,
+		MaxLiveBytes: heap.Stats().MaxLiveWords * mem.WordBytes,
+		EndLive:      len(blocks),
+	}
+	// Verify and drain the survivors.
+	for id, b := range blocks {
+		if b.words > 0 {
+			if got := heap.Get(b.p); got != id {
+				return res, fmt.Errorf("trace: end check: block %d stamp = %d", id, got)
+			}
+		}
+		threads[0].Free(b.p)
+	}
+	return res, nil
+}

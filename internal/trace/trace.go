@@ -1,0 +1,306 @@
+// Package trace records, generates, serializes, and replays
+// multi-threaded allocation traces against any allocator in this
+// repository. It serves three roles:
+//
+//   - workload generation for the benchmark harness beyond the paper's
+//     six microbenchmarks (parameterized private/shared/bursty
+//     patterns);
+//   - differential testing: one trace replayed against all four
+//     allocators must produce identical liveness behaviour and intact
+//     payloads;
+//   - debugging: a failing interleaving can be captured to a compact
+//     binary format and replayed deterministically.
+//
+// A trace is a sequence of events, each attributed to a thread. Blocks
+// are named by dense ids (the allocation order), so a trace is
+// allocator-independent: the replayer maps block ids to whatever
+// pointers the allocator under test returns.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Op is an event kind.
+type Op uint8
+
+const (
+	// OpMalloc allocates a new block; its id is the count of OpMalloc
+	// events so far (0-based).
+	OpMalloc Op = iota
+	// OpFree frees a previously allocated block by id.
+	OpFree
+)
+
+// Event is one step of a trace.
+type Event struct {
+	Thread uint32 // executing thread
+	Op     Op
+	Size   uint64 // OpMalloc: payload bytes
+	Block  uint64 // OpFree: block id; OpMalloc: implicit (allocation order)
+}
+
+// Trace is an ordered event sequence. Replay preserves the total order
+// across threads (each event completes before the next begins), which
+// makes traces deterministic reproductions rather than races.
+type Trace struct {
+	Events []Event
+	// Threads is the number of distinct threads referenced.
+	Threads int
+}
+
+// Validate checks the trace for structural errors: frees of unknown or
+// already-freed blocks, thread ids out of range.
+func (tr *Trace) Validate() error {
+	allocated := uint64(0)
+	live := map[uint64]bool{}
+	for i, e := range tr.Events {
+		if int(e.Thread) >= tr.Threads {
+			return fmt.Errorf("trace: event %d: thread %d out of range %d", i, e.Thread, tr.Threads)
+		}
+		switch e.Op {
+		case OpMalloc:
+			live[allocated] = true
+			allocated++
+		case OpFree:
+			if !live[e.Block] {
+				return fmt.Errorf("trace: event %d: free of dead or unknown block %d", i, e.Block)
+			}
+			delete(live, e.Block)
+		default:
+			return fmt.Errorf("trace: event %d: unknown op %d", i, e.Op)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Events   int
+	Mallocs  int
+	Frees    int
+	MaxLive  int
+	EndLive  int
+	MaxBytes uint64 // peak sum of live payload bytes
+}
+
+// Stats computes trace statistics.
+func (tr *Trace) Stats() Stats {
+	var s Stats
+	s.Events = len(tr.Events)
+	liveBytes := uint64(0)
+	sizes := map[uint64]uint64{}
+	allocated := uint64(0)
+	live := 0
+	for _, e := range tr.Events {
+		switch e.Op {
+		case OpMalloc:
+			s.Mallocs++
+			sizes[allocated] = e.Size
+			liveBytes += e.Size
+			allocated++
+			live++
+			if live > s.MaxLive {
+				s.MaxLive = live
+			}
+			if liveBytes > s.MaxBytes {
+				s.MaxBytes = liveBytes
+			}
+		case OpFree:
+			s.Frees++
+			liveBytes -= sizes[e.Block]
+			live--
+		}
+	}
+	s.EndLive = live
+	return s
+}
+
+const (
+	magic   = "MLFTRACE"
+	version = 1
+)
+
+// Write serializes the trace in the compact binary format.
+func (tr *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], version)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(tr.Threads))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(tr.Events)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	for _, e := range tr.Events {
+		// Event encoding: varint(thread<<1 | op), then varint(size or
+		// block id).
+		n := binary.PutUvarint(buf[:], uint64(e.Thread)<<1|uint64(e.Op))
+		arg := e.Size
+		if e.Op == OpFree {
+			arg = e.Block
+		}
+		n += binary.PutUvarint(buf[n:], arg)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, err
+	}
+	if string(got) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	tr := &Trace{
+		Threads: int(binary.LittleEndian.Uint32(hdr[4:])),
+		Events:  make([]Event, binary.LittleEndian.Uint32(hdr[8:])),
+	}
+	for i := range tr.Events {
+		tag, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		arg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		e := Event{Thread: uint32(tag >> 1), Op: Op(tag & 1)}
+		if e.Op == OpMalloc {
+			e.Size = arg
+		} else {
+			e.Block = arg
+		}
+		tr.Events[i] = e
+	}
+	return tr, tr.Validate()
+}
+
+// GenConfig parameterizes trace generation.
+type GenConfig struct {
+	Threads int
+	Events  int
+	Seed    int64
+	// Pattern selects the allocation structure.
+	Pattern Pattern
+	// MinSize/MaxSize bound payload bytes.
+	MinSize, MaxSize uint64
+	// MaxLivePerThread caps each thread's live blocks.
+	MaxLivePerThread int
+}
+
+// Pattern is a generation pattern.
+type Pattern int
+
+const (
+	// Private: each thread frees only blocks it allocated (the
+	// Linux-scalability/Threadtest regime).
+	Private Pattern = iota
+	// ProducerConsumer: even threads allocate, odd threads free the
+	// oldest live block of the preceding even thread.
+	ProducerConsumer
+	// Bursty: threads alternate allocation bursts and free storms
+	// (irregular lifetime structure, like Larson with phases).
+	Bursty
+)
+
+// Generate builds a valid trace from the configuration.
+func Generate(cfg GenConfig) *Trace {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.MinSize == 0 {
+		cfg.MinSize = 8
+	}
+	if cfg.MaxSize < cfg.MinSize {
+		cfg.MaxSize = cfg.MinSize
+	}
+	if cfg.MaxLivePerThread <= 0 {
+		cfg.MaxLivePerThread = 128
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{Threads: cfg.Threads}
+	// ownedBy[t] = live block ids "charged" to thread t's cap.
+	owned := make([][]uint64, cfg.Threads)
+	var nextBlock uint64
+	burstMode := make([]bool, cfg.Threads)
+
+	size := func() uint64 {
+		return cfg.MinSize + uint64(rng.Int63n(int64(cfg.MaxSize-cfg.MinSize+1)))
+	}
+	malloc := func(t int) {
+		tr.Events = append(tr.Events, Event{Thread: uint32(t), Op: OpMalloc, Size: size()})
+		owned[t] = append(owned[t], nextBlock)
+		nextBlock++
+	}
+	free := func(t, victim int, k int) {
+		blocks := owned[victim]
+		id := blocks[k]
+		blocks[k] = blocks[len(blocks)-1]
+		owned[victim] = blocks[:len(blocks)-1]
+		tr.Events = append(tr.Events, Event{Thread: uint32(t), Op: OpFree, Block: id})
+	}
+
+	for len(tr.Events) < cfg.Events {
+		t := rng.Intn(cfg.Threads)
+		switch cfg.Pattern {
+		case Private:
+			if len(owned[t]) > 0 && (len(owned[t]) >= cfg.MaxLivePerThread || rng.Intn(2) == 0) {
+				free(t, t, rng.Intn(len(owned[t])))
+			} else {
+				malloc(t)
+			}
+		case ProducerConsumer:
+			if t%2 == 0 {
+				if len(owned[t]) < cfg.MaxLivePerThread {
+					malloc(t)
+				} else if len(owned[t]) > 0 {
+					// Producer saturated and consumer absent (odd
+					// thread count): shed oldest itself.
+					free(t, t, 0)
+				}
+			} else {
+				src := t - 1
+				if len(owned[src]) > 0 {
+					free(t, src, 0) // consume oldest
+				}
+			}
+		case Bursty:
+			if burstMode[t] {
+				if len(owned[t]) == 0 {
+					burstMode[t] = false
+					malloc(t)
+				} else {
+					free(t, t, len(owned[t])-1)
+				}
+			} else {
+				malloc(t)
+				if len(owned[t]) >= cfg.MaxLivePerThread {
+					burstMode[t] = true
+				}
+			}
+		}
+	}
+	return tr
+}
