@@ -1,0 +1,148 @@
+// Command allocmon runs a continuous malloc/free workload on the
+// lock-free allocator with the telemetry layer attached and serves the
+// live telemetry over HTTP (expvar-style), so contention counters,
+// latency histograms, and the flight recorder can be watched while the
+// allocator runs.
+//
+//	allocmon [-addr :8723] [-threads 4] [-hyper] [-pause 50us]
+//	allocmon -once [-warmup 2s]
+//
+// Endpoints:
+//
+//	/            text dashboard (telemetry snapshot + allocator stats)
+//	/stats.json  full telemetry snapshot as JSON
+//	/events      flight-recorder events only, as JSON
+//	/heap        allocator + heap + hyperblock statistics as JSON
+//
+// -once skips the server: it warms up, prints the text dashboard to
+// stdout, and exits (useful for smoke tests).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8723", "HTTP listen address")
+		threads = flag.Int("threads", 4, "workload goroutines")
+		hyper   = flag.Bool("hyper", false, "enable the hyperblock layer")
+		pause   = flag.Duration("pause", 50*time.Microsecond, "sleep between workload ops (0 = full speed)")
+		once    = flag.Bool("once", false, "print one dashboard after -warmup and exit (no server)")
+		warmup  = flag.Duration("warmup", 2*time.Second, "workload warmup before -once prints")
+		events  = flag.Int("events", 16, "flight-recorder events shown on the text dashboard")
+	)
+	flag.Parse()
+
+	rec := core.NewRecorder(telemetry.Config{})
+	a := core.New(core.Config{
+		Processors:  *threads,
+		Hyperblocks: *hyper,
+		Telemetry:   rec,
+	})
+	for g := 0; g < *threads; g++ {
+		go churn(a, int64(g), *pause)
+	}
+
+	if *once {
+		time.Sleep(*warmup)
+		fmt.Print(rec.Snapshot().Text(*events))
+		printHeapStats(os.Stdout, a)
+		return
+	}
+
+	http.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rec.Snapshot().Text(*events))
+		printHeapStats(w, a)
+	})
+	http.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
+		data, err := rec.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+	http.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		snap := rec.Snapshot()
+		writeJSON(w, map[string]any{
+			"eventsRecorded": snap.EventsRecorded,
+			"events":         snap.Events,
+		})
+	})
+	http.HandleFunc("/heap", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"stats": a.Stats(),
+			"hyper": a.HyperStats(),
+		})
+	})
+
+	fmt.Printf("allocmon: %d workload threads (hyper=%v pause=%v), serving on %s\n",
+		*threads, *hyper, *pause, *addr)
+	if err := http.ListenAndServe(*addr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "allocmon: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func printHeapStats(w interface{ Write([]byte) (int, error) }, a *core.Allocator) {
+	s := a.Stats()
+	fmt.Fprintf(w, "allocator: mallocs=%d frees=%d active=%d partial=%d newSB=%d\n",
+		s.Ops.Mallocs, s.Ops.Frees, s.Ops.FromActive, s.Ops.FromPartial, s.Ops.FromNewSB)
+	fmt.Fprintf(w, "heap: live %d KiB, max-live %d KiB, descriptors %d (+%d free)\n",
+		s.Heap.LiveWords*8/1024, s.Heap.MaxLiveWords*8/1024,
+		s.DescsAllocated, s.DescsOnFreelist)
+}
+
+// churn is the embedded workload: random-size malloc/free traffic with
+// a bounded live set, the same shape as mlfstress.
+func churn(a *core.Allocator, seed int64, pause time.Duration) {
+	th := a.Thread()
+	rng := rand.New(rand.NewSource(seed))
+	var held []mem.Ptr
+	for i := 0; ; i++ {
+		if len(held) > 0 && (rng.Intn(2) == 0 || len(held) > 128) {
+			k := rng.Intn(len(held))
+			th.Free(held[k])
+			held[k] = held[len(held)-1]
+			held = held[:len(held)-1]
+		} else {
+			sz := uint64(8 << rng.Intn(9))
+			if rng.Intn(200) == 0 {
+				sz = 4096 + uint64(rng.Intn(16384))
+			}
+			p, err := th.Malloc(sz)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "allocmon: malloc: %v\n", err)
+				os.Exit(1)
+			}
+			held = append(held, p)
+		}
+		if pause > 0 && i%64 == 0 {
+			time.Sleep(pause)
+		}
+	}
+}

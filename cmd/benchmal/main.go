@@ -5,14 +5,21 @@
 //
 //	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate]
 //	         [-threads 1,2,4,8,16] [-scale 0.01] [-allocs lockfree,hoard,...]
-//	         [-procs N] [-list] [-v]
+//	         [-procs N] [-telemetry] [-json] [-list] [-v]
 //
 // -scale 1.0 runs the paper's full parameters (10M malloc/free pairs
 // per thread, 30-second timed phases); the default 0.01 finishes each
 // experiment in seconds and preserves the qualitative shape.
+//
+// -telemetry (default on) attaches the lock-free observability layer
+// to every lock-free allocator, so each measurement line carries CAS
+// retries/op and malloc latency quantiles; -telemetry=false measures
+// the bare allocator. -json additionally writes every individual
+// measurement to a BENCH_<unixtime>.json file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,9 +27,24 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/bench"
 	"repro/internal/report"
 )
+
+// jsonReport is the schema of the BENCH_*.json file: run parameters
+// plus every individual measurement in the order taken.
+type jsonReport struct {
+	TakenUnixNano int64          `json:"takenUnixNano"`
+	GoMaxProcs    int            `json:"gomaxprocs"`
+	NumCPU        int            `json:"numcpu"`
+	Scale         float64        `json:"scale"`
+	Threads       []int          `json:"threads"`
+	Experiments   []string       `json:"experiments"`
+	Telemetry     bool           `json:"telemetry"`
+	Results       []bench.Result `json:"results"`
+}
 
 func main() {
 	var (
@@ -31,6 +53,8 @@ func main() {
 		scaleFlag   = flag.Float64("scale", 0.01, "fraction of the paper's full parameters (1.0 = full)")
 		allocsFlag  = flag.String("allocs", "", "comma-separated allocators (default: all)")
 		procsFlag   = flag.Int("procs", 0, "processor heaps per allocator (default: max threads)")
+		teleFlag    = flag.Bool("telemetry", true, "attach the telemetry layer to lock-free allocators (retries/op and latency per row)")
+		jsonFlag    = flag.Bool("json", false, "write all measurements to a BENCH_<unixtime>.json file")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
 		verboseFlag = flag.Bool("v", false, "print every individual measurement")
 	)
@@ -51,9 +75,15 @@ func main() {
 		Threads:    threads,
 		Scale:      *scaleFlag,
 		Processors: *procsFlag,
+		Telemetry:  *teleFlag,
 	}
 	if *allocsFlag != "" {
 		cfg.Allocators = strings.Split(*allocsFlag, ",")
+	}
+
+	var results []bench.Result
+	if *jsonFlag {
+		cfg.Record = func(r bench.Result) { results = append(results, r) }
 	}
 
 	var ids []string
@@ -85,6 +115,28 @@ func main() {
 			fatal("%s: %v", e.ID, err)
 		}
 		fmt.Println()
+	}
+
+	if *jsonFlag {
+		rep := jsonReport{
+			TakenUnixNano: time.Now().UnixNano(),
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
+			NumCPU:        runtime.NumCPU(),
+			Scale:         *scaleFlag,
+			Threads:       threads,
+			Experiments:   ids,
+			Telemetry:     *teleFlag,
+			Results:       results,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("marshal results: %v", err)
+		}
+		name := fmt.Sprintf("BENCH_%d.json", time.Now().Unix())
+		if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", name, err)
+		}
+		fmt.Printf("wrote %d measurements to %s\n", len(results), name)
 	}
 }
 

@@ -3,20 +3,36 @@
 // packed-word layouts of Figure 3, and the large-allocation threshold.
 // Useful for sanity-checking configuration against the paper.
 //
-//	heapinfo
+//	heapinfo [-live] [-threads 4] [-ops 50000]
+//
+// With -live, a short multithreaded malloc/free workload is run on a
+// fresh allocator (hyperblock layer enabled) and the resulting live
+// statistics are printed: Allocator.Stats, heap and hyperblock
+// counters, and the telemetry snapshot.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sync"
 	"text/tabwriter"
 
 	"repro/internal/atomicx"
+	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/sizeclass"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	var (
+		live    = flag.Bool("live", false, "run a short workload and print live allocator statistics")
+		threads = flag.Int("threads", 4, "workload goroutines (-live)")
+		ops     = flag.Int("ops", 50000, "operations per goroutine (-live)")
+	)
+	flag.Parse()
 	fmt.Println("Packed word layouts (paper Figure 3):")
 	fmt.Printf("  anchor: avail:%d count:%d state:%d tag:%d (bits)\n",
 		atomicx.AnchorAvailBits, atomicx.AnchorCountBits,
@@ -39,4 +55,69 @@ func main() {
 			c.Index, c.PayloadBytes, c.BlockWords, c.MaxCount, waste)
 	}
 	w.Flush()
+
+	if *live {
+		fmt.Println()
+		runLive(*threads, *ops)
+	}
+}
+
+// runLive exercises a fresh allocator and prints its live statistics:
+// operation counters, heap/hyperblock state, and the telemetry
+// snapshot (contention, latency, flight-recorder tail).
+func runLive(threads, ops int) {
+	rec := core.NewRecorder(telemetry.Config{})
+	a := core.New(core.Config{
+		Processors:  threads,
+		Hyperblocks: true,
+		Telemetry:   rec,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := a.Thread()
+			rng := rand.New(rand.NewSource(seed))
+			var held []mem.Ptr
+			for i := 0; i < ops; i++ {
+				if len(held) > 0 && (rng.Intn(2) == 0 || len(held) > 64) {
+					k := rng.Intn(len(held))
+					th.Free(held[k])
+					held[k] = held[len(held)-1]
+					held = held[:len(held)-1]
+					continue
+				}
+				sz := uint64(8 << rng.Intn(9))
+				p, err := th.Malloc(sz)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "heapinfo: malloc: %v\n", err)
+					os.Exit(1)
+				}
+				held = append(held, p)
+			}
+			for _, p := range held {
+				th.Free(p)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	s := a.Stats()
+	fmt.Printf("Live statistics (%d threads x %d ops, hyperblocks on):\n", threads, ops)
+	fmt.Printf("  ops: %d mallocs / %d frees (large %d/%d)\n",
+		s.Ops.Mallocs, s.Ops.Frees, s.Ops.LargeMallocs, s.Ops.LargeFrees)
+	fmt.Printf("  malloc paths: active=%d partial=%d newSB=%d raceLoss=%d\n",
+		s.Ops.FromActive, s.Ops.FromPartial, s.Ops.FromNewSB, s.Ops.NewSBRaceLoss)
+	fmt.Printf("  superblocks freed: %d; empty-partial skips: %d\n",
+		s.Ops.EmptySBFreed, s.Ops.EmptyPartialSkips)
+	fmt.Printf("  descriptors: %d allocated, %d on freelist\n",
+		s.DescsAllocated, s.DescsOnFreelist)
+	fmt.Printf("  heap: %d words live, max-live %d KiB, %d region allocs / %d frees\n",
+		s.Heap.LiveWords, s.Heap.MaxLiveWords*8/1024, s.Heap.RegionAllocs, s.Heap.RegionFrees)
+	hs := a.HyperStats()
+	fmt.Printf("  hyperblocks: %d allocated, %d released, %d SB allocs / %d frees\n",
+		hs.HyperAllocs, hs.HyperReleases, hs.Allocs, hs.Frees)
+	fmt.Println()
+	fmt.Print(rec.Snapshot().Text(8))
 }

@@ -5,7 +5,12 @@
 // corruption or blocked progress.
 //
 //	mlfstress [-threads 8] [-ops 200000] [-kills 0] [-hyper] [-lifo]
-//	          [-credits 64] [-seed 1]
+//	          [-credits 64] [-seed 1] [-telemetry] [-events 16]
+//
+// With -telemetry, the lock-free observability layer is attached: the
+// run ends with a contention/latency summary, and in fault-injection
+// mode (-kills) the flight recorder's tail is dumped, showing the
+// events leading up to each kill.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sched"
 	"repro/internal/sizeclass"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +38,8 @@ func main() {
 		lifo    = flag.Bool("lifo", false, "LIFO partial lists")
 		credits = flag.Int("credits", 0, "MAXCREDITS (default 64)")
 		seed    = flag.Int64("seed", 1, "PRNG seed")
+		tele    = flag.Bool("telemetry", true, "attach the telemetry layer (contention/latency summary, flight recorder)")
+		events  = flag.Int("events", 16, "flight-recorder events to dump (telemetry mode)")
 	)
 	flag.Parse()
 
@@ -40,7 +48,7 @@ func main() {
 	}
 
 	if *kills > 0 {
-		runKillStress(*kills, *threads, *ops, *seed)
+		runKillStress(*kills, *threads, *ops, *seed, *tele, *events)
 		return
 	}
 
@@ -49,6 +57,9 @@ func main() {
 		MaxCredits:  *credits,
 		PartialLIFO: *lifo,
 		Hyperblocks: *hyper,
+	}
+	if *tele {
+		cfg.Telemetry = core.NewRecorder(telemetry.Config{})
 	}
 	a := core.New(cfg)
 	fmt.Printf("mlfstress: %d threads x %d ops (hyper=%v lifo=%v credits=%d)\n",
@@ -103,6 +114,10 @@ func main() {
 		fmt.Printf("hyperblocks: %d allocated, %d released, scavenged %d now\n",
 			hs.HyperAllocs, hs.HyperReleases, a.Scavenge())
 	}
+	if rec := a.Telemetry(); rec != nil {
+		fmt.Println()
+		fmt.Print(rec.Snapshot().Text(0))
+	}
 
 	if s.Ops.Mallocs != s.Ops.Frees {
 		fail("malloc/free imbalance: %d vs %d", s.Ops.Mallocs, s.Ops.Frees)
@@ -126,9 +141,13 @@ func main() {
 		live*8/1024, bound*8/1024)
 }
 
-func runKillStress(kills, threads, ops int, seed int64) {
+func runKillStress(kills, threads, ops int, seed int64, tele bool, events int) {
 	fmt.Printf("mlfstress: fault injection — %d kills, %d survivors x %d ops\n",
 		kills, threads, ops)
+	var rec *telemetry.Recorder
+	if tele {
+		rec = core.NewRecorder(telemetry.Config{})
+	}
 	res, err := sched.Run(sched.Plan{
 		Victims:        kills,
 		Survivors:      threads,
@@ -136,7 +155,14 @@ func runKillStress(kills, threads, ops int, seed int64) {
 		OpsBeforeKill:  200,
 		Seed:           seed,
 		Point:          -1,
+		Telemetry:      rec,
 	})
+	if rec != nil {
+		// Dump even when survivors blocked: the flight recorder's tail
+		// is the post-mortem, showing each victim's final hook firings.
+		fmt.Println()
+		fmt.Print(rec.Snapshot().Text(events))
+	}
 	if err != nil {
 		fail("survivors blocked: %v", err)
 	}

@@ -13,21 +13,69 @@ import (
 	"time"
 
 	"repro/alloc"
+	"repro/internal/telemetry"
 )
 
 // Result is one benchmark measurement.
 type Result struct {
-	Workload  string
-	Allocator string
-	Threads   int
+	Workload  string `json:"workload"`
+	Allocator string `json:"allocator"`
+	Threads   int    `json:"threads"`
 	// Ops counts the workload's unit of work (malloc/free pairs for
 	// Linux scalability and Larson, blocks for Threadtest, tasks for
 	// Producer-consumer, ...).
-	Ops     uint64
-	Elapsed time.Duration
+	Ops     uint64        `json:"ops"`
+	Elapsed time.Duration `json:"elapsedNS"`
 	// MaxLiveBytes is the high-water mark of OS-level memory held
 	// during the run (§4.2.5 space efficiency).
-	MaxLiveBytes uint64
+	MaxLiveBytes uint64 `json:"maxLiveBytes"`
+
+	// Telemetry summarizes this run's interval of the allocator's
+	// telemetry layer (CAS retries, latency quantiles); nil when the
+	// allocator has no recorder attached.
+	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
+}
+
+// TelemetrySummary is the per-run digest of a telemetry snapshot
+// delta: enough to print retries-per-op and latency columns next to
+// throughput without carrying the full snapshot.
+type TelemetrySummary struct {
+	TotalRetries  uint64            `json:"totalRetries"`
+	RetriesPerOp  float64           `json:"retriesPerOp"`
+	RetriesBySite map[string]uint64 `json:"retriesBySite,omitempty"`
+	MallocP50NS   uint64            `json:"mallocP50NS"`
+	MallocP99NS   uint64            `json:"mallocP99NS"`
+	FreeP50NS     uint64            `json:"freeP50NS"`
+	FreeP99NS     uint64            `json:"freeP99NS"`
+}
+
+// SummarizeTelemetry digests a snapshot (typically an interval delta
+// from Snapshot.Sub) into the benchmark-row summary.
+func SummarizeTelemetry(s telemetry.Snapshot) *TelemetrySummary {
+	sites := make(map[string]uint64)
+	for name, n := range s.Retries {
+		if n > 0 {
+			sites[name] = n
+		}
+	}
+	return &TelemetrySummary{
+		TotalRetries:  s.TotalRetries,
+		RetriesPerOp:  s.RetriesPerOp(),
+		RetriesBySite: sites,
+		MallocP50NS:   s.Malloc.P50NS,
+		MallocP99NS:   s.Malloc.P99NS,
+		FreeP50NS:     s.Free.P50NS,
+		FreeP99NS:     s.Free.P99NS,
+	}
+}
+
+// Recorder returns the telemetry recorder attached to an allocator,
+// or nil (only the lock-free allocator carries one).
+func Recorder(a alloc.Allocator) *telemetry.Recorder {
+	if ca, ok := a.(alloc.CoreAccessor); ok {
+		return ca.Core().Telemetry()
+	}
+	return nil
 }
 
 // OpsPerSec returns the throughput.
@@ -50,9 +98,14 @@ func (r Result) SpeedupOver(base Result) float64 {
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%s/%s t=%d: %d ops in %v (%.0f ops/s, maxlive %d B)",
+	s := fmt.Sprintf("%s/%s t=%d: %d ops in %v (%.0f ops/s, maxlive %d B)",
 		r.Workload, r.Allocator, r.Threads, r.Ops, r.Elapsed.Round(time.Millisecond),
 		r.OpsPerSec(), r.MaxLiveBytes)
+	if tel := r.Telemetry; tel != nil {
+		s += fmt.Sprintf(" [%.4f retries/op, malloc p50=%v p99=%v]",
+			tel.RetriesPerOp, time.Duration(tel.MallocP50NS), time.Duration(tel.MallocP99NS))
+	}
+	return s
 }
 
 // Workload is one of the paper's benchmarks.
@@ -104,9 +157,14 @@ func measure(w Workload, a alloc.Allocator, threads int, fn func(id int, th allo
 		runtime.GOMAXPROCS(threads)
 		defer runtime.GOMAXPROCS(prev)
 	}
+	rec := Recorder(a)
+	var base telemetry.Snapshot
+	if rec != nil {
+		base = rec.Snapshot()
+	}
 	a.Heap().ResetMaxLive()
 	ops, elapsed := runWorkers(a, threads, fn)
-	return Result{
+	r := Result{
 		Workload:     w.Name(),
 		Allocator:    a.Name(),
 		Threads:      threads,
@@ -114,4 +172,8 @@ func measure(w Workload, a alloc.Allocator, threads int, fn func(id int, th allo
 		Elapsed:      elapsed,
 		MaxLiveBytes: a.Heap().Stats().MaxLiveWords * 8,
 	}
+	if rec != nil {
+		r.Telemetry = SummarizeTelemetry(rec.Snapshot().Sub(base))
+	}
+	return r
 }

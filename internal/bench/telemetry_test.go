@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/alloc"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TestResultTelemetrySummary: a workload run on a lock-free allocator
+// with a recorder attached yields a populated per-run telemetry
+// summary; allocators without a recorder yield none.
+func TestResultTelemetrySummary(t *testing.T) {
+	opt := testOptions()
+	opt.LockFree.Telemetry = core.NewRecorder(telemetry.Config{})
+	a := alloc.NewLockFree(opt)
+	w := LinuxScalability{Pairs: 2000, Size: 8}
+
+	r := w.Run(a, 2)
+	if r.Telemetry == nil {
+		t.Fatal("Result.Telemetry is nil with a recorder attached")
+	}
+	if r.Telemetry.MallocP50NS == 0 {
+		t.Error("malloc p50 is zero after a real run")
+	}
+	if r.Telemetry.MallocP99NS < r.Telemetry.MallocP50NS {
+		t.Errorf("p99 %d < p50 %d", r.Telemetry.MallocP99NS, r.Telemetry.MallocP50NS)
+	}
+
+	// The summary must cover only this run's interval: a second run's
+	// latency counts start over rather than accumulating.
+	r2 := w.Run(a, 2)
+	if r2.Telemetry == nil {
+		t.Fatal("second run lost the telemetry summary")
+	}
+
+	// A result with telemetry round-trips through JSON (the benchmal
+	// -json path).
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal result: %v", err)
+	}
+	if back.Telemetry == nil || back.Telemetry.MallocP50NS != r.Telemetry.MallocP50NS {
+		t.Error("telemetry summary did not survive the JSON round trip")
+	}
+
+	// No recorder: no summary.
+	plain := alloc.NewLockFree(testOptions())
+	if r := w.Run(plain, 1); r.Telemetry != nil {
+		t.Error("Result.Telemetry non-nil without a recorder")
+	}
+	serial, err := alloc.New("serial", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := w.Run(serial, 1); r.Telemetry != nil {
+		t.Error("serial allocator produced a telemetry summary")
+	}
+}

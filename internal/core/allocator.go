@@ -26,6 +26,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/partial"
 	"repro/internal/sizeclass"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the allocator. The zero value selects paper
@@ -77,6 +78,22 @@ type Config struct {
 
 	// HeapConfig configures the created heap when Heap is nil.
 	HeapConfig mem.Config
+
+	// Telemetry, when non-nil, attaches the lock-free observability
+	// layer: CAS-retry counters at every contention site, per-class
+	// malloc/free latency histograms, and the flight recorder. Create
+	// one with NewRecorder so histogram rows match the size-class
+	// table. When nil (the default), the only cost is a nil check per
+	// instrumented branch.
+	Telemetry *telemetry.Recorder
+}
+
+// NewRecorder creates a telemetry recorder sized for this allocator's
+// size-class table (histogram rows per class plus one for large
+// blocks). Pass the result in Config.Telemetry.
+func NewRecorder(cfg telemetry.Config) *telemetry.Recorder {
+	cfg.Classes = sizeclass.NumClasses()
+	return telemetry.New(cfg)
 }
 
 // DefaultProcessors is used when Config.Processors is 0; it is a
@@ -91,6 +108,7 @@ type Allocator struct {
 	heap  *mem.Heap
 	hyper *mem.Hyper // non-nil when cfg.Hyperblocks
 	cfg   Config
+	tele  *telemetry.Recorder // non-nil when cfg.Telemetry
 	procs uint64
 
 	maxCredits uint64
@@ -157,6 +175,17 @@ func New(cfg Config) *Allocator {
 		// 64 superblocks per hyperblock = 1 MiB batches (§3.2.5).
 		a.hyper = mem.NewHyper(h, sizeclass.SuperblockWords, 64)
 	}
+	// Telemetry wiring: thread-context sites record through per-thread
+	// shards (attached in Thread); the thread-less structures — region
+	// free stacks, descriptor freelist, partial-list pools — share the
+	// recorder's stripes.
+	var stripes *telemetry.Stripes
+	if cfg.Telemetry != nil {
+		a.tele = cfg.Telemetry
+		stripes = cfg.Telemetry.Stripes()
+		a.descs.tele = stripes
+		h.SetTelemetry(stripes)
+	}
 	for i := range a.classes {
 		sc := &a.classes[i]
 		sc.class = sizeclass.ByIndex(i)
@@ -165,6 +194,9 @@ func New(cfg Config) *Allocator {
 			sc.partial = partial.NewLIFO()
 		} else {
 			sc.partial = partial.NewFIFO()
+		}
+		if stripes != nil {
+			sc.partial.Instrument(stripes)
 		}
 		for p := range sc.heaps {
 			sc.heaps[p].sc = sc
@@ -232,12 +264,19 @@ func (a *Allocator) HyperStats() mem.HyperStats {
 	return a.hyper.Stats()
 }
 
+// Telemetry returns the attached telemetry recorder (nil when the
+// layer is disabled).
+func (a *Allocator) Telemetry() *telemetry.Recorder { return a.tele }
+
 // Thread registers a new thread (goroutine) with the allocator and
 // returns its handle. The handle is not safe for concurrent use; each
 // worker goroutine should hold its own, as each OS thread does in the
 // paper's pthread environment.
 func (a *Allocator) Thread() *Thread {
 	t := &Thread{a: a, id: a.nextThread.Add(1) - 1}
+	if a.tele != nil {
+		t.rec = a.tele.NewShard(t.id)
+	}
 	// Resolve this thread's processor heap per size class once (the
 	// paper's find_heap computes heap = f(sz, thread id) per malloc;
 	// the function is pure, so caching it is behaviour-preserving).
@@ -260,17 +299,55 @@ type Thread struct {
 	id     uint64
 	heaps  []*ProcHeap // per-size-class processor heap for this thread
 	hookFn func(HookPoint)
+	rec    *telemetry.ThreadShard // non-nil when telemetry is attached
 
-	// Operation counters, aggregated by Allocator.Stats. Plain fields:
-	// the handle is single-goroutine by contract; aggregation reads
-	// are racy-by-design snapshots documented on Stats.
-	ops OpStats
+	// Operation counters, aggregated by Allocator.Stats. The owning
+	// goroutine is the only writer; each counter is atomic so Stats
+	// can sample them live from any goroutine (see Stats for the
+	// snapshot semantics).
+	ops opCounters
+}
+
+// opCounters is the per-thread operation-counter block. The owning
+// thread increments with atomic adds; Stats loads each counter
+// atomically. The total malloc count is not stored: every successful
+// small malloc takes exactly one of the three paths, so snapshot
+// derives Mallocs = fromActive+fromPartial+fromNewSB and the malloc
+// fast path pays a single uncontended atomic add.
+type opCounters struct {
+	frees             atomic.Uint64
+	largeMallocs      atomic.Uint64
+	largeFrees        atomic.Uint64
+	fromActive        atomic.Uint64
+	fromPartial       atomic.Uint64
+	fromNewSB         atomic.Uint64
+	newSBRaceLoss     atomic.Uint64
+	emptySBFreed      atomic.Uint64
+	emptyPartialSkips atomic.Uint64
+}
+
+// snapshot loads every counter. Loads are individually atomic but not
+// mutually consistent (see Stats).
+func (c *opCounters) snapshot() OpStats {
+	fa, fp, fn := c.fromActive.Load(), c.fromPartial.Load(), c.fromNewSB.Load()
+	return OpStats{
+		Mallocs:           fa + fp + fn,
+		Frees:             c.frees.Load(),
+		LargeMallocs:      c.largeMallocs.Load(),
+		LargeFrees:        c.largeFrees.Load(),
+		FromActive:        fa,
+		FromPartial:       fp,
+		FromNewSB:         fn,
+		NewSBRaceLoss:     c.newSBRaceLoss.Load(),
+		EmptySBFreed:      c.emptySBFreed.Load(),
+		EmptyPartialSkips: c.emptyPartialSkips.Load(),
+	}
 }
 
 // OpStats counts allocator operations observed by one thread or
 // aggregated across threads.
 type OpStats struct {
-	Mallocs       uint64 // successful small mallocs
+	Mallocs       uint64 // successful small mallocs (= FromActive+FromPartial+FromNewSB)
 	Frees         uint64 // small frees
 	LargeMallocs  uint64
 	LargeFrees    uint64
@@ -306,13 +383,21 @@ type Stats struct {
 	Heap            mem.Stats
 }
 
-// Stats aggregates (racily, as a snapshot) per-thread counters and
-// descriptor/heap statistics.
+// Stats aggregates per-thread counters and descriptor/heap statistics.
+// It is safe to call at any time, including while worker threads run.
+//
+// Snapshot semantics: every counter is read with an atomic load, so
+// values are never torn and each is monotone; but the loads happen at
+// slightly different instants, so cross-counter identities hold
+// exactly only at quiescence (e.g. Mallocs == Frees may be off by
+// in-flight operations). Mallocs == FromActive+FromPartial+FromNewSB
+// holds by construction: snapshot derives the total from the three
+// path counters rather than maintaining a fourth.
 func (a *Allocator) Stats() Stats {
 	var s Stats
 	a.mu.Lock()
 	for _, t := range a.threads {
-		s.Ops.add(t.ops)
+		s.Ops.add(t.ops.snapshot())
 	}
 	a.mu.Unlock()
 	s.DescsAllocated = a.descs.allocated.Load()

@@ -410,6 +410,7 @@ func TestMultiPartialSlotFillAndDrain(t *testing.T) {
 	cfg.Processors = 1
 	cfg.PartialSlots = 3
 	a := New(cfg)
+	th := a.Thread()
 	sc := &a.classes[0]
 	h := &sc.heaps[0]
 	// Four partial descriptors: two land in extra slots, one in the
@@ -418,11 +419,11 @@ func TestMultiPartialSlotFillAndDrain(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		d := mkDesc(t, a, atomicx.StatePartial)
 		descs = append(descs, d)
-		a.heapPutPartial(d)
+		th.heapPutPartial(d)
 	}
 	got := map[uint64]bool{}
 	for i := 0; i < 4; i++ {
-		d := a.heapGetPartial(h)
+		d := th.heapGetPartial(h)
 		if d == 0 {
 			t.Fatalf("retrieval %d came up empty", i)
 		}
@@ -436,7 +437,7 @@ func TestMultiPartialSlotFillAndDrain(t *testing.T) {
 			t.Errorf("descriptor %d lost", d)
 		}
 	}
-	if d := a.heapGetPartial(h); d != 0 {
+	if d := th.heapGetPartial(h); d != 0 {
 		t.Errorf("extra retrieval returned %d", d)
 	}
 }

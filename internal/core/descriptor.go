@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // Descriptor is a superblock descriptor (paper Figure 3). Each
@@ -113,6 +114,11 @@ type descTable struct {
 
 	allocated atomic.Uint64 // descriptors ever created (for stats)
 	retired   atomic.Uint64 // descriptors currently on the freelist
+
+	// tele, when non-nil, receives CAS-retry counts for the DescAvail
+	// freelist (striped: descriptor alloc/retire runs on the
+	// superblock-churn path, outside any thread handle's hot loop).
+	tele *telemetry.Stripes
 }
 
 func newDescTable() *descTable {
@@ -144,6 +150,9 @@ func (t *descTable) alloc() uint64 {
 				t.retired.Add(^uint64(0))
 				return h.Idx
 			}
+			if t.tele != nil {
+				t.tele.Retry(telemetry.SiteDescAlloc, h.Idx)
+			}
 			continue
 		}
 		// Freelist empty: allocate a descriptor superblock (a chunk),
@@ -159,6 +168,9 @@ func (t *descTable) alloc() uint64 {
 		if t.avail.CompareAndSwap(oldHead, newHead) {
 			t.retired.Add(descChunk - 1) // the rest of the chunk is now available
 			return first
+		}
+		if t.tele != nil {
+			t.tele.Retry(telemetry.SiteDescAlloc, first)
 		}
 		last := first + descChunk - 1
 		t.retireChain(first, last, descChunk)
@@ -206,6 +218,9 @@ func (t *descTable) retireChain(first, last, n uint64) {
 		if t.avail.CompareAndSwap(oldHead, newHead) {
 			t.retired.Add(n)
 			return
+		}
+		if t.tele != nil {
+			t.tele.Retry(telemetry.SiteDescRetire, first)
 		}
 	}
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"math/bits"
+	"time"
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/sizeclass"
+	"repro/internal/telemetry"
 )
 
 // sizeclassFor maps a payload size to a size-class index.
@@ -17,6 +19,23 @@ func sizeclassFor(size uint64) (int, bool) {
 // the nil pointer is a no-op. Free is lock-free and may be called by
 // any thread, not just the allocating one.
 func (t *Thread) Free(ptr mem.Ptr) {
+	if t.rec == nil || ptr.IsNil() {
+		t.free(ptr)
+		return
+	}
+	// Telemetry path: resolve the size class from the prefix before
+	// the block is recycled, then time the operation.
+	cls := -1
+	if prefix := t.a.heap.Load(ptr - 1); !prefixIsLarge(prefix) {
+		cls = t.a.desc(prefix >> 1).ClassIndex()
+	}
+	t.rec.BeginOp()
+	start := time.Now()
+	t.free(ptr)
+	t.rec.EndFree(cls, time.Since(start), uint64(ptr))
+}
+
+func (t *Thread) free(ptr mem.Ptr) {
 	if ptr.IsNil() { // line 1
 		return
 	}
@@ -26,7 +45,7 @@ func (t *Thread) Free(ptr mem.Ptr) {
 	if prefixIsLarge(prefix) { // line 4
 		// Large block: return directly to the OS layer (line 5).
 		a.heap.FreeRegion(block, prefix>>1)
-		t.ops.LargeFrees++
+		t.ops.largeFrees.Add(1)
 		return
 	}
 	descIdx := prefix >> 1
@@ -51,8 +70,11 @@ func (t *Thread) Free(ptr mem.Ptr) {
 		nw += 1 << atomicx.AnchorCountShift // count++
 		t.hook(HookFreeBeforeCAS)
 		if desc.Anchor.CompareAndSwap(w, nw) {
-			t.ops.Frees++
+			t.ops.frees.Add(1)
 			return
+		}
+		if t.rec != nil {
+			t.rec.Retry(telemetry.SiteFreeFast)
 		}
 	}
 
@@ -82,22 +104,28 @@ func (t *Thread) Free(ptr mem.Ptr) {
 		if desc.Anchor.CompareAndSwap(oldWord, newAnchor.Pack()) { // line 18
 			break
 		}
+		if t.rec != nil {
+			t.rec.Retry(telemetry.SiteFreeSlow)
+		}
 	}
-	t.ops.Frees++
+	t.ops.frees.Add(1)
 
 	if newAnchor.State == atomicx.StateEmpty { // lines 19-21
 		// This thread freed the last allocated block: the superblock
 		// is EMPTY and safe to return to the OS.
 		a.freeSB(sb, desc.SBWords())
-		t.ops.EmptySBFreed++
+		t.ops.emptySBFreed.Add(1)
+		if t.rec != nil {
+			t.rec.Note(telemetry.EvSBRetire, desc.ClassIndex(), uint64(sb))
+		}
 		t.hook(HookFreeBeforeRetire)
-		a.removeEmptyDesc(heapID, descIdx)
+		t.removeEmptyDesc(heapID, descIdx)
 	} else if oldAnchor.State == atomicx.StateFull { // lines 22-23
 		// First free into a FULL superblock: this thread takes
 		// responsibility for linking it back into the allocator
 		// structures.
 		t.hook(HookFreeBeforePutPartial)
-		a.heapPutPartial(descIdx)
+		t.heapPutPartial(descIdx)
 	}
 }
 
@@ -105,7 +133,8 @@ func (t *Thread) Free(ptr mem.Ptr) {
 // descriptor into the Partial slot of the heap that last owned the
 // superblock; a displaced previous occupant moves to the size class's
 // partial list.
-func (a *Allocator) heapPutPartial(descIdx uint64) {
+func (t *Thread) heapPutPartial(descIdx uint64) {
+	a := t.a
 	desc := a.desc(descIdx)
 	h := a.procHeap(desc.heapID.Load())
 	if a.cfg.NoPartialSlot {
@@ -125,6 +154,9 @@ func (a *Allocator) heapPutPartial(descIdx uint64) {
 		if h.Partial.CompareAndSwap(prev, descIdx) {
 			break
 		}
+		if t.rec != nil {
+			t.rec.Retry(telemetry.SitePartialSlot)
+		}
 	}
 	if prev != 0 { // line 3
 		h.sc.partial.Put(prev) // ListPutPartial
@@ -134,7 +166,8 @@ func (a *Allocator) heapPutPartial(descIdx uint64) {
 // removeEmptyDesc is Figure 6's RemoveEmptyDesc: retire the descriptor
 // if it can be removed from the heap's Partial slot with a single CAS;
 // otherwise ask the size class's list to shed an empty descriptor.
-func (a *Allocator) removeEmptyDesc(heapID, descIdx uint64) {
+func (t *Thread) removeEmptyDesc(heapID, descIdx uint64) {
+	a := t.a
 	h := a.procHeap(heapID)
 	if !a.cfg.NoPartialSlot {
 		if h.Partial.CompareAndSwap(descIdx, 0) { // line 1

@@ -85,9 +85,21 @@ func (p HookPoint) String() string {
 func (t *Thread) SetHook(f func(HookPoint)) { t.hookFn = f }
 
 // hook invokes the thread's hook, if any. The nil check is the only
-// cost on unhooked threads.
+// cost on unhooked threads; the body below must stay a single call so
+// hook itself remains inlinable at every malloc/free call site.
 func (t *Thread) hook(p HookPoint) {
 	if t.hookFn != nil {
-		t.hookFn(p)
+		t.hookSlow(p)
 	}
+}
+
+// hookSlow is the hooked path. When telemetry is attached, each firing
+// is also recorded in the flight recorder — so after a fault-injection
+// kill (a hook that panics), the ring's tail shows exactly where the
+// thread died and what it was doing.
+func (t *Thread) hookSlow(p HookPoint) {
+	if t.rec != nil {
+		t.rec.NoteHook(int(p))
+	}
+	t.hookFn(p)
 }

@@ -90,7 +90,7 @@ func TestUpdateActiveRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := B.ops.FromNewSB; got != 1 {
+	if got := B.ops.fromNewSB.Load(); got != 1 {
 		t.Fatalf("B allocated via FromNewSB=%d, want 1 (Active was NULL)", got)
 	}
 	close(st.release)
@@ -148,11 +148,11 @@ func TestNewSBInstallRace(t *testing.T) {
 	pA := <-done
 	A.SetHook(nil)
 
-	if A.ops.NewSBRaceLoss != 1 {
-		t.Errorf("A race losses = %d, want 1", A.ops.NewSBRaceLoss)
+	if got := A.ops.newSBRaceLoss.Load(); got != 1 {
+		t.Errorf("A race losses = %d, want 1", got)
 	}
-	if A.ops.FromActive != 1 {
-		t.Errorf("A must retry via the active superblock, FromActive = %d", A.ops.FromActive)
+	if got := A.ops.fromActive.Load(); got != 1 {
+		t.Errorf("A must retry via the active superblock, FromActive = %d", got)
 	}
 	if a.heap.Stats().RegionFrees != regionFreesBefore+1 {
 		t.Error("A's losing superblock was not returned to the OS")
@@ -197,7 +197,7 @@ func TestKeepNewSBOnRaceLossVariant(t *testing.T) {
 	pA := <-done
 	A.SetHook(nil)
 
-	if A.ops.NewSBRaceLoss != 0 {
+	if A.ops.newSBRaceLoss.Load() != 0 {
 		t.Error("keep-variant should not count a race loss discard")
 	}
 	// A's block must come from its own (kept) superblock, now PARTIAL.
@@ -331,7 +331,7 @@ func TestEmptyDescInPartialList(t *testing.T) {
 	// slot, finding the EMPTY descriptor: it must skip-and-retire it
 	// and still satisfy the request.
 	var got []mem.Ptr
-	for M.ops.EmptyPartialSkips == 0 {
+	for M.ops.emptyPartialSkips.Load() == 0 {
 		p, err := M.Malloc(2048)
 		if err != nil {
 			t.Fatal(err)

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/atomicx"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // Malloc allocates a block with at least size payload bytes and returns
@@ -10,6 +13,25 @@ import (
 // word-aligned; the word before it is the block prefix identifying the
 // block's superblock descriptor (or, for large blocks, its size).
 func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
+	if t.rec == nil {
+		return t.malloc(size)
+	}
+	// Telemetry path: time the operation and attribute it to its size
+	// class (retry-site counters accumulate inside t.malloc).
+	t.rec.BeginOp()
+	start := time.Now()
+	p, err := t.malloc(size)
+	if err == nil {
+		cls := -1
+		if idx, small := sizeclassFor(size); small {
+			cls = idx
+		}
+		t.rec.EndMalloc(cls, time.Since(start), uint64(p))
+	}
+	return p, err
+}
+
+func (t *Thread) malloc(size uint64) (mem.Ptr, error) {
 	sc, small := t.a.classFor(size)
 	if !small {
 		return t.mallocLarge(size)
@@ -17,13 +39,11 @@ func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
 	heap := t.findHeap(sc)
 	for {
 		if addr := t.mallocFromActive(heap); !addr.IsNil() {
-			t.ops.Mallocs++
-			t.ops.FromActive++
+			t.ops.fromActive.Add(1)
 			return addr, nil
 		}
 		if addr := t.mallocFromPartial(heap); !addr.IsNil() {
-			t.ops.Mallocs++
-			t.ops.FromPartial++
+			t.ops.fromPartial.Add(1)
 			return addr, nil
 		}
 		addr, err := t.mallocFromNewSB(heap)
@@ -31,8 +51,7 @@ func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
 			return 0, err
 		}
 		if !addr.IsNil() {
-			t.ops.Mallocs++
-			t.ops.FromNewSB++
+			t.ops.fromNewSB.Add(1)
 			return addr, nil
 		}
 	}
@@ -63,7 +82,7 @@ func (t *Thread) mallocLarge(size uint64) (mem.Ptr, error) {
 		return 0, err
 	}
 	t.a.heap.Store(base, largePrefix(totalWords))
-	t.ops.LargeMallocs++
+	t.ops.largeMallocs.Add(1)
 	return base.Add(1), nil
 }
 
@@ -87,6 +106,9 @@ func (t *Thread) mallocFromActive(h *ProcHeap) mem.Ptr {
 		} // else NULL: this thread takes the last credit
 		if h.Active.CompareAndSwap(oldWord, newWord) {
 			break
+		}
+		if t.rec != nil {
+			t.rec.Retry(telemetry.SiteActiveReserve)
 		}
 	}
 	oldActive := atomicx.UnpackActive(oldWord)
@@ -114,6 +136,9 @@ func (t *Thread) mallocFromActive(h *ProcHeap) mem.Ptr {
 			if desc.Anchor.CompareAndSwap(w, nw) {
 				break
 			}
+			if t.rec != nil {
+				t.rec.Retry(telemetry.SiteActivePop)
+			}
 		}
 	} else {
 		// This thread set Active to NULL (lines 13-17): it must either
@@ -139,10 +164,13 @@ func (t *Thread) mallocFromActive(h *ProcHeap) mem.Ptr {
 			if desc.Anchor.CompareAndSwap(oldAnchor, na.Pack()) {
 				break
 			}
+			if t.rec != nil {
+				t.rec.Retry(telemetry.SiteActivePop)
+			}
 		}
 		if morecredits > 0 { // line 19
 			t.hook(HookMallocBeforeUpdateActive)
-			a.updateActive(h, oldActive.Desc, morecredits)
+			t.updateActive(h, oldActive.Desc, morecredits)
 		}
 	}
 	t.hook(HookMallocAfterPop)
@@ -154,10 +182,14 @@ func (t *Thread) mallocFromActive(h *ProcHeap) mem.Ptr {
 // heap's active superblock with morecredits-1 credits; if another
 // thread installed a different superblock meanwhile, return the credits
 // to the anchor, mark the superblock PARTIAL, and make it available.
-func (a *Allocator) updateActive(h *ProcHeap, descIdx, morecredits uint64) {
+func (t *Thread) updateActive(h *ProcHeap, descIdx, morecredits uint64) {
+	a := t.a
 	newActive := atomicx.Active{Desc: descIdx, Credits: morecredits - 1}.Pack()
 	if h.Active.CompareAndSwap(0, newActive) { // line 3
 		return
+	}
+	if t.rec != nil {
+		t.rec.Retry(telemetry.SiteActiveInstall)
 	}
 	// Someone installed another active superblock. Return the credits
 	// and make this superblock partial (lines 4-8).
@@ -170,8 +202,11 @@ func (a *Allocator) updateActive(h *ProcHeap, descIdx, morecredits uint64) {
 		if desc.Anchor.CompareAndSwap(oldWord, na.Pack()) {
 			break
 		}
+		if t.rec != nil {
+			t.rec.Retry(telemetry.SiteUpdateActive)
+		}
 	}
-	a.heapPutPartial(descIdx)
+	t.heapPutPartial(descIdx)
 }
 
 // mallocFromPartial is Figure 4's MallocFromPartial: obtain a PARTIAL
@@ -180,7 +215,7 @@ func (a *Allocator) updateActive(h *ProcHeap, descIdx, morecredits uint64) {
 func (t *Thread) mallocFromPartial(h *ProcHeap) mem.Ptr {
 	a := t.a
 retry:
-	descIdx := a.heapGetPartial(h) // line 1
+	descIdx := t.heapGetPartial(h) // line 1
 	if descIdx == 0 {
 		return 0
 	}
@@ -193,7 +228,7 @@ retry:
 		oldWord := desc.Anchor.Load()
 		oa := atomicx.UnpackAnchor(oldWord)
 		if oa.State == atomicx.StateEmpty {
-			t.ops.EmptyPartialSkips++
+			t.ops.emptyPartialSkips.Add(1)
 			a.descs.retire(descIdx) // line 6
 			goto retry
 		}
@@ -208,6 +243,9 @@ retry:
 		}
 		if desc.Anchor.CompareAndSwap(oldWord, na.Pack()) {
 			break
+		}
+		if t.rec != nil {
+			t.rec.Retry(telemetry.SitePartialReserve)
 		}
 	}
 	t.hook(HookPartialAfterReserve)
@@ -225,9 +263,12 @@ retry:
 		if desc.Anchor.CompareAndSwap(oldWord, na.Pack()) {
 			break
 		}
+		if t.rec != nil {
+			t.rec.Retry(telemetry.SitePartialPop)
+		}
 	}
 	if morecredits > 0 {
-		a.updateActive(h, descIdx, morecredits) // lines 16-17
+		t.updateActive(h, descIdx, morecredits) // lines 16-17
 	}
 	a.heap.Store(addr, smallPrefix(descIdx)) // line 18
 	return addr.Add(1)
@@ -236,7 +277,7 @@ retry:
 // heapGetPartial is Figure 4's HeapGetPartial: pop the heap's
 // most-recently-used Partial slot, falling back to the size class's
 // partial list.
-func (a *Allocator) heapGetPartial(h *ProcHeap) uint64 {
+func (t *Thread) heapGetPartial(h *ProcHeap) uint64 {
 	for {
 		descIdx := h.Partial.Load()
 		if descIdx == 0 {
@@ -244,6 +285,9 @@ func (a *Allocator) heapGetPartial(h *ProcHeap) uint64 {
 		}
 		if h.Partial.CompareAndSwap(descIdx, 0) {
 			return descIdx
+		}
+		if t.rec != nil {
+			t.rec.Retry(telemetry.SitePartialSlot)
 		}
 	}
 	for i := range h.extraPartial {
@@ -255,6 +299,9 @@ func (a *Allocator) heapGetPartial(h *ProcHeap) uint64 {
 			}
 			if slot.CompareAndSwap(descIdx, 0) {
 				return descIdx
+			}
+			if t.rec != nil {
+				t.rec.Retry(telemetry.SitePartialSlot)
 			}
 		}
 	}
@@ -313,7 +360,13 @@ func (t *Thread) mallocFromNewSB(h *ProcHeap) (mem.Ptr, error) {
 
 	if h.Active.CompareAndSwap(0, newActive) { // line 13
 		a.heap.Store(sb, smallPrefix(descIdx)) // line 15
+		if t.rec != nil {
+			t.rec.Note(telemetry.EvNewSB, cls.Index, uint64(sb))
+		}
 		return sb.Add(1), nil
+	}
+	if t.rec != nil {
+		t.rec.Retry(telemetry.SiteActiveInstall)
 	}
 
 	// Lost the race: another thread installed an active superblock.
@@ -328,8 +381,11 @@ func (t *Thread) mallocFromNewSB(h *ProcHeap) (mem.Ptr, error) {
 			if desc.Anchor.CompareAndSwap(oldWord, na.Pack()) {
 				break
 			}
+			if t.rec != nil {
+				t.rec.Retry(telemetry.SiteUpdateActive)
+			}
 		}
-		a.heapPutPartial(descIdx)
+		t.heapPutPartial(descIdx)
 		a.heap.Store(sb, smallPrefix(descIdx))
 		return sb.Add(1), nil
 	}
@@ -341,7 +397,10 @@ func (t *Thread) mallocFromNewSB(h *ProcHeap) (mem.Ptr, error) {
 	desc.Anchor.Store(atomicx.Anchor{State: atomicx.StateEmpty, Tag: anchor.Tag + 1}.Pack())
 	a.freeSB(sb, cls.SBWords)
 	a.descs.retire(descIdx)
-	t.ops.NewSBRaceLoss++
+	t.ops.newSBRaceLoss.Add(1)
+	if t.rec != nil {
+		t.rec.Note(telemetry.EvRaceLoss, cls.Index, uint64(sb))
+	}
 	return 0, nil
 }
 

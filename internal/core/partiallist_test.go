@@ -144,19 +144,20 @@ func TestAnchorTagWraparound(t *testing.T) {
 // is consumed before the size-class list (§3.2.6's locality argument).
 func TestHeapGetPartialPrefersSlot(t *testing.T) {
 	a := New(testConfig())
+	th := a.Thread()
 	sc := &a.classes[0]
 	h := &sc.heaps[0]
 	inList := mkDesc(t, a, atomicx.StatePartial)
 	inSlot := mkDesc(t, a, atomicx.StatePartial)
 	sc.partial.Put(inList)
 	h.Partial.Store(inSlot)
-	if got := a.heapGetPartial(h); got != inSlot {
+	if got := th.heapGetPartial(h); got != inSlot {
 		t.Errorf("got %d, want slot desc %d", got, inSlot)
 	}
-	if got := a.heapGetPartial(h); got != inList {
+	if got := th.heapGetPartial(h); got != inList {
 		t.Errorf("got %d, want list desc %d", got, inList)
 	}
-	if got := a.heapGetPartial(h); got != 0 {
+	if got := th.heapGetPartial(h); got != 0 {
 		t.Errorf("got %d from exhausted heap", got)
 	}
 }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryIntegration runs a real malloc/free workload with the
+// telemetry layer attached and checks that the snapshot is internally
+// consistent: operation counts match the work done, retry sites carry
+// only known names, and the flight recorder captured events.
+func TestTelemetryIntegration(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processors = 2 // force heap sharing so retries actually occur
+	rec := NewRecorder(telemetry.Config{RingSize: 256, RingSample: 4})
+	cfg.Telemetry = rec
+	a := New(cfg)
+	if a.Telemetry() != rec {
+		t.Fatal("Telemetry() did not return the attached recorder")
+	}
+
+	const workers = 8
+	const iters = 4000
+	sizes := []uint64{8, 64, 200, 1024, 40000} // last one is a large block
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := a.Thread()
+			rng := rand.New(rand.NewSource(seed))
+			var live []mem.Ptr
+			for i := 0; i < iters; i++ {
+				p, err := th.Malloc(sizes[rng.Intn(len(sizes))])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				live = append(live, p)
+				if len(live) > 32 {
+					k := rng.Intn(len(live))
+					th.Free(live[k])
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			}
+			for _, p := range live {
+				th.Free(p)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	snap := rec.Snapshot()
+	const total = workers * iters
+	if snap.Malloc.Count != total {
+		t.Errorf("snapshot malloc count = %d, want %d", snap.Malloc.Count, total)
+	}
+	if snap.Free.Count != total {
+		t.Errorf("snapshot free count = %d, want %d", snap.Free.Count, total)
+	}
+	if snap.Threads != workers {
+		t.Errorf("snapshot threads = %d, want %d", snap.Threads, workers)
+	}
+	for site := range snap.Retries {
+		known := false
+		for s := telemetry.Site(0); s < telemetry.NumSites; s++ {
+			if s.String() == site {
+				known = true
+				break
+			}
+		}
+		if !known {
+			t.Errorf("snapshot contains unknown retry site %q", site)
+		}
+	}
+	// Per-class histogram rows must sum to the aggregate.
+	var perClassMallocs uint64
+	for _, row := range snap.PerClass {
+		if row.Op == "malloc" {
+			perClassMallocs += row.Count
+		}
+	}
+	if perClassMallocs != snap.Malloc.Count {
+		t.Errorf("per-class malloc rows sum to %d, want %d", perClassMallocs, snap.Malloc.Count)
+	}
+	if snap.EventsRecorded == 0 {
+		t.Error("flight recorder captured no events")
+	}
+	if snap.Malloc.P50NS == 0 || snap.Malloc.P99NS < snap.Malloc.P50NS {
+		t.Errorf("implausible malloc latency quantiles: p50=%d p99=%d",
+			snap.Malloc.P50NS, snap.Malloc.P99NS)
+	}
+}
+
+// TestStatsLiveSampling exercises the documented Stats snapshot
+// semantics: Stats may be called from any goroutine while workers are
+// mid-operation (race-detector clean), every sampled counter is
+// monotone, and at quiescence the cross-counter identities hold
+// exactly.
+func TestStatsLiveSampling(t *testing.T) {
+	a := New(testConfig())
+	const workers = 6
+	const iters = 5000
+
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	var samples atomic.Uint64
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		var prev Stats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := a.Stats()
+			samples.Add(1)
+			if s.Ops.Mallocs < prev.Ops.Mallocs || s.Ops.Frees < prev.Ops.Frees {
+				t.Error("live Stats sample went backwards")
+				return
+			}
+			prev = s
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := a.Thread()
+			rng := rand.New(rand.NewSource(seed))
+			var live []mem.Ptr
+			for i := 0; i < iters; i++ {
+				p, err := th.Malloc(uint64(8 + rng.Intn(500)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				live = append(live, p)
+				if len(live) > 16 {
+					th.Free(live[0])
+					live = live[1:]
+				}
+			}
+			for _, p := range live {
+				th.Free(p)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	if samples.Load() == 0 {
+		t.Fatal("sampler never ran")
+	}
+	s := a.Stats()
+	const total = workers * iters
+	if s.Ops.Mallocs+s.Ops.LargeMallocs != total {
+		t.Errorf("mallocs = %d, want %d", s.Ops.Mallocs+s.Ops.LargeMallocs, total)
+	}
+	if s.Ops.Frees+s.Ops.LargeFrees != total {
+		t.Errorf("frees = %d, want %d", s.Ops.Frees+s.Ops.LargeFrees, total)
+	}
+	if got := s.Ops.FromActive + s.Ops.FromPartial + s.Ops.FromNewSB; got != s.Ops.Mallocs {
+		t.Errorf("malloc sources sum to %d, want Mallocs=%d", got, s.Ops.Mallocs)
+	}
+}
+
+// TestTelemetryRetrySitesUnderContention hammers two threads on one
+// processor heap so Active-word CAS failures are likely, then checks
+// that retries were observed and attributed to known hot sites.
+func TestTelemetryRetrySitesUnderContention(t *testing.T) {
+	cfg := testConfig()
+	cfg.Processors = 1 // all threads share every processor heap
+	rec := NewRecorder(telemetry.Config{})
+	cfg.Telemetry = rec
+	a := New(cfg)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := a.Thread()
+			for i := 0; i < 20000; i++ {
+				p, err := th.Malloc(16)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				th.Free(p)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := rec.Snapshot()
+	if snap.TotalRetries == 0 {
+		t.Skip("no CAS retries observed (machine too serial); nothing to attribute")
+	}
+	var sum uint64
+	for _, v := range snap.Retries {
+		sum += v
+	}
+	if sum != snap.TotalRetries {
+		t.Errorf("retry site sum %d != TotalRetries %d", sum, snap.TotalRetries)
+	}
+	if snap.RetriesPerOp() <= 0 {
+		t.Errorf("RetriesPerOp = %v, want > 0", snap.RetriesPerOp())
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/atomicx"
+	"repro/internal/telemetry"
 )
 
 // Ptr is a word index into a Heap's address space. The zero Ptr is nil.
@@ -105,8 +106,18 @@ type Heap struct {
 	bins     [exactBins]atomic.Uint64
 	log2Bins [maxLog2Bins]atomic.Uint64
 
+	// tele, when set, receives CAS-retry counts for the region
+	// free-stack bins. An atomic pointer so SetTelemetry may race
+	// in-flight operations; loaded only on CAS-failure paths.
+	tele atomic.Pointer[telemetry.Stripes]
+
 	stats heapStats
 }
+
+// SetTelemetry attaches striped retry counters to the region
+// free-stack push/pop loops (nil detaches). Safe to call while the
+// heap is in use.
+func (h *Heap) SetTelemetry(st *telemetry.Stripes) { h.tele.Store(st) }
 
 type heapStats struct {
 	reservedWords atomic.Uint64 // high-water bump mark
@@ -382,6 +393,9 @@ func (h *Heap) popRegion(words uint64) Ptr {
 		if bin.CompareAndSwap(oldHead, newHead) {
 			return Ptr(t.Idx)
 		}
+		if st := h.tele.Load(); st != nil {
+			st.Retry(telemetry.SiteRegionPop, t.Idx)
+		}
 	}
 }
 
@@ -396,6 +410,9 @@ func (h *Heap) pushRegion(p Ptr, words uint64) {
 		newHead := atomicx.Tagged{Idx: uint64(p), Tag: t.Tag + 1}.Pack()
 		if bin.CompareAndSwap(oldHead, newHead) {
 			return
+		}
+		if st := h.tele.Load(); st != nil {
+			st.Retry(telemetry.SiteRegionPush, uint64(p))
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/atomicx"
+	"repro/internal/telemetry"
 )
 
 // List is the interface shared by the FIFO and LIFO partial lists. It
@@ -30,6 +31,9 @@ type List interface {
 	Get() (v uint64, ok bool)
 	// Len returns an instantaneous (racy) size estimate.
 	Len() int
+	// Instrument attaches striped CAS-retry counters to Put/Get (nil
+	// detaches). Safe to call while the list is in use.
+	Instrument(st *telemetry.Stripes)
 }
 
 const (
@@ -130,7 +134,11 @@ type FIFO struct {
 	head atomic.Uint64 // packed (index, tag)
 	tail atomic.Uint64
 	size atomic.Int64
+	tele atomic.Pointer[telemetry.Stripes]
 }
+
+// Instrument implements List.
+func (q *FIFO) Instrument(st *telemetry.Stripes) { q.tele.Store(st) }
 
 // NewFIFO creates an empty FIFO list. Multiple FIFO lists may share a
 // process; each owns a private node pool.
@@ -171,6 +179,9 @@ func (q *FIFO) Put(v uint64) {
 		} else {
 			q.tail.CompareAndSwap(oldTail, atomicx.Tagged{Idx: nx.Idx, Tag: t.Tag + 1}.Pack())
 		}
+		if st := q.tele.Load(); st != nil {
+			st.Retry(telemetry.SitePartialListPut, v)
+		}
 	}
 }
 
@@ -198,6 +209,9 @@ func (q *FIFO) Get() (uint64, bool) {
 			q.size.Add(-1)
 			return v, true
 		}
+		if st := q.tele.Load(); st != nil {
+			st.Retry(telemetry.SitePartialListGet, h.Idx)
+		}
 	}
 }
 
@@ -217,7 +231,11 @@ type LIFO struct {
 	pool *pool
 	head atomic.Uint64 // packed (index, tag)
 	size atomic.Int64
+	tele atomic.Pointer[telemetry.Stripes]
 }
+
+// Instrument implements List.
+func (s *LIFO) Instrument(st *telemetry.Stripes) { s.tele.Store(st) }
 
 // NewLIFO creates an empty LIFO list.
 func NewLIFO() *LIFO {
@@ -241,6 +259,9 @@ func (s *LIFO) Put(v uint64) {
 			s.size.Add(1)
 			return
 		}
+		if st := s.tele.Load(); st != nil {
+			st.Retry(telemetry.SitePartialListPut, v)
+		}
 	}
 }
 
@@ -259,6 +280,9 @@ func (s *LIFO) Get() (uint64, bool) {
 			s.pool.release(h.Idx)
 			s.size.Add(-1)
 			return v, true
+		}
+		if st := s.tele.Load(); st != nil {
+			st.Retry(telemetry.SitePartialListGet, h.Idx)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/alloc"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // RunConfig controls an experiment run.
@@ -25,6 +26,30 @@ type RunConfig struct {
 	// Processors sizes each allocator's per-processor structures; 0
 	// uses the maximum of Threads.
 	Processors int
+	// Telemetry attaches a telemetry recorder to every lock-free
+	// allocator constructed for an experiment, so each printed result
+	// carries CAS retries/op and latency quantiles for its interval.
+	Telemetry bool
+	// Record, when non-nil, receives every individual measurement as
+	// it is taken (used for machine-readable output, e.g. benchmal
+	// -json).
+	Record func(bench.Result)
+}
+
+// note forwards a measurement to the Record callback, if any.
+func (c RunConfig) note(r bench.Result) {
+	if c.Record != nil {
+		c.Record(r)
+	}
+}
+
+// lockFreeOptions builds alloc.Options for a lock-free variant,
+// attaching a fresh recorder when cfg.Telemetry is set.
+func (c RunConfig) lockFreeOptions(lf core.Config) alloc.Options {
+	if c.Telemetry {
+		lf.Telemetry = core.NewRecorder(telemetry.Config{})
+	}
+	return alloc.Options{Processors: c.Processors, LockFree: lf}
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -64,7 +89,11 @@ func (c RunConfig) scaleDur(full time.Duration) time.Duration {
 }
 
 func (c RunConfig) newAlloc(name string) (alloc.Allocator, error) {
-	return alloc.New(name, alloc.Options{Processors: c.Processors})
+	opt := alloc.Options{Processors: c.Processors}
+	if c.Telemetry && (name == "lockfree" || name == "new") {
+		opt.LockFree.Telemetry = core.NewRecorder(telemetry.Config{})
+	}
+	return alloc.New(name, opt)
 }
 
 // workloads at paper scale, adjusted by cfg.Scale.
@@ -228,6 +257,7 @@ func bestOf(cfg RunConfig, name string, w bench.Workload, threads int) (bench.Re
 		}
 		runtime.GC()
 		r := w.Run(a, threads)
+		cfg.note(r)
 		if r.OpsPerSec() > best.OpsPerSec() {
 			best = r
 		}
@@ -265,6 +295,7 @@ func figRunner(mkWorkload func(RunConfig) bench.Workload) func(RunConfig, io.Wri
 				// sweeps do not perturb the measurement.
 				runtime.GC()
 				r := w.Run(a, t)
+				cfg.note(r)
 				s.Points = append(s.Points, Point{Threads: t, Value: r.SpeedupOver(base)})
 				fmt.Fprintf(out, "# %s\n", r)
 			}
@@ -330,19 +361,35 @@ func runLatency(cfg RunConfig, out io.Writer) error {
 		Title:   "Contention-free latency (1 thread, Linux-scalability loop)",
 		Columns: []string{"allocator", "ns/pair"},
 	}
+	if cfg.Telemetry {
+		t.Columns = append(t.Columns, "malloc p50", "malloc p99", "retries/op")
+	}
+	pad := func(cells []string) []string {
+		for len(cells) < len(t.Columns) {
+			cells = append(cells, "-")
+		}
+		return cells
+	}
 	for _, name := range cfg.Allocators {
 		r, err := bestOf(cfg, name, w, 1)
 		if err != nil {
 			return err
 		}
 		ns := float64(r.Elapsed.Nanoseconds()) / float64(r.Ops)
-		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%.0f", ns)})
+		cells := []string{name, fmt.Sprintf("%.0f", ns)}
+		if cfg.Telemetry && r.Telemetry != nil {
+			cells = append(cells,
+				time.Duration(r.Telemetry.MallocP50NS).String(),
+				time.Duration(r.Telemetry.MallocP99NS).String(),
+				fmt.Sprintf("%.4f", r.Telemetry.RetriesPerOp))
+		}
+		t.Rows = append(t.Rows, pad(cells))
 	}
 	// Raw synchronization costs, the paper's 165 ns lock-pair datum.
 	lockNS, casNS := rawSyncCosts()
 	t.Rows = append(t.Rows,
-		[]string{"(mutex lock+unlock)", fmt.Sprintf("%.0f", lockNS)},
-		[]string{"(single CAS)", fmt.Sprintf("%.0f", casNS)},
+		pad([]string{"(mutex lock+unlock)", fmt.Sprintf("%.0f", lockNS)}),
+		pad([]string{"(single CAS)", fmt.Sprintf("%.0f", casNS)}),
 	)
 	t.Notes = append(t.Notes,
 		"paper (POWER4): New 282, Ptmalloc 404, Hoard 560, lock pair 165; the target is the ordering and the ~2x lock-pair bound for the lock-free allocator")
@@ -370,6 +417,7 @@ func runSpace(cfg RunConfig, out io.Writer) error {
 				return err
 			}
 			r := w.Run(a, maxT)
+			cfg.note(r)
 			cells = append(cells, fmt.Sprintf("%d", r.MaxLiveBytes))
 			switch name {
 			case "lockfree":
@@ -392,10 +440,14 @@ func runSpace(cfg RunConfig, out io.Writer) error {
 func runUniprocessor(cfg RunConfig, out io.Writer) error {
 	cfg = cfg.withDefaults()
 	w := cfg.linuxScalability()
-	multi := alloc.NewLockFree(alloc.Options{Processors: cfg.Processors})
-	single := alloc.NewLockFree(alloc.Options{Processors: 1})
+	multi := alloc.NewLockFree(cfg.lockFreeOptions(core.Config{}))
+	singleOpt := cfg.lockFreeOptions(core.Config{})
+	singleOpt.Processors = 1
+	single := alloc.NewLockFree(singleOpt)
 	rm := w.Run(multi, 1)
+	cfg.note(rm)
 	rs := w.Run(single, 1)
+	cfg.note(rs)
 	t := Table{
 		Title:   "Uniprocessor optimization: single-heap lock-free allocator, 1 thread",
 		Columns: []string{"config", "ops/s", "vs multi-heap"},
@@ -434,12 +486,11 @@ func runAblations(cfg RunConfig, out io.Writer) error {
 		for _, v := range variants {
 			var best bench.Result
 			for i := 0; i < scalarReps; i++ {
-				a := alloc.NewLockFree(alloc.Options{
-					Processors: cfg.Processors,
-					LockFree:   v.cfg,
-				})
+				a := alloc.NewLockFree(cfg.lockFreeOptions(v.cfg))
 				runtime.GC()
-				if r := w.Run(a, maxT); r.OpsPerSec() > best.OpsPerSec() {
+				r := w.Run(a, maxT)
+				cfg.note(r)
+				if r.OpsPerSec() > best.OpsPerSec() {
 					best = r
 				}
 			}

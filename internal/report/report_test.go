@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
 )
 
 func TestTableRender(t *testing.T) {
@@ -180,5 +182,49 @@ func TestRawSyncCosts(t *testing.T) {
 	}
 	if lock > 10000 || cas > 10000 {
 		t.Errorf("implausible costs: lock=%v cas=%v", lock, cas)
+	}
+}
+
+// TestTelemetryExperimentEndToEnd runs a tiny sweep with the telemetry
+// layer on and a Record callback (the benchmal -json path): every
+// measurement is delivered, lock-free rows carry telemetry summaries,
+// and the printed per-measurement lines include retries/op.
+func TestTelemetryExperimentEndToEnd(t *testing.T) {
+	e, _ := ByID("fig8a")
+	var buf bytes.Buffer
+	var recorded []bench.Result
+	cfg := RunConfig{
+		Threads:    []int{1, 2},
+		Scale:      0.0002,
+		Processors: 2,
+		Allocators: []string{"lockfree", "serial"},
+		Telemetry:  true,
+		Record:     func(r bench.Result) { recorded = append(recorded, r) },
+	}
+	if err := e.Run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) == 0 {
+		t.Fatal("Record callback never invoked")
+	}
+	lockfree := 0
+	for _, r := range recorded {
+		switch r.Allocator {
+		case "lockfree":
+			lockfree++
+			if r.Telemetry == nil {
+				t.Errorf("lockfree %s t=%d missing telemetry summary", r.Workload, r.Threads)
+			}
+		case "serial":
+			if r.Telemetry != nil {
+				t.Errorf("serial %s t=%d has a telemetry summary", r.Workload, r.Threads)
+			}
+		}
+	}
+	if lockfree == 0 {
+		t.Error("no lockfree measurements recorded")
+	}
+	if !strings.Contains(buf.String(), "retries/op") {
+		t.Error("verbose measurement lines missing retries/op")
 	}
 }

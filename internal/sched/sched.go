@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // killSignal is the panic value used to abandon an operation.
@@ -44,6 +45,11 @@ type Plan struct {
 	Point core.HookPoint
 	// Processors configures the shared allocator.
 	Processors int
+	// Telemetry, when non-nil, is attached to the allocator; after the
+	// run its flight recorder holds the events leading up to each kill
+	// (every hook firing is recorded, so the ring's tail shows exactly
+	// where each victim died).
+	Telemetry *telemetry.Recorder
 }
 
 // Result reports what happened.
@@ -79,6 +85,7 @@ func Run(plan Plan) (Result, error) {
 	a := core.New(core.Config{
 		Processors: procs,
 		HeapConfig: mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 28},
+		Telemetry:  plan.Telemetry,
 	})
 
 	res := Result{Kills: map[core.HookPoint]int{}}
