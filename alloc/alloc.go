@@ -39,6 +39,16 @@ type Thread interface {
 	Free(p mem.Ptr)
 }
 
+// Unregisterer is optionally implemented by Thread handles that hold
+// per-thread caches (the lock-free allocator's magazine layer):
+// Unregister returns the cached blocks to the shared structures. Call
+// it when the owning goroutine stops using the handle; it is a no-op
+// when no cache is held, so callers may type-assert and invoke it
+// unconditionally.
+type Unregisterer interface {
+	Unregister()
+}
+
 // Allocator is the common interface satisfied by all four allocators.
 type Allocator interface {
 	// Name identifies the allocator in benchmark output

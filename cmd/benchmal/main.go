@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate]
+//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine]
 //	         [-threads 1,2,4,8,16] [-scale 0.01] [-allocs lockfree,hoard,...]
-//	         [-procs N] [-telemetry] [-json] [-list] [-v]
+//	         [-procs N] [-telemetry] [-magazine N] [-json] [-list] [-v]
 //
 // -scale 1.0 runs the paper's full parameters (10M malloc/free pairs
 // per thread, 30-second timed phases); the default 0.01 finishes each
@@ -14,11 +14,15 @@
 // -telemetry (default on) attaches the lock-free observability layer
 // to every lock-free allocator, so each measurement line carries CAS
 // retries/op and malloc latency quantiles; -telemetry=false measures
-// the bare allocator. -json additionally writes every individual
-// measurement to a BENCH_<unixtime>.json file.
+// the bare allocator. -magazine N enables the thread-local magazine
+// layer (Config.MagazineSize=N) on every lock-free allocator; the
+// magazine experiment compares off/on regardless of this flag. -json
+// additionally writes every individual measurement to a
+// BENCH_<unixtime>.json file.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +47,7 @@ type jsonReport struct {
 	Threads       []int          `json:"threads"`
 	Experiments   []string       `json:"experiments"`
 	Telemetry     bool           `json:"telemetry"`
+	Magazine      int            `json:"magazine,omitempty"`
 	Results       []bench.Result `json:"results"`
 }
 
@@ -54,6 +59,7 @@ func main() {
 		allocsFlag  = flag.String("allocs", "", "comma-separated allocators (default: all)")
 		procsFlag   = flag.Int("procs", 0, "processor heaps per allocator (default: max threads)")
 		teleFlag    = flag.Bool("telemetry", true, "attach the telemetry layer to lock-free allocators (retries/op and latency per row)")
+		magFlag     = flag.Int("magazine", 0, "thread-local magazine size for lock-free allocators (0 = off)")
 		jsonFlag    = flag.Bool("json", false, "write all measurements to a BENCH_<unixtime>.json file")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
 		verboseFlag = flag.Bool("v", false, "print every individual measurement")
@@ -76,6 +82,7 @@ func main() {
 		Scale:      *scaleFlag,
 		Processors: *procsFlag,
 		Telemetry:  *teleFlag,
+		Magazine:   *magFlag,
 	}
 	if *allocsFlag != "" {
 		cfg.Allocators = strings.Split(*allocsFlag, ",")
@@ -126,6 +133,7 @@ func main() {
 			Threads:       threads,
 			Experiments:   ids,
 			Telemetry:     *teleFlag,
+			Magazine:      *magFlag,
 			Results:       results,
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -150,7 +158,7 @@ type filterComments struct {
 func (f *filterComments) Write(p []byte) (int, error) {
 	f.buf = append(f.buf, p...)
 	for {
-		i := indexByte(f.buf, '\n')
+		i := bytes.IndexByte(f.buf, '\n')
 		if i < 0 {
 			break
 		}
@@ -163,15 +171,6 @@ func (f *filterComments) Write(p []byte) (int, error) {
 		f.buf = f.buf[i+1:]
 	}
 	return len(p), nil
-}
-
-func indexByte(b []byte, c byte) int {
-	for i, x := range b {
-		if x == c {
-			return i
-		}
-	}
-	return -1
 }
 
 func parseInts(s string) ([]int, error) {

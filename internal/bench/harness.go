@@ -47,6 +47,13 @@ type TelemetrySummary struct {
 	MallocP99NS   uint64            `json:"mallocP99NS"`
 	FreeP50NS     uint64            `json:"freeP50NS"`
 	FreeP99NS     uint64            `json:"freeP99NS"`
+
+	// Magazine-layer counters for the interval; all zero when the
+	// magazine layer is off.
+	MagHits    uint64  `json:"magHits,omitempty"`
+	MagMisses  uint64  `json:"magMisses,omitempty"`
+	MagHitRate float64 `json:"magHitRate,omitempty"`
+	MagFlushes uint64  `json:"magFlushes,omitempty"`
 }
 
 // SummarizeTelemetry digests a snapshot (typically an interval delta
@@ -66,6 +73,10 @@ func SummarizeTelemetry(s telemetry.Snapshot) *TelemetrySummary {
 		MallocP99NS:   s.Malloc.P99NS,
 		FreeP50NS:     s.Free.P50NS,
 		FreeP99NS:     s.Free.P99NS,
+		MagHits:       s.MagHits,
+		MagMisses:     s.MagMisses,
+		MagHitRate:    s.MagHitRate(),
+		MagFlushes:    s.MagFlushes,
 	}
 }
 
@@ -102,8 +113,12 @@ func (r Result) String() string {
 		r.Workload, r.Allocator, r.Threads, r.Ops, r.Elapsed.Round(time.Millisecond),
 		r.OpsPerSec(), r.MaxLiveBytes)
 	if tel := r.Telemetry; tel != nil {
-		s += fmt.Sprintf(" [%.4f retries/op, malloc p50=%v p99=%v]",
+		s += fmt.Sprintf(" [%.4f retries/op, malloc p50=%v p99=%v",
 			tel.RetriesPerOp, time.Duration(tel.MallocP50NS), time.Duration(tel.MallocP99NS))
+		if tel.MagHits+tel.MagMisses > 0 {
+			s += fmt.Sprintf(", mag hit %.1f%%", 100*tel.MagHitRate)
+		}
+		s += "]"
 	}
 	return s
 }
@@ -140,6 +155,15 @@ func runWorkers(a alloc.Allocator, workers int, fn func(id int, th alloc.Thread)
 	close(start)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	// Release the handles outside the timed window: on the lock-free
+	// allocator this flushes magazine-cached blocks back to their
+	// superblocks so runs leave the allocator quiescent and space
+	// accounting comparable across configurations.
+	for _, th := range ths {
+		if u, ok := th.(alloc.Unregisterer); ok {
+			u.Unregister()
+		}
+	}
 	var total uint64
 	for _, n := range ops {
 		total += n

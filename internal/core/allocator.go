@@ -66,6 +66,17 @@ type Config struct {
 	// slot. Ignored when NoPartialSlot is set.
 	PartialSlots int
 
+	// MagazineSize enables the thread-local magazine layer: each
+	// Thread keeps up to MagazineSize blocks per size class in a
+	// private cache, refilled and flushed in batches so the shared
+	// Active/anchor words are touched once per batch instead of once
+	// per operation (see magazine.go and DESIGN.md). 0 (the default)
+	// disables the layer, preserving the paper-faithful hot paths.
+	// Memory blowup is bounded by MagazineSize × classes × threads
+	// blocks held outside the shared structures; Thread.Unregister
+	// returns them.
+	MagazineSize int
+
 	// Hyperblocks enables the §3.2.5 extension: superblocks are
 	// allocated in 1 MiB hyperblock batches (reducing OS calls and
 	// leaving unused superblocks unwritten) and fully-free hyperblocks
@@ -158,6 +169,9 @@ func New(cfg Config) *Allocator {
 	}
 	if cfg.MaxCredits <= 0 || cfg.MaxCredits > atomicx.MaxCredits {
 		cfg.MaxCredits = atomicx.MaxCredits
+	}
+	if cfg.MagazineSize < 0 {
+		cfg.MagazineSize = 0
 	}
 	h := cfg.Heap
 	if h == nil {
@@ -277,6 +291,14 @@ func (a *Allocator) Thread() *Thread {
 	if a.tele != nil {
 		t.rec = a.tele.NewShard(t.id)
 	}
+	if a.cfg.MagazineSize > 0 {
+		t.magCap = a.cfg.MagazineSize
+		// A refill takes the block being allocated plus half a
+		// magazine, leaving room for subsequent frees before the next
+		// flush; one Active CAS can reserve at most MaxCredits blocks.
+		t.magWant = min(uint64(t.magCap/2)+1, a.maxCredits)
+		t.mags = make([]magazine, len(a.classes))
+	}
 	// Resolve this thread's processor heap per size class once (the
 	// paper's find_heap computes heap = f(sz, thread id) per malloc;
 	// the function is pure, so caching it is behaviour-preserving).
@@ -301,6 +323,13 @@ type Thread struct {
 	hookFn func(HookPoint)
 	rec    *telemetry.ThreadShard // non-nil when telemetry is attached
 
+	// Magazine layer (Config.MagazineSize > 0): per-size-class private
+	// block caches, owned exclusively by this thread's goroutine.
+	mags       []magazine
+	magCap     int       // high watermark per magazine; 0 = layer disabled
+	magWant    uint64    // blocks taken per batched refill
+	magScratch []mem.Ptr // reused flush-group buffer
+
 	// Operation counters, aggregated by Allocator.Stats. The owning
 	// goroutine is the only writer; each counter is atomic so Stats
 	// can sample them live from any goroutine (see Stats for the
@@ -311,9 +340,10 @@ type Thread struct {
 // opCounters is the per-thread operation-counter block. The owning
 // thread increments with atomic adds; Stats loads each counter
 // atomically. The total malloc count is not stored: every successful
-// small malloc takes exactly one of the three paths, so snapshot
-// derives Mallocs = fromActive+fromPartial+fromNewSB and the malloc
-// fast path pays a single uncontended atomic add.
+// small malloc takes exactly one of the four paths (magazine hit,
+// active, partial, new superblock), so snapshot derives Mallocs =
+// magHits+fromActive+fromPartial+fromNewSB and the malloc fast path
+// pays a single uncontended atomic add.
 type opCounters struct {
 	frees             atomic.Uint64
 	largeMallocs      atomic.Uint64
@@ -324,14 +354,18 @@ type opCounters struct {
 	newSBRaceLoss     atomic.Uint64
 	emptySBFreed      atomic.Uint64
 	emptyPartialSkips atomic.Uint64
+	magHits           atomic.Uint64
+	magMisses         atomic.Uint64
+	magFlushes        atomic.Uint64
 }
 
 // snapshot loads every counter. Loads are individually atomic but not
 // mutually consistent (see Stats).
 func (c *opCounters) snapshot() OpStats {
 	fa, fp, fn := c.fromActive.Load(), c.fromPartial.Load(), c.fromNewSB.Load()
+	mh := c.magHits.Load()
 	return OpStats{
-		Mallocs:           fa + fp + fn,
+		Mallocs:           mh + fa + fp + fn,
 		Frees:             c.frees.Load(),
 		LargeMallocs:      c.largeMallocs.Load(),
 		LargeFrees:        c.largeFrees.Load(),
@@ -341,13 +375,16 @@ func (c *opCounters) snapshot() OpStats {
 		NewSBRaceLoss:     c.newSBRaceLoss.Load(),
 		EmptySBFreed:      c.emptySBFreed.Load(),
 		EmptyPartialSkips: c.emptyPartialSkips.Load(),
+		MagazineHits:      mh,
+		MagazineMisses:    c.magMisses.Load(),
+		MagazineFlushes:   c.magFlushes.Load(),
 	}
 }
 
 // OpStats counts allocator operations observed by one thread or
 // aggregated across threads.
 type OpStats struct {
-	Mallocs       uint64 // successful small mallocs (= FromActive+FromPartial+FromNewSB)
+	Mallocs       uint64 // successful small mallocs (= MagazineHits+FromActive+FromPartial+FromNewSB)
 	Frees         uint64 // small frees
 	LargeMallocs  uint64
 	LargeFrees    uint64
@@ -360,6 +397,15 @@ type OpStats struct {
 	// retired) while taking a superblock from a partial list
 	// (MallocFromPartial line 6).
 	EmptyPartialSkips uint64
+	// MagazineHits counts small mallocs satisfied from a thread-local
+	// magazine (zero shared atomics); MagazineMisses counts small
+	// mallocs that found their magazine empty (each miss triggers one
+	// batched refill attempt). Both are zero with the layer disabled.
+	MagazineHits   uint64
+	MagazineMisses uint64
+	// MagazineFlushes counts superblock groups spliced back into
+	// anchors by magazine flushes (one CAS each).
+	MagazineFlushes uint64
 }
 
 func (s *OpStats) add(o OpStats) {
@@ -373,6 +419,9 @@ func (s *OpStats) add(o OpStats) {
 	s.NewSBRaceLoss += o.NewSBRaceLoss
 	s.EmptySBFreed += o.EmptySBFreed
 	s.EmptyPartialSkips += o.EmptyPartialSkips
+	s.MagazineHits += o.MagazineHits
+	s.MagazineMisses += o.MagazineMisses
+	s.MagazineFlushes += o.MagazineFlushes
 }
 
 // Stats is an allocator-wide snapshot.
@@ -390,9 +439,10 @@ type Stats struct {
 // values are never torn and each is monotone; but the loads happen at
 // slightly different instants, so cross-counter identities hold
 // exactly only at quiescence (e.g. Mallocs == Frees may be off by
-// in-flight operations). Mallocs == FromActive+FromPartial+FromNewSB
-// holds by construction: snapshot derives the total from the three
-// path counters rather than maintaining a fourth.
+// in-flight operations). Mallocs ==
+// MagazineHits+FromActive+FromPartial+FromNewSB holds by construction:
+// snapshot derives the total from the path counters rather than
+// maintaining a separate one.
 func (a *Allocator) Stats() Stats {
 	var s Stats
 	a.mu.Lock()

@@ -42,6 +42,37 @@ func BenchmarkMallocFreeBatch100(b *testing.B) {
 	}
 }
 
+func BenchmarkMallocFreePairMagazine(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MagazineSize = 64
+	a := New(cfg)
+	th := a.Thread()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := th.Malloc(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		th.Free(p)
+	}
+}
+
+func BenchmarkMallocFreeParallelMagazine(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MagazineSize = 64
+	a := New(cfg)
+	b.RunParallel(func(pb *testing.PB) {
+		th := a.Thread()
+		for pb.Next() {
+			p, err := th.Malloc(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			th.Free(p)
+		}
+	})
+}
+
 func BenchmarkMallocFreeParallel(b *testing.B) {
 	a := New(benchConfig())
 	b.RunParallel(func(pb *testing.PB) {

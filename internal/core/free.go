@@ -19,29 +19,31 @@ func sizeclassFor(size uint64) (int, bool) {
 // the nil pointer is a no-op. Free is lock-free and may be called by
 // any thread, not just the allocating one.
 func (t *Thread) Free(ptr mem.Ptr) {
-	if t.rec == nil || ptr.IsNil() {
-		t.free(ptr)
+	if ptr.IsNil() { // line 1
 		return
 	}
-	// Telemetry path: resolve the size class from the prefix before
-	// the block is recycled, then time the operation.
+	prefix := t.a.heap.Load(ptr - 1) // line 2: get prefix, resolved once
+	if t.rec == nil {
+		t.free(ptr, prefix)
+		return
+	}
+	// Telemetry path: resolve the size class from the already-loaded
+	// prefix (before the block is recycled), then time the operation.
 	cls := -1
-	if prefix := t.a.heap.Load(ptr - 1); !prefixIsLarge(prefix) {
+	if !prefixIsLarge(prefix) {
 		cls = t.a.desc(prefix >> 1).ClassIndex()
 	}
 	t.rec.BeginOp()
 	start := time.Now()
-	t.free(ptr)
+	t.free(ptr, prefix)
 	t.rec.EndFree(cls, time.Since(start), uint64(ptr))
 }
 
-func (t *Thread) free(ptr mem.Ptr) {
-	if ptr.IsNil() { // line 1
-		return
-	}
+// free releases a non-nil block whose prefix the caller has already
+// loaded (Free and the telemetry wrapper resolve it exactly once).
+func (t *Thread) free(ptr mem.Ptr, prefix uint64) {
 	a := t.a
-	block := ptr - 1 // line 2: get prefix
-	prefix := a.heap.Load(block)
+	block := ptr - 1
 	if prefixIsLarge(prefix) { // line 4
 		// Large block: return directly to the OS layer (line 5).
 		a.heap.FreeRegion(block, prefix>>1)
@@ -50,7 +52,14 @@ func (t *Thread) free(ptr mem.Ptr) {
 	}
 	descIdx := prefix >> 1
 	desc := a.desc(descIdx) // line 3
-	sb := desc.SB()         // line 6
+	if t.magCap != 0 {
+		// Magazine path: cache the block thread-locally; the shared
+		// anchor is only touched when a flush splices a whole batch.
+		t.magazinePut(desc.ClassIndex(), ptr)
+		t.ops.frees.Add(1)
+		return
+	}
+	sb := desc.SB() // line 6
 	maxcount := desc.MaxCount()
 	// line 9: this block's index, offset/size via the precomputed
 	// reciprocal (exact within a superblock).

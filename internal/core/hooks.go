@@ -53,6 +53,15 @@ const (
 	// returned it to the OS, before the descriptor is retired. A kill
 	// leaks one descriptor.
 	HookFreeBeforeRetire
+	// HookMagRefillAfterReserve fires after a magazine refill's batch
+	// reserve CAS on the Active word, before the anchor pops. A kill
+	// leaks up to the batch's reservations.
+	HookMagRefillAfterReserve
+	// HookMagFlushBeforeSplice fires inside a magazine flush's splice
+	// retry loop, after the group chain is linked but before the
+	// anchor CAS. A kill leaks the group's blocks (already removed
+	// from the magazine, not yet on the free list).
+	HookMagFlushBeforeSplice
 	// NumHookPoints is the number of hook points.
 	NumHookPoints
 )
@@ -68,6 +77,8 @@ var hookNames = [NumHookPoints]string{
 	"free-before-cas",
 	"free-before-put-partial",
 	"free-before-retire",
+	"mag-refill-after-reserve",
+	"mag-flush-before-splice",
 }
 
 func (p HookPoint) String() string {

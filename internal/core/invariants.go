@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/atomicx"
 )
@@ -21,8 +22,47 @@ import (
 //   - every descriptor's anchor fields are within range;
 //   - each non-EMPTY superblock's free list is acyclic, in-bounds, and
 //     exactly count+reserved long;
-//   - the sum over descriptors of allocated blocks equals expectLive.
+//   - every magazine-cached block has a valid small-block prefix, is
+//     cached exactly once, belongs to a non-EMPTY superblock, and does
+//     not also appear on that superblock's free list;
+//   - the sum over descriptors of allocated blocks equals expectLive
+//     plus the blocks held in thread magazines (a cached block is
+//     allocated from the shared structures' point of view).
 func (a *Allocator) CheckInvariants(expectLive int64) error {
+	// magBlocks[desc] = block indices cached in some thread's magazine.
+	magBlocks := make(map[uint64]map[uint64]bool)
+	var totalMag int64
+	a.mu.Lock()
+	for _, t := range a.threads {
+		for cls := range t.mags {
+			for _, p := range t.mags[cls].blocks {
+				prefix := a.heap.Load(p - 1)
+				if prefixIsLarge(prefix) {
+					a.mu.Unlock()
+					return fmt.Errorf("thread %d magazine class %d caches %#x with large-block prefix", t.id, cls, p)
+				}
+				descIdx := prefix >> 1
+				desc := a.desc(descIdx)
+				if desc.ClassIndex() != cls {
+					a.mu.Unlock()
+					return fmt.Errorf("thread %d magazine class %d caches %#x of class %d", t.id, cls, p, desc.ClassIndex())
+				}
+				hi, _ := bits.Mul64((p - 1).Sub(desc.SB()), desc.szMagic.Load())
+				set := magBlocks[descIdx]
+				if set == nil {
+					set = make(map[uint64]bool)
+					magBlocks[descIdx] = set
+				}
+				if set[hi] {
+					a.mu.Unlock()
+					return fmt.Errorf("desc %d block %d cached in two magazines", descIdx, hi)
+				}
+				set[hi] = true
+				totalMag++
+			}
+		}
+	}
+	a.mu.Unlock()
 	// reserved[desc] = blocks reserved through some heap's Active word.
 	reserved := make(map[uint64]uint64)
 	for ci := range a.classes {
@@ -60,6 +100,9 @@ func (a *Allocator) CheckInvariants(expectLive int64) error {
 		}
 		maxcount := desc.MaxCount()
 		if anchor.State == atomicx.StateEmpty {
+			if n := len(magBlocks[idx]); n > 0 {
+				return fmt.Errorf("desc %d is EMPTY but %d of its blocks are magazine-cached", idx, n)
+			}
 			continue // retired or about to be; superblock returned to OS
 		}
 		if anchor.Avail >= maxcount && anchor.Count+reserved[idx] > 0 {
@@ -76,22 +119,22 @@ func (a *Allocator) CheckInvariants(expectLive int64) error {
 			return fmt.Errorf("desc %d: count %d + reserved %d exceeds maxcount %d",
 				idx, anchor.Count, res, maxcount)
 		}
-		// Walk the free list: must be acyclic, in-bounds, and exactly
-		// `free` blocks long.
-		if err := a.walkFreeList(idx, desc, anchor, free); err != nil {
+		// Walk the free list: must be acyclic, in-bounds, exactly
+		// `free` blocks long, and disjoint from magazine caches.
+		if err := a.walkFreeList(idx, desc, anchor, free, magBlocks[idx]); err != nil {
 			return err
 		}
 		totalAllocated += int64(maxcount - free)
 	}
 
-	if expectLive >= 0 && totalAllocated != expectLive {
-		return fmt.Errorf("allocated blocks: descriptors say %d, caller says %d",
-			totalAllocated, expectLive)
+	if expectLive >= 0 && totalAllocated != expectLive+totalMag {
+		return fmt.Errorf("allocated blocks: descriptors say %d, caller says %d live + %d magazine-cached",
+			totalAllocated, expectLive, totalMag)
 	}
 	return nil
 }
 
-func (a *Allocator) walkFreeList(idx uint64, desc *Descriptor, anchor atomicx.Anchor, free uint64) error {
+func (a *Allocator) walkFreeList(idx uint64, desc *Descriptor, anchor atomicx.Anchor, free uint64, mag map[uint64]bool) error {
 	maxcount := desc.MaxCount()
 	sb := desc.SB()
 	sz := desc.Size()
@@ -104,6 +147,9 @@ func (a *Allocator) walkFreeList(idx uint64, desc *Descriptor, anchor atomicx.An
 		}
 		if visited[cur] {
 			return fmt.Errorf("desc %d: free list cycles at block %d", idx, cur)
+		}
+		if mag[cur] {
+			return fmt.Errorf("desc %d: block %d is both free-listed and magazine-cached", idx, cur)
 		}
 		visited[cur] = true
 		cur = a.heap.Load(sb.Add(cur*sz)) & atomicx.AnchorAvailMask

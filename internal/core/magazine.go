@@ -1,0 +1,309 @@
+package core
+
+// Thread-local magazines: an opt-in batched caching layer in front of
+// the paper's shared structures (Config.MagazineSize).
+//
+// The paper's hot paths pay at least one shared CAS per malloc (the
+// Active word) and one per free (the anchor word). A magazine is a
+// small per-thread, per-size-class stack of block pointers that a
+// thread owns exclusively: a malloc that hits the magazine and a free
+// that fits under its high watermark touch no shared word at all. The
+// shared structures are updated only in batches:
+//
+//   - Refill (magazine miss): one Active-word CAS reserves up to
+//     MaxCredits blocks at once — the paper's credits mechanism already
+//     expresses multi-block reservation, the paper just never takes
+//     more than one — and the anchor pops for the whole batch then run
+//     back-to-back while the descriptor's cache line is hot. k blocks
+//     cost 1 Active CAS + k anchor CASes instead of k of each.
+//
+//   - Flush (high watermark): the cached blocks are grouped by owning
+//     superblock, each group is linked into a chain through the blocks'
+//     first words (plain heap stores, no contention — the thread still
+//     owns the blocks), and the whole chain is spliced onto the
+//     anchor's LIFO free list with a single CAS per superblock: the
+//     m-block generalization of Figure 6's push, including the
+//     FULL→PARTIAL and EMPTY transitions.
+//
+// Lock-freedom is unaffected: magazines are thread-private (no new
+// shared-state loops), and every new CAS loop (batch reserve, batch
+// pop, batch splice) retries only because some other thread made
+// progress through the same word, exactly like the loops it batches.
+// The cost is bounded memory blowup: at most MagazineSize blocks per
+// size class per thread are held outside the shared structures, and
+// Unregister returns them. See DESIGN.md ("Magazine layer").
+
+import (
+	"math/bits"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/telemetry"
+)
+
+// magazine is one thread's private cache of blocks for one size class.
+// Only the owning thread touches it; blocks it holds are, from the
+// shared structures' point of view, simply allocated.
+type magazine struct {
+	blocks []mem.Ptr // LIFO: the most recently freed block is reused first
+}
+
+// magPop takes the hottest cached block, or 0.
+func (m *magazine) pop() mem.Ptr {
+	n := len(m.blocks)
+	if n == 0 {
+		return 0
+	}
+	p := m.blocks[n-1]
+	m.blocks = m.blocks[:n-1]
+	return p
+}
+
+// magazinePut caches a freed block, flushing half the magazine back to
+// the shared structures when the high watermark is reached.
+func (t *Thread) magazinePut(cls int, ptr mem.Ptr) {
+	mag := &t.mags[cls]
+	if mag.blocks == nil {
+		mag.blocks = make([]mem.Ptr, 0, t.magCap)
+	}
+	mag.blocks = append(mag.blocks, ptr)
+	if len(mag.blocks) >= t.magCap {
+		t.flushMagazine(cls, t.magCap/2)
+	}
+}
+
+// refillFromActive is the batched MallocFromActive: a single CAS on the
+// heap's Active word reserves up to want blocks (instead of the paper's
+// one), then the reserved blocks are popped from the anchor
+// back-to-back. The first popped block is returned to satisfy the
+// current malloc; the rest go into the magazine. Returns 0 when Active
+// is NULL (the caller falls back to the paper's partial/new-superblock
+// paths for a single block).
+func (t *Thread) refillFromActive(h *ProcHeap, mag *magazine, want uint64) mem.Ptr {
+	a := t.a
+	// Batch reserve: credits+1 blocks are reservable through the Active
+	// word; take k of them in one CAS. k < credits+1 is a plain packed
+	// decrement by k; k == credits+1 takes the last credit and sets
+	// Active to NULL, exactly like Figure 4 lines 1-6 generalized.
+	var oldWord, k uint64
+	for {
+		oldWord = h.Active.Load()
+		if oldWord == 0 {
+			return 0 // Active is NULL
+		}
+		avail := oldWord&atomicx.ActiveCreditsMask + 1
+		k = min(want, avail)
+		var newWord uint64
+		if k < avail {
+			newWord = oldWord - k // credits -= k
+		} // else NULL: this thread takes the last credit
+		if h.Active.CompareAndSwap(oldWord, newWord) {
+			break
+		}
+		if t.rec != nil {
+			t.rec.Retry(telemetry.SiteMagRefillReserve)
+		}
+	}
+	oldActive := atomicx.UnpackActive(oldWord)
+	t.hook(HookMagRefillAfterReserve)
+	desc := a.desc(oldActive.Desc)
+	sb := desc.SB()
+	sz := desc.Size()
+	tookLast := k == oldActive.Credits+1
+
+	if mag.blocks == nil {
+		mag.blocks = make([]mem.Ptr, 0, t.magCap)
+	}
+	var ret mem.Ptr
+	for i := uint64(0); i < k; i++ {
+		var addr mem.Ptr
+		if tookLast && i == k-1 {
+			// Final pop after taking the last credit: this thread set
+			// Active to NULL, so it must either declare the superblock
+			// FULL or move more credits from the anchor count back into
+			// a reinstalled Active word (Figure 4 lines 13-19).
+			var morecredits uint64
+			for {
+				oldAnchor := desc.Anchor.Load()
+				oa := atomicx.UnpackAnchor(oldAnchor)
+				na := oa
+				addr = sb.Add(oa.Avail * sz)
+				na.Avail = a.heap.Load(addr)
+				na.Tag++
+				morecredits = 0
+				if oa.Count == 0 {
+					na.State = atomicx.StateFull
+				} else {
+					morecredits = min(oa.Count, a.maxCredits)
+					na.Count -= morecredits
+				}
+				if desc.Anchor.CompareAndSwap(oldAnchor, na.Pack()) {
+					break
+				}
+				if t.rec != nil {
+					t.rec.Retry(telemetry.SiteMagRefillPop)
+				}
+			}
+			if morecredits > 0 {
+				t.updateActive(h, oldActive.Desc, morecredits)
+			}
+		} else {
+			// Common pop: credits remain on the Active word, so only
+			// avail and tag change (Figure 4 lines 7-12); the anchor
+			// line stays hot across the whole batch.
+			for {
+				w := desc.Anchor.Load()
+				addr = sb.Add((w & atomicx.AnchorAvailMask) * sz)
+				next := a.heap.Load(addr)
+				nw := (w &^ uint64(atomicx.AnchorAvailMask)) | (next & atomicx.AnchorAvailMask)
+				nw += 1 << atomicx.AnchorTagShift // tag++
+				if desc.Anchor.CompareAndSwap(w, nw) {
+					break
+				}
+				if t.rec != nil {
+					t.rec.Retry(telemetry.SiteMagRefillPop)
+				}
+			}
+		}
+		a.heap.Store(addr, smallPrefix(oldActive.Desc))
+		if i == 0 {
+			ret = addr.Add(1)
+		} else {
+			mag.blocks = append(mag.blocks, addr.Add(1))
+		}
+	}
+	// One user-visible malloc was satisfied from the active superblock;
+	// the cached remainder surfaces later as magazine hits.
+	t.ops.fromActive.Add(1)
+	return ret
+}
+
+// flushMagazine returns cached blocks of one class to their superblocks
+// until at most keep remain. The oldest (coldest) blocks go first. Each
+// iteration takes the oldest block's superblock group, links it locally
+// through the blocks' first words, and splices the chain with one
+// anchor CAS.
+func (t *Thread) flushMagazine(cls, keep int) {
+	a := t.a
+	mag := &t.mags[cls]
+	for len(mag.blocks) > keep {
+		n := len(mag.blocks) - keep
+		lead := mag.blocks[0] - 1
+		descIdx := a.heap.Load(lead) >> 1
+		// Collect the group (same superblock, within the flush window)
+		// and compact the survivors in place. The group is removed from
+		// the magazine before the splice so that a thread killed
+		// mid-splice leaks the group instead of double-accounting it.
+		group := t.magScratch[:0]
+		rest := mag.blocks[:0]
+		for i, p := range mag.blocks {
+			if i < n && a.heap.Load(p-1)>>1 == descIdx {
+				group = append(group, p)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		mag.blocks = rest
+		t.magScratch = group[:0] // retain scratch capacity across flushes
+		t.spliceGroup(descIdx, group)
+	}
+}
+
+// spliceGroup pushes a group of blocks belonging to one superblock onto
+// its anchor's LIFO free list with a single CAS: the m-block
+// generalization of Figure 6's push. State transitions follow the
+// paper's free exactly: FULL becomes PARTIAL, and a group that frees
+// the last allocated blocks makes the superblock EMPTY (returned to the
+// OS, descriptor retired).
+func (t *Thread) spliceGroup(descIdx uint64, group []mem.Ptr) {
+	a := t.a
+	desc := a.desc(descIdx)
+	sb := desc.SB()
+	magic := desc.szMagic.Load()
+	maxcount := desc.MaxCount()
+	m := uint64(len(group))
+
+	idxOf := func(p mem.Ptr) uint64 {
+		hi, _ := bits.Mul64((p - 1).Sub(sb), magic)
+		return hi
+	}
+	// Link the group into a chain through the blocks' first words.
+	// These are plain stores into blocks this thread still owns; only
+	// the tail link (to the current list head) depends on the anchor
+	// and is (re)written inside the CAS loop.
+	for j := 0; j < len(group)-1; j++ {
+		a.heap.Store(group[j]-1, idxOf(group[j+1]))
+	}
+	first := idxOf(group[0])
+	tail := group[len(group)-1] - 1
+
+	var oldAnchor, newAnchor atomicx.Anchor
+	var heapID uint64
+	for {
+		oldWord := desc.Anchor.Load()
+		oldAnchor = atomicx.UnpackAnchor(oldWord)
+		newAnchor = oldAnchor
+		a.heap.Store(tail, oldAnchor.Avail) // chain tail -> old head
+		newAnchor.Avail = first
+		if oldAnchor.State == atomicx.StateFull {
+			newAnchor.State = atomicx.StatePartial
+		}
+		if oldAnchor.Count+m == maxcount {
+			// The group frees every remaining allocated block; count+m
+			// == maxcount also implies no outstanding reservations, so
+			// the superblock is EMPTY (Figure 6 lines 12-15, batched).
+			// EMPTY anchors keep count at maxcount-1, the same
+			// convention as the single-block free.
+			heapID = desc.heapID.Load()
+			atomicx.InstructionFence()
+			newAnchor.State = atomicx.StateEmpty
+			newAnchor.Count = maxcount - 1
+		} else {
+			newAnchor.Count += m
+		}
+		atomicx.Fence() // publish the link stores before the CAS
+		t.hook(HookMagFlushBeforeSplice)
+		if desc.Anchor.CompareAndSwap(oldWord, newAnchor.Pack()) {
+			break
+		}
+		if t.rec != nil {
+			t.rec.Retry(telemetry.SiteMagFlush)
+		}
+	}
+	t.ops.magFlushes.Add(1)
+	if t.rec != nil {
+		t.rec.MagFlush(m)
+	}
+
+	if newAnchor.State == atomicx.StateEmpty {
+		a.freeSB(sb, desc.SBWords())
+		t.ops.emptySBFreed.Add(1)
+		if t.rec != nil {
+			t.rec.Note(telemetry.EvSBRetire, desc.ClassIndex(), uint64(sb))
+		}
+		t.removeEmptyDesc(heapID, descIdx)
+	} else if oldAnchor.State == atomicx.StateFull {
+		t.heapPutPartial(descIdx)
+	}
+}
+
+// FlushMagazines returns every magazine-cached block to its superblock.
+// Useful before a long quiet period; with magazines disabled it is a
+// no-op. Like Malloc and Free it must only be called by the owning
+// goroutine.
+func (t *Thread) FlushMagazines() {
+	for cls := range t.mags {
+		if len(t.mags[cls].blocks) > 0 {
+			t.flushMagazine(cls, 0)
+		}
+	}
+}
+
+// Unregister releases the thread handle: all magazine-cached blocks
+// return to the shared structures. Call it when the owning goroutine
+// stops using the handle (the pthread-exit analogue); the handle's
+// operation counters remain visible in Allocator.Stats. With magazines
+// disabled it is a no-op, so callers may invoke it unconditionally.
+func (t *Thread) Unregister() {
+	t.FlushMagazines()
+}

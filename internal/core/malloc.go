@@ -14,45 +14,69 @@ import (
 // block's superblock descriptor (or, for large blocks, its size).
 func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
 	if t.rec == nil {
-		return t.malloc(size)
+		p, _, err := t.malloc(size)
+		return p, err
 	}
-	// Telemetry path: time the operation and attribute it to its size
-	// class (retry-site counters accumulate inside t.malloc).
+	// Telemetry path: time the operation and attribute it to the size
+	// class malloc already resolved (retry-site counters accumulate
+	// inside t.malloc).
 	t.rec.BeginOp()
 	start := time.Now()
-	p, err := t.malloc(size)
+	p, cls, err := t.malloc(size)
 	if err == nil {
-		cls := -1
-		if idx, small := sizeclassFor(size); small {
-			cls = idx
-		}
 		t.rec.EndMalloc(cls, time.Since(start), uint64(p))
 	}
 	return p, err
 }
 
-func (t *Thread) malloc(size uint64) (mem.Ptr, error) {
+// malloc allocates a block and reports the size class it was served
+// from (-1 for large blocks), so callers need no second class lookup.
+func (t *Thread) malloc(size uint64) (mem.Ptr, int, error) {
 	sc, small := t.a.classFor(size)
 	if !small {
-		return t.mallocLarge(size)
+		p, err := t.mallocLarge(size)
+		return p, -1, err
+	}
+	cls := sc.class.Index
+	if t.magCap != 0 {
+		mag := &t.mags[cls]
+		if p := mag.pop(); !p.IsNil() {
+			// Magazine hit: the block is thread-private and its prefix
+			// is still in place — no shared word is touched.
+			t.ops.magHits.Add(1)
+			if t.rec != nil {
+				t.rec.MagHit()
+			}
+			return p, cls, nil
+		}
+		t.ops.magMisses.Add(1)
+		if t.rec != nil {
+			t.rec.MagMiss()
+		}
+		if p := t.refillFromActive(t.findHeap(sc), mag, t.magWant); !p.IsNil() {
+			return p, cls, nil
+		}
+		// Active was NULL: fall through to the paper's partial and
+		// new-superblock paths for this single block; the next miss
+		// retries the batched refill.
 	}
 	heap := t.findHeap(sc)
 	for {
 		if addr := t.mallocFromActive(heap); !addr.IsNil() {
 			t.ops.fromActive.Add(1)
-			return addr, nil
+			return addr, cls, nil
 		}
 		if addr := t.mallocFromPartial(heap); !addr.IsNil() {
 			t.ops.fromPartial.Add(1)
-			return addr, nil
+			return addr, cls, nil
 		}
 		addr, err := t.mallocFromNewSB(heap)
 		if err != nil {
-			return 0, err
+			return 0, cls, err
 		}
 		if !addr.IsNil() {
 			t.ops.fromNewSB.Add(1)
-			return addr, nil
+			return addr, cls, nil
 		}
 	}
 }
@@ -158,7 +182,7 @@ func (t *Thread) mallocFromActive(h *ProcHeap) mem.Ptr {
 			if oa.Count == 0 {
 				na.State = atomicx.StateFull
 			} else {
-				morecredits = minU64(oa.Count, a.maxCredits)
+				morecredits = min(oa.Count, a.maxCredits)
 				na.Count -= morecredits
 			}
 			if desc.Anchor.CompareAndSwap(oldAnchor, na.Pack()) {
@@ -233,7 +257,7 @@ retry:
 			goto retry
 		}
 		// oa.State must be PARTIAL and oa.Count > 0.
-		morecredits = minU64(oa.Count-1, a.maxCredits)
+		morecredits = min(oa.Count-1, a.maxCredits)
 		na := oa
 		na.Count -= morecredits + 1
 		if morecredits > 0 {
@@ -343,7 +367,7 @@ func (t *Thread) mallocFromNewSB(h *ProcHeap) (mem.Ptr, error) {
 	desc.sbWords.Store(cls.SBWords)
 	desc.classIdx.Store(int64(cls.Index))
 
-	credits := minU64(cls.MaxCount-1, a.maxCredits) - 1 // line 9
+	credits := min(cls.MaxCount-1, a.maxCredits) - 1 // line 9
 	newActive := atomicx.Active{Desc: descIdx, Credits: credits}.Pack()
 
 	oldTag := atomicx.UnpackAnchor(desc.Anchor.Load()).Tag
@@ -402,11 +426,4 @@ func (t *Thread) mallocFromNewSB(h *ProcHeap) (mem.Ptr, error) {
 		t.rec.Note(telemetry.EvRaceLoss, cls.Index, uint64(sb))
 	}
 	return 0, nil
-}
-
-func minU64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }

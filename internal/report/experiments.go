@@ -30,6 +30,10 @@ type RunConfig struct {
 	// allocator constructed for an experiment, so each printed result
 	// carries CAS retries/op and latency quantiles for its interval.
 	Telemetry bool
+	// Magazine sets Config.MagazineSize on every lock-free allocator
+	// constructed for an experiment (0 = magazines off, the
+	// paper-faithful default).
+	Magazine int
 	// Record, when non-nil, receives every individual measurement as
 	// it is taken (used for machine-readable output, e.g. benchmal
 	// -json).
@@ -48,6 +52,9 @@ func (c RunConfig) note(r bench.Result) {
 func (c RunConfig) lockFreeOptions(lf core.Config) alloc.Options {
 	if c.Telemetry {
 		lf.Telemetry = core.NewRecorder(telemetry.Config{})
+	}
+	if lf.MagazineSize == 0 {
+		lf.MagazineSize = c.Magazine
 	}
 	return alloc.Options{Processors: c.Processors, LockFree: lf}
 }
@@ -90,8 +97,11 @@ func (c RunConfig) scaleDur(full time.Duration) time.Duration {
 
 func (c RunConfig) newAlloc(name string) (alloc.Allocator, error) {
 	opt := alloc.Options{Processors: c.Processors}
-	if c.Telemetry && (name == "lockfree" || name == "new") {
-		opt.LockFree.Telemetry = core.NewRecorder(telemetry.Config{})
+	if name == "lockfree" || name == "new" {
+		if c.Telemetry {
+			opt.LockFree.Telemetry = core.NewRecorder(telemetry.Config{})
+		}
+		opt.LockFree.MagazineSize = c.Magazine
 	}
 	return alloc.New(name, opt)
 }
@@ -228,6 +238,12 @@ func Experiments() []Experiment {
 			Title: "Ablations: credits, FIFO vs LIFO partial lists, new-superblock race policy, partial slot",
 			Paper: "design choices discussed in §3.2.3 and §3.2.6",
 			Run:   runAblations,
+		},
+		{
+			ID:    "magazine",
+			Title: "Magazine layer: thread-local batched caching on top of the lock-free heap",
+			Paper: "beyond the paper — batches the paper's per-op CAS traffic; compare retries/op and malloc p50 against the faithful configuration",
+			Run:   runMagazine,
 		},
 	}
 }
@@ -458,6 +474,71 @@ func runUniprocessor(cfg RunConfig, out io.Writer) error {
 		[]string{"heaps=1", fmt.Sprintf("%.0f", rs.OpsPerSec()), fmt.Sprintf("%.2f", rs.OpsPerSec()/rm.OpsPerSec())},
 	)
 	fmt.Fprint(out, t.Render())
+	return nil
+}
+
+// runMagazine compares the lock-free allocator with magazines off and
+// on, at the maximum thread count, on the two workloads with the
+// heaviest shared-word traffic. Telemetry is forced on so both rows of
+// each table carry retries/op and malloc p50 from the same run — the
+// acceptance comparison for the magazine layer.
+func runMagazine(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	cfg.Telemetry = true
+	maxT := cfg.Threads[len(cfg.Threads)-1]
+	magSize := cfg.Magazine
+	if magSize == 0 {
+		magSize = 64
+	}
+	// Each variant carries its own explicit MagazineSize; clear the
+	// global default so the "off" row really runs without magazines.
+	cfg.Magazine = 0
+	variants := []struct {
+		name string
+		size int
+	}{
+		{"magazines off (paper-faithful)", 0},
+		{fmt.Sprintf("magazines on (size=%d)", magSize), magSize},
+	}
+	workloads := []bench.Workload{cfg.larson(), cfg.producerConsumer(500)}
+	for _, w := range workloads {
+		t := Table{
+			Title:   fmt.Sprintf("Magazine layer: %s at %d threads", w.Name(), maxT),
+			Columns: []string{"variant", "ops/s", "retries", "retries/op", "malloc p50", "hit rate", "maxlive B"},
+			Notes: []string{
+				"same binary, same run; magazines batch Active/anchor CAS traffic into refills and flushes",
+			},
+		}
+		for _, v := range variants {
+			var best bench.Result
+			for i := 0; i < scalarReps; i++ {
+				a := alloc.NewLockFree(cfg.lockFreeOptions(core.Config{MagazineSize: v.size}))
+				runtime.GC()
+				r := w.Run(a, maxT)
+				cfg.note(r)
+				if r.OpsPerSec() > best.OpsPerSec() {
+					best = r
+				}
+			}
+			raw, perOp, p50, hit := "-", "-", "-", "-"
+			if tel := best.Telemetry; tel != nil {
+				raw = fmt.Sprintf("%d", tel.TotalRetries)
+				perOp = fmt.Sprintf("%.4f", tel.RetriesPerOp)
+				p50 = time.Duration(tel.MallocP50NS).String()
+				if tel.MagHits+tel.MagMisses > 0 {
+					hit = fmt.Sprintf("%.1f%%", 100*tel.MagHitRate)
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				v.name,
+				fmt.Sprintf("%.0f", best.OpsPerSec()),
+				raw, perOp, p50, hit,
+				fmt.Sprintf("%d", best.MaxLiveBytes),
+			})
+		}
+		fmt.Fprint(out, t.Render())
+		fmt.Fprintln(out)
+	}
 	return nil
 }
 

@@ -45,6 +45,10 @@ type Plan struct {
 	Point core.HookPoint
 	// Processors configures the shared allocator.
 	Processors int
+	// Magazine sets Config.MagazineSize (0 = magazines off), so kill
+	// tolerance can be verified with the batched refill/flush paths in
+	// play.
+	Magazine int
 	// Telemetry, when non-nil, is attached to the allocator; after the
 	// run its flight recorder holds the events leading up to each kill
 	// (every hook firing is recorded, so the ring's tail shows exactly
@@ -83,9 +87,10 @@ func Run(plan Plan) (Result, error) {
 		procs = 4
 	}
 	a := core.New(core.Config{
-		Processors: procs,
-		HeapConfig: mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 28},
-		Telemetry:  plan.Telemetry,
+		Processors:   procs,
+		HeapConfig:   mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 28},
+		Telemetry:    plan.Telemetry,
+		MagazineSize: plan.Magazine,
 	})
 
 	res := Result{Kills: map[core.HookPoint]int{}}
@@ -157,6 +162,7 @@ func Run(plan Plan) (Result, error) {
 				for _, p := range held {
 					th.Free(p)
 				}
+				th.Unregister()
 			}
 		}(point, skip, int64(v)+100)
 	}
@@ -189,6 +195,7 @@ func Run(plan Plan) (Result, error) {
 			for _, p := range held {
 				th.Free(p)
 			}
+			th.Unregister()
 			survivorOps.Add(uint64(plan.OpsPerSurvivor))
 		}(int64(s) + 1000)
 	}

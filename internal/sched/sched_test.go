@@ -34,6 +34,57 @@ func TestKillAtEveryPoint(t *testing.T) {
 	}
 }
 
+// TestKillAtEveryPointMagazine repeats the per-point kill sweep with
+// the magazine layer on, so victims die inside the batched refill and
+// flush paths too (including their dedicated hook points). A killed
+// thread's magazine-cached blocks and any flush group removed from the
+// magazine before the splice may leak; the structure must stay intact.
+func TestKillAtEveryPointMagazine(t *testing.T) {
+	for p := core.HookPoint(0); p < core.NumHookPoints; p++ {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			res, err := Run(Plan{
+				Victims:        2,
+				Survivors:      2,
+				OpsPerSurvivor: 20000,
+				OpsBeforeKill:  50,
+				Seed:           int64(p) + 1,
+				Point:          p,
+				Magazine:       16,
+			})
+			if err != nil {
+				t.Fatalf("survivors blocked: %v", err)
+			}
+			if res.SurvivorOps != 2*20000 {
+				t.Errorf("survivor ops = %d", res.SurvivorOps)
+			}
+			if res.InvariantErr != nil {
+				t.Errorf("structure corrupted: %v", res.InvariantErr)
+			}
+		})
+	}
+}
+
+// TestMassacreMagazine is the random-point massacre with magazines on.
+func TestMassacreMagazine(t *testing.T) {
+	res, err := Run(Plan{
+		Victims:        16,
+		Survivors:      4,
+		OpsPerSurvivor: 30000,
+		OpsBeforeKill:  100,
+		Seed:           7,
+		Point:          -1,
+		Magazine:       32,
+	})
+	if err != nil {
+		t.Fatalf("survivors blocked: %v", err)
+	}
+	if res.InvariantErr != nil {
+		t.Errorf("structure corrupted: %v", res.InvariantErr)
+	}
+	t.Logf("%v", res)
+}
+
 // TestMassacre kills many victims at random points concurrently with
 // survivor progress.
 func TestMassacre(t *testing.T) {

@@ -87,6 +87,15 @@ const (
 	// SiteRegionPush: retries pushing onto a mem region free-stack
 	// bin.
 	SiteRegionPush
+	// SiteMagRefillReserve: retries of the magazine refill's batched
+	// credit-reserve CAS on a heap's Active word.
+	SiteMagRefillReserve
+	// SiteMagRefillPop: retries of the back-to-back anchor pops during
+	// a magazine refill.
+	SiteMagRefillPop
+	// SiteMagFlush: retries of the batched anchor splice returning a
+	// magazine group to its superblock.
+	SiteMagFlush
 	// NumSites is the number of instrumented sites.
 	NumSites
 )
@@ -107,6 +116,9 @@ var siteNames = [NumSites]string{
 	"desc-retire",
 	"region-pop",
 	"region-push",
+	"mag-refill-reserve",
+	"mag-refill-pop",
+	"mag-flush",
 }
 
 func (s Site) String() string {
@@ -217,6 +229,14 @@ type ThreadShard struct {
 
 	retries [NumSites]atomic.Uint64
 
+	// Magazine-layer counters: hits/misses on the thread's private
+	// block caches and flush batches returned to the shared
+	// structures. All zero when the layer is disabled.
+	magHits    atomic.Uint64
+	magMisses  atomic.Uint64
+	magFlushes atomic.Uint64
+	magFlushed atomic.Uint64 // blocks returned across all flushes
+
 	// hist rows: [op][class] flattened as op*(classes+1)+class, with
 	// op 0 = malloc, 1 = free, and class `classes` = large blocks.
 	hist    []Histogram
@@ -246,6 +266,19 @@ func (s *ThreadShard) BeginOp() { s.opRetries = 0 }
 func (s *ThreadShard) Retry(site Site) {
 	s.retries[site].Add(1)
 	s.opRetries++
+}
+
+// MagHit records a malloc satisfied from a thread-local magazine.
+func (s *ThreadShard) MagHit() { s.magHits.Add(1) }
+
+// MagMiss records a malloc that found its magazine empty.
+func (s *ThreadShard) MagMiss() { s.magMisses.Add(1) }
+
+// MagFlush records one flush batch of n blocks spliced back into a
+// superblock's free list.
+func (s *ThreadShard) MagFlush(n uint64) {
+	s.magFlushes.Add(1)
+	s.magFlushed.Add(n)
 }
 
 // histRow returns the histogram for (op, class), clamping class into

@@ -293,3 +293,39 @@ func indexOf(s, sub string) int {
 	}
 	return -1
 }
+
+func TestSnapshotMagazineCounters(t *testing.T) {
+	r := New(Config{Classes: 2})
+	sh := r.NewShard(0)
+	for i := 0; i < 3; i++ {
+		sh.MagHit()
+	}
+	sh.MagMiss()
+	sh.MagFlush(8)
+	base := r.Snapshot()
+	if base.MagHits != 3 || base.MagMisses != 1 || base.MagFlushes != 1 || base.MagFlushedBlocks != 8 {
+		t.Fatalf("snapshot counters = %d/%d/%d/%d, want 3/1/1/8",
+			base.MagHits, base.MagMisses, base.MagFlushes, base.MagFlushedBlocks)
+	}
+	if got := base.MagHitRate(); got != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", got)
+	}
+	if txt := base.Text(0); !contains(txt, "magazines: 75.0% hit rate") {
+		t.Errorf("Text missing magazine line:\n%s", txt)
+	}
+	sh.MagHit()
+	sh.MagFlush(4)
+	delta := r.Snapshot().Sub(base)
+	if delta.MagHits != 1 || delta.MagMisses != 0 || delta.MagFlushes != 1 || delta.MagFlushedBlocks != 4 {
+		t.Errorf("delta counters = %d/%d/%d/%d, want 1/0/1/4",
+			delta.MagHits, delta.MagMisses, delta.MagFlushes, delta.MagFlushedBlocks)
+	}
+	if got := delta.MagHitRate(); got != 1 {
+		t.Errorf("delta hit rate = %v, want 1", got)
+	}
+	// A recorder with no magazine traffic shows neither counters nor line.
+	quiet := New(Config{Classes: 2}).Snapshot()
+	if quiet.MagHitRate() != 0 || contains(quiet.Text(0), "magazines:") {
+		t.Error("magazine line leaked into magazine-free snapshot")
+	}
+}
