@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine]
+//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas]
 //	         [-threads 1,2,4,8,16] [-scale 0.01] [-allocs lockfree,hoard,...]
-//	         [-procs N] [-telemetry] [-magazine N] [-json] [-list] [-v]
+//	         [-procs N] [-telemetry] [-magazine N] [-arenas N] [-json] [-list] [-v]
 //
 // -scale 1.0 runs the paper's full parameters (10M malloc/free pairs
 // per thread, 30-second timed phases); the default 0.01 finishes each
@@ -16,9 +16,12 @@
 // retries/op and malloc latency quantiles; -telemetry=false measures
 // the bare allocator. -magazine N enables the thread-local magazine
 // layer (Config.MagazineSize=N) on every lock-free allocator; the
-// magazine experiment compares off/on regardless of this flag. -json
-// additionally writes every individual measurement to a
-// BENCH_<unixtime>.json file.
+// magazine experiment compares off/on regardless of this flag.
+// -arenas N shards every allocator's OS layer into N region arenas
+// (0 = one per processor heap, the default; 1 = the unsharded global
+// layout); the arenas experiment compares 1 vs per-processor
+// regardless of this flag. -json additionally writes every individual
+// measurement to a BENCH_<unixtime>.json file.
 package main
 
 import (
@@ -48,6 +51,7 @@ type jsonReport struct {
 	Experiments   []string       `json:"experiments"`
 	Telemetry     bool           `json:"telemetry"`
 	Magazine      int            `json:"magazine,omitempty"`
+	Arenas        int            `json:"arenas,omitempty"`
 	Results       []bench.Result `json:"results"`
 }
 
@@ -60,6 +64,7 @@ func main() {
 		procsFlag   = flag.Int("procs", 0, "processor heaps per allocator (default: max threads)")
 		teleFlag    = flag.Bool("telemetry", true, "attach the telemetry layer to lock-free allocators (retries/op and latency per row)")
 		magFlag     = flag.Int("magazine", 0, "thread-local magazine size for lock-free allocators (0 = off)")
+		arenasFlag  = flag.Int("arenas", 0, "region arenas per heap (0 = one per processor, 1 = unsharded)")
 		jsonFlag    = flag.Bool("json", false, "write all measurements to a BENCH_<unixtime>.json file")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
 		verboseFlag = flag.Bool("v", false, "print every individual measurement")
@@ -83,6 +88,7 @@ func main() {
 		Processors: *procsFlag,
 		Telemetry:  *teleFlag,
 		Magazine:   *magFlag,
+		Arenas:     *arenasFlag,
 	}
 	if *allocsFlag != "" {
 		cfg.Allocators = strings.Split(*allocsFlag, ",")
@@ -134,6 +140,7 @@ func main() {
 			Experiments:   ids,
 			Telemetry:     *teleFlag,
 			Magazine:      *magFlag,
+			Arenas:        *arenasFlag,
 			Results:       results,
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -3,12 +3,14 @@
 // packed-word layouts of Figure 3, and the large-allocation threshold.
 // Useful for sanity-checking configuration against the paper.
 //
-//	heapinfo [-live] [-threads 4] [-ops 50000]
+//	heapinfo [-live] [-threads 4] [-ops 50000] [-arenas N]
 //
 // With -live, a short multithreaded malloc/free workload is run on a
 // fresh allocator (hyperblock layer enabled) and the resulting live
 // statistics are printed: Allocator.Stats, heap and hyperblock
-// counters, and the telemetry snapshot.
+// counters, a per-arena breakdown of the OS layer with region-bin
+// occupancy, and the telemetry snapshot. -arenas overrides the
+// region-arena count (0 = one per processor heap, 1 = unsharded).
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 		live    = flag.Bool("live", false, "run a short workload and print live allocator statistics")
 		threads = flag.Int("threads", 4, "workload goroutines (-live)")
 		ops     = flag.Int("ops", 50000, "operations per goroutine (-live)")
+		arenas  = flag.Int("arenas", 0, "region arenas (-live; 0 = one per processor, 1 = unsharded)")
 	)
 	flag.Parse()
 	fmt.Println("Packed word layouts (paper Figure 3):")
@@ -58,17 +61,18 @@ func main() {
 
 	if *live {
 		fmt.Println()
-		runLive(*threads, *ops)
+		runLive(*threads, *ops, *arenas)
 	}
 }
 
 // runLive exercises a fresh allocator and prints its live statistics:
 // operation counters, heap/hyperblock state, and the telemetry
 // snapshot (contention, latency, flight-recorder tail).
-func runLive(threads, ops int) {
+func runLive(threads, ops, arenas int) {
 	rec := core.NewRecorder(telemetry.Config{})
 	a := core.New(core.Config{
 		Processors:  threads,
+		HeapConfig:  mem.Config{Arenas: arenas},
 		Hyperblocks: true,
 		Telemetry:   rec,
 	})
@@ -118,6 +122,29 @@ func runLive(threads, ops int) {
 	hs := a.HyperStats()
 	fmt.Printf("  hyperblocks: %d allocated, %d released, %d SB allocs / %d frees\n",
 		hs.HyperAllocs, hs.HyperReleases, hs.Allocs, hs.Frees)
+
+	fmt.Printf("\nRegion arenas (%d):\n", a.Heap().Arenas())
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "arena\treserved\tlive\tskipped\tallocs\tfrees\treused\tsteals\t")
+	for i, as := range s.Heap.Arenas {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+			i, as.ReservedWords, as.LiveWords, as.SkippedWords,
+			as.RegionAllocs, as.RegionFrees, as.ReusedRegions, as.Steals)
+	}
+	w.Flush()
+	fmt.Println("(words; allocs/reused/steals are request-side, the rest partition-side)")
+
+	if bins := a.Heap().RegionBins(); len(bins) > 0 {
+		fmt.Println("\nRegion-bin occupancy (free regions awaiting reuse):")
+		w = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(w, "arena\tregion words\tregions\t")
+		for _, b := range bins {
+			fmt.Fprintf(w, "%d\t%d\t%d\t\n", b.Arena, b.RegionWords, b.Regions)
+		}
+		w.Flush()
+	} else {
+		fmt.Println("\nRegion bins: empty (no free regions awaiting reuse)")
+	}
 	fmt.Println()
 	fmt.Print(rec.Snapshot().Text(8))
 }

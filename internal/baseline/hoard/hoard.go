@@ -90,12 +90,16 @@ type Allocator struct {
 
 // New constructs the allocator.
 func New(cfg Config) *Allocator {
-	h := cfg.Heap
-	if h == nil {
-		h = mem.NewHeap(cfg.HeapConfig)
-	}
 	if cfg.Processors <= 0 {
 		cfg.Processors = defaultProcessors()
+	}
+	h := cfg.Heap
+	if h == nil {
+		if cfg.HeapConfig.Arenas == 0 {
+			// One region arena per processor, like the processor heaps.
+			cfg.HeapConfig.Arenas = cfg.Processors
+		}
+		h = mem.NewHeap(cfg.HeapConfig)
 	}
 	a := &Allocator{
 		heap:  h,
@@ -197,7 +201,7 @@ func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
 	a := t.a
 	cls, small := sizeclass.For(size)
 	if !small {
-		return a.mallocLarge(size)
+		return a.mallocLarge(a.heap.Arena(t.heapIndex()), size)
 	}
 	hi := t.heapIndex()
 	h := &a.heaps[hi]
@@ -266,7 +270,9 @@ func (a *Allocator) refill(h *heapT, hi int, cls sizeclass.Class) *superblock {
 // newSuperblock allocates a fresh superblock from the OS into heap h.
 // Caller holds h's lock.
 func (a *Allocator) newSuperblock(h *heapT, hi int, cls sizeclass.Class) (*superblock, error) {
-	base, _, err := a.heap.AllocRegion(cls.SBWords)
+	// Draw from the region arena matching this processor heap, so
+	// distinct heaps do not contend on one bump pointer.
+	base, _, err := a.heap.Arena(hi).AllocRegion(cls.SBWords)
 	if err != nil {
 		return nil, err
 	}
@@ -294,17 +300,19 @@ func (sb *superblock) popBlock(h *mem.Heap) mem.Ptr {
 	return block
 }
 
-func (a *Allocator) mallocLarge(size uint64) (mem.Ptr, error) {
+func (a *Allocator) mallocLarge(ar mem.Arena, size uint64) (mem.Ptr, error) {
 	payloadWords := (size + mem.WordBytes - 1) / mem.WordBytes
 	if payloadWords == 0 {
 		payloadWords = 1
 	}
 	totalWords := payloadWords + 1
-	base, _, err := a.heap.AllocRegion(totalWords)
+	base, regionWords, err := ar.AllocRegion(totalWords)
 	if err != nil {
 		return 0, err
 	}
-	a.heap.Store(base, totalWords<<1|1)
+	// The prefix records the rounded region size, the canonical value
+	// for FreeRegion on the free path.
+	a.heap.Store(base, regionWords<<1|1)
 	return base.Add(1), nil
 }
 

@@ -60,15 +60,20 @@ type Allocator struct {
 
 // New constructs the allocator.
 func New(cfg Config) *Allocator {
-	h := cfg.Heap
-	if h == nil {
-		h = mem.NewHeap(cfg.HeapConfig)
-	}
 	if cfg.Arenas <= 0 {
 		cfg.Arenas = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Arenas > maxArenas {
 		cfg.Arenas = maxArenas
+	}
+	h := cfg.Heap
+	if h == nil {
+		if cfg.HeapConfig.Arenas == 0 {
+			// One region arena per malloc arena (chunkheap i draws its
+			// wilderness from region arena i via its owner tag).
+			cfg.HeapConfig.Arenas = cfg.Arenas
+		}
+		h = mem.NewHeap(cfg.HeapConfig)
 	}
 	a := &Allocator{heap: h}
 	arenas := make([]*arena, cfg.Arenas)
@@ -111,11 +116,13 @@ func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
 		words = 1
 	}
 	if words >= largeThresholdWords {
-		base, _, err := a.heap.AllocRegion(words + 1)
+		// Route through the last-used arena's region shard; the header
+		// records the rounded region size for the free path.
+		base, regionWords, err := a.heap.Arena(t.last).AllocRegion(words + 1)
 		if err != nil {
 			return 0, err
 		}
-		a.heap.Store(base, chunkheap.MakeLargeHeader(words+1))
+		a.heap.Store(base, chunkheap.MakeLargeHeader(regionWords))
 		return base.Add(1), nil
 	}
 	arenas := *a.arenas.Load()

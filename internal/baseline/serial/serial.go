@@ -74,11 +74,12 @@ func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
 		words = 1
 	}
 	if words >= largeThresholdWords {
-		base, _, err := a.heap.AllocRegion(words + 1)
+		base, regionWords, err := a.heap.AllocRegion(words + 1)
 		if err != nil {
 			return 0, err
 		}
-		a.heap.Store(base, chunkheap.MakeLargeHeader(words+1))
+		// Record the rounded region size for the free path.
+		a.heap.Store(base, chunkheap.MakeLargeHeader(regionWords))
 		return base.Add(1), nil
 	}
 	a.mu.Lock()

@@ -96,17 +96,24 @@ type Heap struct {
 	top    mem.Ptr
 	topEnd mem.Ptr
 
+	// arena is the region arena wilderness extensions draw from (the
+	// owner tag modulo the heap's arena count, so chunk heap i maps to
+	// region arena i).
+	arena mem.Arena
+
 	// Stats.
 	allocs, frees, coalesces, splits, extends uint64
 }
 
 // New creates a chunk heap with the given owner tag (0..65535), drawing
-// wilderness regions from m.
+// wilderness regions from m. The tag doubles as the region-arena hint:
+// wilderness extensions come from m.Arena(tag), so distinct chunk heaps
+// spread across the OS layer's arenas.
 func New(m *mem.Heap, tag uint64, policy Policy) *Heap {
 	if tag > headerTagMask {
 		panic("chunkheap: tag out of range")
 	}
-	return &Heap{mem: m, tag: tag, policy: policy}
+	return &Heap{mem: m, tag: tag, policy: policy, arena: m.Arena(int(tag))}
 }
 
 func packHeader(sizeWords, tag, flags uint64) uint64 {
@@ -128,9 +135,10 @@ func IsLargeHeader(h uint64) bool { return h&flagLarge != 0 }
 
 // MakeLargeHeader builds the header word for a block allocated
 // directly from the OS layer (dlmalloc's mmapped chunks), recording
-// its total size so free can return the region.
-func MakeLargeHeader(totalWords uint64) uint64 {
-	return packHeader(totalWords, 0, flagLarge|flagInUse)
+// the region's rounded word count so free can return the region with
+// its canonical size.
+func MakeLargeHeader(regionWords uint64) uint64 {
+	return packHeader(regionWords, 0, flagLarge|flagInUse)
 }
 
 // LargeWords extracts the total word count from a large-block header.
@@ -216,7 +224,7 @@ func (c *Heap) extend(need uint64) error {
 	if want < regionWords {
 		want = regionWords
 	}
-	base, words, err := c.mem.AllocRegion(want)
+	base, words, err := c.arena.AllocRegion(want)
 	if err != nil {
 		return err
 	}

@@ -175,6 +175,12 @@ func New(cfg Config) *Allocator {
 	}
 	h := cfg.Heap
 	if h == nil {
+		if cfg.HeapConfig.Arenas == 0 {
+			// Shard the OS layer like the processor heaps above it: one
+			// region arena per processor (Config.HeapConfig.Arenas
+			// overrides; callers wanting the unsharded layout pass 1).
+			cfg.HeapConfig.Arenas = cfg.Processors
+		}
 		h = mem.NewHeap(cfg.HeapConfig)
 	}
 	a := &Allocator{
@@ -241,17 +247,20 @@ func (a *Allocator) procHeap(id uint64) *ProcHeap {
 // desc returns the descriptor with the given index.
 func (a *Allocator) desc(idx uint64) *Descriptor { return a.descs.get(idx) }
 
-// allocSB obtains a superblock region, through the hyperblock layer
-// when enabled (paper §3.2.5).
-func (a *Allocator) allocSB(words uint64) (mem.Ptr, error) {
+// allocSB obtains a superblock region through the calling thread's
+// region arena, or through the hyperblock layer when enabled (paper
+// §3.2.5).
+func (t *Thread) allocSB(words uint64) (mem.Ptr, error) {
+	a := t.a
 	if a.hyper != nil && words == a.hyper.SBWords() {
-		return a.hyper.Alloc()
+		return a.hyper.AllocFrom(t.arena)
 	}
-	p, _, err := a.heap.AllocRegion(words)
+	p, _, err := t.arena.AllocRegion(words)
 	return p, err
 }
 
-// freeSB returns a superblock region.
+// freeSB returns a superblock region; the OS layer routes it to the
+// arena owning its address, so any thread may free any superblock.
 func (a *Allocator) freeSB(p mem.Ptr, words uint64) {
 	if a.hyper != nil && words == a.hyper.SBWords() {
 		a.hyper.Free(p)
@@ -288,6 +297,9 @@ func (a *Allocator) Telemetry() *telemetry.Recorder { return a.tele }
 // paper's pthread environment.
 func (a *Allocator) Thread() *Thread {
 	t := &Thread{a: a, id: a.nextThread.Add(1) - 1}
+	// The thread's region arena, like its processor heaps below: a pure
+	// function of the thread id, resolved once.
+	t.arena = a.heap.Arena(int(t.id))
 	if a.tele != nil {
 		t.rec = a.tele.NewShard(t.id)
 	}
@@ -319,6 +331,7 @@ func (a *Allocator) Thread() *Thread {
 type Thread struct {
 	a      *Allocator
 	id     uint64
+	arena  mem.Arena   // region arena for superblock and large allocs
 	heaps  []*ProcHeap // per-size-class processor heap for this thread
 	hookFn func(HookPoint)
 	rec    *telemetry.ThreadShard // non-nil when telemetry is attached
@@ -469,11 +482,12 @@ func (t *Thread) findHeap(sc *scState) *ProcHeap {
 }
 
 // prefix encoding: small blocks store descIdx<<1 (bit 0 clear); large
-// blocks store totalWords<<1|1 (the paper's "desc holds sz+1" with the
-// large-block bit set).
+// blocks store the region's rounded word count <<1|1 (the paper's
+// "desc holds sz+1" with the large-block bit set; rounded so the free
+// path passes FreeRegion the canonical region size).
 func smallPrefix(descIdx uint64) uint64 { return descIdx << 1 }
 
-func largePrefix(totalWords uint64) uint64 { return totalWords<<1 | 1 }
+func largePrefix(regionWords uint64) uint64 { return regionWords<<1 | 1 }
 
 func prefixIsLarge(p uint64) bool { return p&1 != 0 }
 

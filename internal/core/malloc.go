@@ -101,11 +101,13 @@ func (t *Thread) mallocLarge(size uint64) (mem.Ptr, error) {
 	if totalWords > t.a.heap.MaxRegionWords() {
 		return 0, errSizeOverflow
 	}
-	base, _, err := t.a.heap.AllocRegion(totalWords)
+	base, regionWords, err := t.arena.AllocRegion(totalWords)
 	if err != nil {
 		return 0, err
 	}
-	t.a.heap.Store(base, largePrefix(totalWords))
+	// The prefix records the region's actual (rounded) size, so the
+	// free path hands FreeRegion the canonical region size.
+	t.a.heap.Store(base, largePrefix(regionWords))
 	t.ops.largeMallocs.Add(1)
 	return base.Add(1), nil
 }
@@ -345,7 +347,7 @@ func (t *Thread) mallocFromNewSB(h *ProcHeap) (mem.Ptr, error) {
 
 	descIdx := a.descs.alloc() // line 1
 	desc := a.desc(descIdx)
-	sb, err := a.allocSB(cls.SBWords) // line 2
+	sb, err := t.allocSB(cls.SBWords) // line 2
 	if err != nil {
 		a.descs.retire(descIdx)
 		return 0, err

@@ -15,7 +15,7 @@ func mkDesc(t *testing.T, a *Allocator, state uint64) uint64 {
 	idx := a.descs.alloc()
 	d := a.desc(idx)
 	cls := sizeclass.ByIndex(0)
-	sb, err := a.allocSB(cls.SBWords)
+	sb, _, err := a.heap.AllocRegion(cls.SBWords)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,13 @@
 package mem
 
-import "testing"
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
 
 // BenchmarkRegionAllocFree measures the OS layer's superblock-size
 // region round trip (the mmap/munmap stand-in cost).
@@ -12,6 +19,43 @@ func BenchmarkRegionAllocFree(b *testing.B) {
 			b.Fatal(err)
 		}
 		h.FreeRegion(p, 2048)
+	}
+}
+
+// BenchmarkRegionChurnParallel measures contended superblock-size
+// region round trips — every iteration hits a bump pointer or a
+// free-region bin, the arena layer's target traffic — with the OS
+// layer unsharded (arenas=1) vs one arena per processor. Region-CAS
+// retries and steals per operation are reported as custom metrics.
+func BenchmarkRegionChurnParallel(b *testing.B) {
+	counts := []int{1, runtime.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts = counts[:1]
+	}
+	for _, arenas := range counts {
+		b.Run(fmt.Sprintf("arenas=%d", arenas), func(b *testing.B) {
+			h := NewHeap(Config{Arenas: arenas})
+			rec := telemetry.New(telemetry.Config{})
+			h.SetTelemetry(rec.Stripes())
+			var worker atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				ar := h.Arena(int(worker.Add(1) - 1))
+				for pb.Next() {
+					p, words, err := ar.AllocRegion(2048)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					h.FreeRegion(p, words)
+				}
+			})
+			snap := rec.Snapshot()
+			retries := snap.Retries[telemetry.SiteRegionPop.String()] +
+				snap.Retries[telemetry.SiteRegionPush.String()] +
+				snap.Retries[telemetry.SiteRegionBump.String()]
+			b.ReportMetric(float64(retries)/float64(b.N), "region-retries/op")
+			b.ReportMetric(float64(h.Stats().Steals)/float64(b.N), "steals/op")
+		})
 	}
 }
 

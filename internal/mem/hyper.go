@@ -98,8 +98,19 @@ func (hy *Hyper) desc(sb Ptr) *hyperDesc {
 	return d
 }
 
-// Alloc returns one superblock. Lock-free.
+// Alloc returns one superblock, drawing fresh hyperblocks through
+// arena 0. Lock-free. Callers with a processor identity should prefer
+// AllocFrom with their own arena.
 func (hy *Hyper) Alloc() (Ptr, error) {
+	return hy.AllocFrom(hy.heap.Arena(0))
+}
+
+// AllocFrom returns one superblock, drawing any fresh hyperblock it
+// needs through the given arena (the free stack and bump cursor are
+// shared across arenas — hyperblocks are big enough that carving them
+// is rare, so only the region allocation underneath is sharded).
+// Lock-free.
+func (hy *Hyper) AllocFrom(ar Arena) (Ptr, error) {
 	hy.allocs.Add(1)
 	for {
 		// Freed superblocks first.
@@ -120,7 +131,7 @@ func (hy *Hyper) Alloc() (Ptr, error) {
 			continue
 		}
 		// Current exhausted (or none): install a fresh hyperblock.
-		nb, err := hy.newHyperblock()
+		nb, err := hy.newHyperblock(ar)
 		if err != nil {
 			return 0, err
 		}
@@ -167,8 +178,8 @@ func (hy *Hyper) pushFree(sb Ptr) {
 	}
 }
 
-func (hy *Hyper) newHyperblock() (Ptr, error) {
-	base, err := hy.heap.AllocRegionAligned(hy.hypWords, hy.hypWords)
+func (hy *Hyper) newHyperblock(ar Arena) (Ptr, error) {
+	base, err := ar.AllocRegionAligned(hy.hypWords, hy.hypWords)
 	if err != nil {
 		return 0, err
 	}

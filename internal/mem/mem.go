@@ -19,10 +19,15 @@
 //   - The OS layer (AllocRegion/FreeRegion) hands out page-granular
 //     regions, exactly the role mmap/munmap play in the paper: it serves
 //     superblock allocation, large-block allocation, and descriptor-
-//     superblock allocation. It is itself lock-free: an atomic bump
-//     pointer over the reserved address space plus per-size lock-free
-//     freelists of returned regions (Treiber stacks threaded through the
-//     first word of each free region, with tagged heads for ABA safety).
+//     superblock allocation. It is itself lock-free, and it is sharded:
+//     the address space is interleaved segment-by-segment across an
+//     array of per-processor arenas, each with its own atomic bump
+//     pointer and its own per-size lock-free freelists of returned
+//     regions (Treiber stacks threaded through the first word of each
+//     free region, with tagged heads for ABA safety). Frees route to
+//     the arena that owns the address; an arena that runs dry steals
+//     lock-free from its siblings before reporting ErrOutOfMemory, so
+//     total capacity is that of the whole heap regardless of sharding.
 //
 // Cache behaviour is real: words of one superblock are contiguous in the
 // backing array, so blocks carved from the same superblock share cache
@@ -33,6 +38,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"repro/internal/atomicx"
@@ -86,19 +92,49 @@ type Config struct {
 	// TotalWordsLog2 is the log2 of the total addressable words.
 	// 0 selects the default (2^34 words).
 	TotalWordsLog2 uint
+	// Arenas is the number of per-processor arenas the region
+	// allocator is sharded into. 0 or 1 selects a single arena, which
+	// reproduces the unsharded global bump pointer and free bins
+	// exactly. Values above the segment count are clamped so every
+	// arena owns at least one segment.
+	Arenas int
 }
 
 // Heap is a simulated word-addressed address space with an OS-like
 // region allocator. All methods are safe for concurrent use; the region
 // allocator is lock-free.
 type Heap struct {
-	segLog   uint
-	segWords uint64
-	segMask  uint64
-	maxWords uint64
+	segLog    uint
+	segWords  uint64
+	segMask   uint64
+	maxWords  uint64
+	numArenas uint64
 
 	segments []atomic.Pointer[[]uint64]
 
+	// arenas shard the region allocator. Segment s belongs to arena
+	// s % numArenas; each arena bumps only within its own segments and
+	// keeps its own free-region bins, so the bins of arena i only ever
+	// hold regions whose addresses lie in arena i's segments.
+	arenas []arenaShard
+
+	// tele, when set, receives CAS-retry counts for the region
+	// free-stack bins and bump pointers, and steal events. An atomic
+	// pointer so SetTelemetry may race in-flight operations; loaded
+	// only on CAS-failure and steal paths.
+	tele atomic.Pointer[telemetry.Stripes]
+
+	// liveWords/maxLiveWords are kept globally (not summed from the
+	// arenas) so the high-water mark is a consistent single-counter
+	// CAS-max, as before sharding.
+	liveWords    atomic.Uint64
+	maxLiveWords atomic.Uint64
+}
+
+// arenaShard is one shard of the region allocator. Padded so that two
+// arenas' hot bump pointers and bin heads never share a cache line.
+type arenaShard struct {
+	_    [64]byte
 	next atomic.Uint64 // bump pointer (word index of next unreserved word)
 
 	// Free-region bins. bins[0..exactBins-1] hold regions of exactly
@@ -106,38 +142,59 @@ type Heap struct {
 	bins     [exactBins]atomic.Uint64
 	log2Bins [maxLog2Bins]atomic.Uint64
 
-	// tele, when set, receives CAS-retry counts for the region
-	// free-stack bins. An atomic pointer so SetTelemetry may race
-	// in-flight operations; loaded only on CAS-failure paths.
-	tele atomic.Pointer[telemetry.Stripes]
-
-	stats heapStats
+	stats arenaCounters
+	_     [64]byte
 }
+
+type arenaCounters struct {
+	reservedWords atomic.Uint64 // address space consumed by this arena's bump
+	liveWords     atomic.Uint64 // live words in regions this arena owns
+	regionAllocs  atomic.Uint64 // allocations requested via this arena
+	regionFrees   atomic.Uint64 // frees routed home to this arena
+	reusedRegions atomic.Uint64 // requests satisfied from a bin (own or stolen)
+	steals        atomic.Uint64 // requests satisfied by a sibling arena
+	skippedWords  atomic.Uint64 // words wasted skipping to an owned segment
+}
+
+// stealTestHook, when non-nil, is called before each sibling-arena
+// steal attempt with (requester, victim). Test-only: lets tests
+// interleave or abandon a thread mid-steal.
+var stealTestHook func(requester, victim int)
 
 // SetTelemetry attaches striped retry counters to the region
-// free-stack push/pop loops (nil detaches). Safe to call while the
-// heap is in use.
+// free-stack push/pop and bump CAS loops (nil detaches). Safe to call
+// while the heap is in use.
 func (h *Heap) SetTelemetry(st *telemetry.Stripes) { h.tele.Store(st) }
 
-type heapStats struct {
-	reservedWords atomic.Uint64 // high-water bump mark
-	liveWords     atomic.Uint64 // words in regions currently allocated
-	maxLiveWords  atomic.Uint64 // high-water of liveWords
-	regionAllocs  atomic.Uint64
-	regionFrees   atomic.Uint64
-	reusedRegions atomic.Uint64 // allocations satisfied from a bin
-	skippedWords  atomic.Uint64 // words wasted skipping segment boundaries
+// ArenaStats is a point-in-time snapshot of one arena's counters.
+// Request-side counters (RegionAllocs, ReusedRegions, Steals) are
+// charged to the arena the request went through; partition-side
+// counters (ReservedWords, LiveWords, RegionFrees, SkippedWords) are
+// charged to the arena that owns the affected address, so each arena's
+// LiveWords drains back to zero no matter which thread frees.
+type ArenaStats struct {
+	ReservedWords uint64
+	LiveWords     uint64
+	RegionAllocs  uint64
+	RegionFrees   uint64
+	ReusedRegions uint64
+	Steals        uint64
+	SkippedWords  uint64
 }
 
-// Stats is a point-in-time snapshot of heap counters.
+// Stats is a point-in-time snapshot of heap counters. The scalar
+// fields are sums over all arenas (LiveWords and MaxLiveWords come
+// from a single global counter so the high-water mark is exact).
 type Stats struct {
-	ReservedWords uint64 // address space consumed by the bump pointer
+	ReservedWords uint64 // address space consumed by the bump pointers
 	LiveWords     uint64 // words currently allocated to regions
 	MaxLiveWords  uint64 // high-water mark of LiveWords
 	RegionAllocs  uint64
 	RegionFrees   uint64
 	ReusedRegions uint64
+	Steals        uint64 // allocations served by a non-local arena
 	SkippedWords  uint64
+	Arenas        []ArenaStats // per-arena breakdown, indexed by arena
 }
 
 // NewHeap creates a heap with the given configuration.
@@ -163,10 +220,25 @@ func NewHeap(cfg Config) *Heap {
 		segMask:  1<<segLog - 1,
 		maxWords: 1 << totalLog,
 	}
-	h.segments = make([]atomic.Pointer[[]uint64], h.maxWords>>segLog)
+	numSegs := h.maxWords >> segLog
+	h.segments = make([]atomic.Pointer[[]uint64], numSegs)
+	arenas := uint64(1)
+	if cfg.Arenas > 1 {
+		arenas = uint64(cfg.Arenas)
+	}
+	if arenas > numSegs {
+		arenas = numSegs
+	}
+	h.numArenas = arenas
+	h.arenas = make([]arenaShard, arenas)
+	for i := range h.arenas {
+		// Arena i starts bumping at the base of segment i, its first
+		// owned segment.
+		h.arenas[i].next.Store(uint64(i) << segLog)
+	}
 	// Reserve the first page so Ptr 0 is never a valid region address.
-	h.next.Store(PageWords)
-	h.stats.reservedWords.Store(PageWords)
+	h.arenas[0].next.Store(PageWords)
+	h.arenas[0].stats.reservedWords.Store(PageWords)
 	return h
 }
 
@@ -177,6 +249,26 @@ func (h *Heap) SegmentWords() uint64 { return h.segWords }
 
 // MaxRegionWords returns the largest region the OS layer can serve.
 func (h *Heap) MaxRegionWords() uint64 { return h.segWords }
+
+// Arenas returns the number of arenas the region allocator is sharded
+// into.
+func (h *Heap) Arenas() int { return int(h.numArenas) }
+
+// Arena returns a handle on arena i (taken modulo the arena count, so
+// callers may pass a thread or processor id directly). The handle is a
+// cheap value; all its methods are lock-free and safe for concurrent
+// use.
+func (h *Heap) Arena(i int) Arena {
+	if i < 0 {
+		i = -i
+	}
+	return Arena{h: h, idx: uint64(i) % h.numArenas}
+}
+
+// arenaOf returns the arena owning p's segment.
+func (h *Heap) arenaOf(p Ptr) uint64 {
+	return (uint64(p) >> h.segLog) % h.numArenas
+}
 
 func (h *Heap) seg(p Ptr) ([]uint64, uint64) {
 	idx := uint64(p) >> h.segLog
@@ -261,44 +353,44 @@ func RegionWords(n uint64) uint64 {
 	if pages <= exactBins {
 		return pages * PageWords
 	}
-	p := uint64(1)
-	for p < pages {
-		p <<= 1
-	}
-	return p * PageWords
+	return PageWords << bits.Len64(pages-1)
 }
 
-func (h *Heap) binFor(words uint64) *atomic.Uint64 {
+func (a *arenaShard) binFor(words uint64) *atomic.Uint64 {
 	pages := words / PageWords
 	if pages <= exactBins {
-		return &h.bins[pages-1]
+		return &a.bins[pages-1]
 	}
-	k := 0
-	for pages > 1 {
-		pages >>= 1
-		k++
-	}
-	return &h.log2Bins[k]
+	return &a.log2Bins[bits.Len64(pages)-1]
 }
 
-// AllocRegion reserves a region of at least n words and returns its base
-// pointer and actual size in words. It corresponds to the paper's
+// Arena is a handle on one shard of the region allocator. Allocations
+// through an Arena prefer that arena's free bins and address-space
+// partition, falling back to lock-free stealing from sibling arenas;
+// frees always route to the arena owning the freed address, whichever
+// handle they go through.
+type Arena struct {
+	h   *Heap
+	idx uint64
+}
+
+// Index returns the arena's index within the heap.
+func (a Arena) Index() int { return int(a.idx) }
+
+// AllocRegion reserves a region of at least n words and returns its
+// base pointer and actual size in words. It corresponds to the paper's
 // "allocate directly from the OS" (mmap). Lock-free.
-func (h *Heap) AllocRegion(n uint64) (Ptr, uint64, error) {
+func (a Arena) AllocRegion(n uint64) (Ptr, uint64, error) {
+	h := a.h
 	words := RegionWords(n)
 	if words > h.segWords {
 		return 0, 0, fmt.Errorf("mem: region of %d words exceeds segment size %d: %w",
 			words, h.segWords, ErrOutOfMemory)
 	}
-	if p := h.popRegion(words); !p.IsNil() {
-		h.noteAlloc(words, true)
-		return p, words, nil
-	}
-	p, err := h.bump(words)
+	p, err := h.allocWords(a.idx, words, 1)
 	if err != nil {
 		return 0, 0, err
 	}
-	h.noteAlloc(words, false)
 	return p, words, nil
 }
 
@@ -306,7 +398,8 @@ func (h *Heap) AllocRegion(n uint64) (Ptr, uint64, error) {
 // is a multiple of align words (a power of two not exceeding the
 // segment size). Used by the hyperblock layer, which locates a
 // superblock's hyperblock descriptor by address masking. Lock-free.
-func (h *Heap) AllocRegionAligned(n, align uint64) (Ptr, error) {
+func (a Arena) AllocRegionAligned(n, align uint64) (Ptr, error) {
+	h := a.h
 	if align == 0 || align&(align-1) != 0 {
 		return 0, fmt.Errorf("mem: alignment %d is not a power of two", align)
 	}
@@ -318,70 +411,121 @@ func (h *Heap) AllocRegionAligned(n, align uint64) (Ptr, error) {
 		return 0, fmt.Errorf("mem: region of %d words exceeds segment size %d: %w",
 			words, h.segWords, ErrOutOfMemory)
 	}
-	// One reuse attempt: the size bin may hold a region with the right
-	// alignment (e.g. a previously released hyperblock).
-	if p := h.popRegion(words); !p.IsNil() {
-		if uint64(p)&(align-1) == 0 {
-			h.noteAlloc(words, true)
-			return p, nil
-		}
-		h.pushRegion(p, words)
-	}
-	for {
-		cur := h.next.Load()
-		start := (cur + align - 1) &^ (align - 1)
-		if start>>h.segLog != (start+words-1)>>h.segLog {
-			seg := (start>>h.segLog + 1) << h.segLog
-			start = (seg + align - 1) &^ (align - 1)
-		}
-		end := start + words
-		if end > h.maxWords {
-			return 0, ErrOutOfMemory
-		}
-		if h.next.CompareAndSwap(cur, end) {
-			if start != cur {
-				h.stats.skippedWords.Add(start - cur)
-			}
-			h.ensureSegments(start, end)
-			for {
-				r := h.stats.reservedWords.Load()
-				if end <= r || h.stats.reservedWords.CompareAndSwap(r, end) {
-					break
-				}
-			}
-			h.noteAlloc(words, false)
-			return Ptr(start), nil
-		}
-	}
+	return h.allocWords(a.idx, words, align)
+}
+
+// FreeRegion returns a region obtained from any arena of the same heap
+// to the OS layer. The region routes to the arena owning its address,
+// not to a; the method exists so code holding only an Arena handle can
+// free. Lock-free.
+func (a Arena) FreeRegion(p Ptr, n uint64) { a.h.FreeRegion(p, n) }
+
+// AllocRegion reserves a region through arena 0. Convenience for
+// single-arena heaps and callers without a processor identity; with
+// Config.Arenas <= 1 it is the whole region allocator.
+func (h *Heap) AllocRegion(n uint64) (Ptr, uint64, error) {
+	return h.Arena(0).AllocRegion(n)
+}
+
+// AllocRegionAligned reserves an aligned region through arena 0 (see
+// Arena.AllocRegionAligned).
+func (h *Heap) AllocRegionAligned(n, align uint64) (Ptr, error) {
+	return h.Arena(0).AllocRegionAligned(n, align)
 }
 
 // FreeRegion returns a region obtained from AllocRegion(n) (same n) to
-// the OS layer. It corresponds to munmap. Lock-free.
+// the OS layer, routing it to the bins of the arena that owns its
+// address. It corresponds to munmap. Lock-free.
 func (h *Heap) FreeRegion(p Ptr, n uint64) {
+	if memDebug && n != RegionWords(n) {
+		panic(fmt.Sprintf("mem: FreeRegion(%v, %d): size is not region-rounded (RegionWords gives %d)",
+			p, n, RegionWords(n)))
+	}
 	words := RegionWords(n)
-	h.stats.regionFrees.Add(1)
-	h.stats.liveWords.Add(^(words - 1)) // subtract
-	h.pushRegion(p, words)
+	owner := h.arenaOf(p)
+	st := &h.arenas[owner].stats
+	st.regionFrees.Add(1)
+	st.liveWords.Add(^(words - 1)) // subtract
+	h.liveWords.Add(^(words - 1))
+	h.pushRegion(owner, p, words)
 }
 
-func (h *Heap) noteAlloc(words uint64, reused bool) {
-	h.stats.regionAllocs.Add(1)
-	if reused {
-		h.stats.reusedRegions.Add(1)
+// allocWords implements the allocation policy shared by AllocRegion
+// and AllocRegionAligned: local bins, then the local partition's bump
+// pointer, then — only when the local arena is dry — each sibling's
+// bins and partition in ring order. Stealing prefers siblings' bins
+// over their fresh address space for the same reason local allocation
+// does: reuse keeps the footprint down. Returns ErrOutOfMemory only
+// when every arena is exhausted, so sharding does not change the
+// heap's capacity semantics.
+func (h *Heap) allocWords(ai, words, align uint64) (Ptr, error) {
+	if p := h.popAligned(ai, words, align); !p.IsNil() {
+		h.noteAlloc(ai, ai, words, true, false)
+		return p, nil
 	}
-	live := h.stats.liveWords.Add(words)
+	if p, ok := h.bumpArena(ai, words, align); ok {
+		h.noteAlloc(ai, ai, words, false, false)
+		return p, nil
+	}
+	for off := uint64(1); off < h.numArenas; off++ {
+		v := (ai + off) % h.numArenas
+		if hook := stealTestHook; hook != nil {
+			hook(int(ai), int(v))
+		}
+		if p := h.popAligned(v, words, align); !p.IsNil() {
+			h.noteAlloc(ai, v, words, true, true)
+			return p, nil
+		}
+	}
+	for off := uint64(1); off < h.numArenas; off++ {
+		v := (ai + off) % h.numArenas
+		if p, ok := h.bumpArena(v, words, align); ok {
+			h.noteAlloc(ai, v, words, false, true)
+			return p, nil
+		}
+	}
+	return 0, ErrOutOfMemory
+}
+
+// popAligned makes one reuse attempt from arena ai's bin for the size:
+// the bin may hold a region with the right alignment (e.g. a
+// previously released hyperblock). A misaligned pop is pushed back for
+// unaligned callers rather than retried.
+func (h *Heap) popAligned(ai, words, align uint64) Ptr {
+	p := h.popRegion(ai, words)
+	if p.IsNil() || align <= 1 || uint64(p)&(align-1) == 0 {
+		return p
+	}
+	h.pushRegion(ai, p, words)
+	return 0
+}
+
+func (h *Heap) noteAlloc(requester, owner, words uint64, reused, stolen bool) {
+	rs := &h.arenas[requester].stats
+	rs.regionAllocs.Add(1)
+	if reused {
+		rs.reusedRegions.Add(1)
+	}
+	if stolen {
+		rs.steals.Add(1)
+		if st := h.tele.Load(); st != nil {
+			st.Retry(telemetry.SiteRegionSteal, requester)
+		}
+	}
+	h.arenas[owner].stats.liveWords.Add(words)
+	live := h.liveWords.Add(words)
 	for {
-		max := h.stats.maxLiveWords.Load()
-		if live <= max || h.stats.maxLiveWords.CompareAndSwap(max, live) {
+		max := h.maxLiveWords.Load()
+		if live <= max || h.maxLiveWords.CompareAndSwap(max, live) {
 			break
 		}
 	}
 }
 
-// popRegion pops a region from the freelist bin for the exact size, or
-// returns nil. Classic IBM freelist pop with a tagged head [8].
-func (h *Heap) popRegion(words uint64) Ptr {
-	bin := h.binFor(words)
+// popRegion pops a region from arena ai's freelist bin for the exact
+// size, or returns nil. Classic IBM freelist pop with a tagged head [8].
+func (h *Heap) popRegion(ai, words uint64) Ptr {
+	bin := h.arenas[ai].binFor(words)
 	for {
 		oldHead := bin.Load()
 		t := atomicx.UnpackTagged(oldHead)
@@ -399,9 +543,10 @@ func (h *Heap) popRegion(words uint64) Ptr {
 	}
 }
 
-// pushRegion pushes a region onto its size bin's freelist.
-func (h *Heap) pushRegion(p Ptr, words uint64) {
-	bin := h.binFor(words)
+// pushRegion pushes a region onto arena ai's freelist bin for its
+// size. ai must be the arena owning p's address.
+func (h *Heap) pushRegion(ai uint64, p Ptr, words uint64) {
+	bin := h.arenas[ai].binFor(words)
 	for {
 		oldHead := bin.Load()
 		t := atomicx.UnpackTagged(oldHead)
@@ -417,50 +562,115 @@ func (h *Heap) pushRegion(p Ptr, words uint64) {
 	}
 }
 
-// bump reserves words from never-before-used address space, skipping to
-// the next segment boundary when the request would straddle one.
-func (h *Heap) bump(words uint64) (Ptr, error) {
+// bumpArena reserves words from arena ai's never-before-used address
+// space, at the given alignment (1 for none). The bump pointer walks
+// only segments the arena owns (segment index ≡ ai mod numArenas),
+// jumping numArenas segments ahead when a request would straddle the
+// current segment's end. Returns false when the arena's partition is
+// exhausted.
+func (h *Heap) bumpArena(ai, words, align uint64) (Ptr, bool) {
+	a := &h.arenas[ai]
 	for {
-		cur := h.next.Load()
-		start := cur
-		if start>>h.segLog != (start+words-1)>>h.segLog {
-			start = (start>>h.segLog + 1) << h.segLog
+		cur := a.next.Load()
+		start := (cur + align - 1) &^ (align - 1)
+		seg := start >> h.segLog
+		if seg%h.numArenas != ai {
+			// Filling a segment exactly (or aligning past its end)
+			// leaves the pointer at a segment this arena does not own;
+			// advance to the base of the next owned one. Segment bases
+			// satisfy every legal alignment.
+			seg += (ai + h.numArenas - seg%h.numArenas) % h.numArenas
+			start = seg << h.segLog
+		} else if (start+words-1)>>h.segLog != seg {
+			seg += h.numArenas
+			start = seg << h.segLog
 		}
 		end := start + words
 		if end > h.maxWords {
-			return 0, ErrOutOfMemory
+			return 0, false
 		}
-		if h.next.CompareAndSwap(cur, end) {
+		if a.next.CompareAndSwap(cur, end) {
 			if start != cur {
-				h.stats.skippedWords.Add(start - cur)
+				a.stats.skippedWords.Add(start - cur)
 			}
+			a.stats.reservedWords.Add(end - cur)
 			h.ensureSegments(start, end)
-			for {
-				r := h.stats.reservedWords.Load()
-				if end <= r || h.stats.reservedWords.CompareAndSwap(r, end) {
-					break
-				}
-			}
-			return Ptr(start), nil
+			return Ptr(start), true
+		}
+		if st := h.tele.Load(); st != nil {
+			st.Retry(telemetry.SiteRegionBump, cur)
 		}
 	}
 }
 
 // Stats returns a snapshot of the heap counters.
 func (h *Heap) Stats() Stats {
-	return Stats{
-		ReservedWords: h.stats.reservedWords.Load(),
-		LiveWords:     h.stats.liveWords.Load(),
-		MaxLiveWords:  h.stats.maxLiveWords.Load(),
-		RegionAllocs:  h.stats.regionAllocs.Load(),
-		RegionFrees:   h.stats.regionFrees.Load(),
-		ReusedRegions: h.stats.reusedRegions.Load(),
-		SkippedWords:  h.stats.skippedWords.Load(),
+	s := Stats{
+		LiveWords:    h.liveWords.Load(),
+		MaxLiveWords: h.maxLiveWords.Load(),
+		Arenas:       make([]ArenaStats, len(h.arenas)),
 	}
+	for i := range h.arenas {
+		c := &h.arenas[i].stats
+		as := ArenaStats{
+			ReservedWords: c.reservedWords.Load(),
+			LiveWords:     c.liveWords.Load(),
+			RegionAllocs:  c.regionAllocs.Load(),
+			RegionFrees:   c.regionFrees.Load(),
+			ReusedRegions: c.reusedRegions.Load(),
+			Steals:        c.steals.Load(),
+			SkippedWords:  c.skippedWords.Load(),
+		}
+		s.Arenas[i] = as
+		s.ReservedWords += as.ReservedWords
+		s.RegionAllocs += as.RegionAllocs
+		s.RegionFrees += as.RegionFrees
+		s.ReusedRegions += as.ReusedRegions
+		s.Steals += as.Steals
+		s.SkippedWords += as.SkippedWords
+	}
+	return s
+}
+
+// BinStat describes one non-empty free-region bin of one arena.
+type BinStat struct {
+	Arena       int
+	RegionWords uint64 // exact size of every region in the bin
+	Regions     int    // regions currently on the bin's freelist
+}
+
+// RegionBins walks every arena's free-region bins and reports their
+// occupancy (non-empty bins only, ordered by arena then size). The
+// walk follows freelist links without synchronizing against concurrent
+// pushes and pops, so it must run at a quiescent point; it serves
+// cmd/heapinfo-style inspection, not the allocation path.
+func (h *Heap) RegionBins() []BinStat {
+	var out []BinStat
+	count := func(head *atomic.Uint64) int {
+		n := 0
+		for p := Ptr(atomicx.UnpackTagged(head.Load()).Idx); !p.IsNil(); p = Ptr(h.Load(p)) {
+			n++
+		}
+		return n
+	}
+	for i := range h.arenas {
+		a := &h.arenas[i]
+		for b := range a.bins {
+			if n := count(&a.bins[b]); n > 0 {
+				out = append(out, BinStat{Arena: i, RegionWords: uint64(b+1) * PageWords, Regions: n})
+			}
+		}
+		for k := range a.log2Bins {
+			if n := count(&a.log2Bins[k]); n > 0 {
+				out = append(out, BinStat{Arena: i, RegionWords: PageWords << k, Regions: n})
+			}
+		}
+	}
+	return out
 }
 
 // ResetMaxLive resets the live-words high-water mark to the current
 // live count (used between benchmark phases).
 func (h *Heap) ResetMaxLive() {
-	h.stats.maxLiveWords.Store(h.stats.liveWords.Load())
+	h.maxLiveWords.Store(h.liveWords.Load())
 }

@@ -294,12 +294,12 @@ func TestConcurrentBinContention(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 5000; i++ {
-				p, _, err := h.AllocRegion(1)
+				p, words, err := h.AllocRegion(1)
 				if err != nil {
 					t.Errorf("alloc: %v", err)
 					return
 				}
-				h.FreeRegion(p, 1)
+				h.FreeRegion(p, words)
 			}
 		}()
 	}

@@ -1,0 +1,8 @@
+//go:build !memdebug
+
+package mem
+
+// memDebug gates extra assertions on the region-allocator API (build
+// with -tags memdebug to enable). Off in normal builds so the checks
+// compile away from the allocation fast paths.
+const memDebug = false

@@ -1,0 +1,7 @@
+//go:build memdebug
+
+package mem
+
+// memDebug enables extra assertions on the region-allocator API, such
+// as FreeRegion rejecting sizes that are not region-rounded.
+const memDebug = true

@@ -34,6 +34,10 @@ type RunConfig struct {
 	// constructed for an experiment (0 = magazines off, the
 	// paper-faithful default).
 	Magazine int
+	// Arenas sets the heap's region-arena count on every allocator
+	// constructed for an experiment (0 = one arena per processor, the
+	// default; 1 = the unsharded OS layer).
+	Arenas int
 	// Record, when non-nil, receives every individual measurement as
 	// it is taken (used for machine-readable output, e.g. benchmal
 	// -json).
@@ -56,7 +60,9 @@ func (c RunConfig) lockFreeOptions(lf core.Config) alloc.Options {
 	if lf.MagazineSize == 0 {
 		lf.MagazineSize = c.Magazine
 	}
-	return alloc.Options{Processors: c.Processors, LockFree: lf}
+	opt := alloc.Options{Processors: c.Processors, LockFree: lf}
+	opt.HeapConfig.Arenas = c.Arenas
+	return opt
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -97,6 +103,7 @@ func (c RunConfig) scaleDur(full time.Duration) time.Duration {
 
 func (c RunConfig) newAlloc(name string) (alloc.Allocator, error) {
 	opt := alloc.Options{Processors: c.Processors}
+	opt.HeapConfig.Arenas = c.Arenas
 	if name == "lockfree" || name == "new" {
 		if c.Telemetry {
 			opt.LockFree.Telemetry = core.NewRecorder(telemetry.Config{})
@@ -244,6 +251,12 @@ func Experiments() []Experiment {
 			Title: "Magazine layer: thread-local batched caching on top of the lock-free heap",
 			Paper: "beyond the paper — batches the paper's per-op CAS traffic; compare retries/op and malloc p50 against the faithful configuration",
 			Run:   runMagazine,
+		},
+		{
+			ID:    "arenas",
+			Title: "Region arenas: per-processor OS-layer sharding with lock-free stealing",
+			Paper: "beyond the paper — shards the OS layer's bump pointer and free-region bins; compare region-CAS retries and steals against the unsharded layout",
+			Run:   runArenas,
 		},
 	}
 }
@@ -533,6 +546,74 @@ func runMagazine(cfg RunConfig, out io.Writer) error {
 				v.name,
 				fmt.Sprintf("%.0f", best.OpsPerSec()),
 				raw, perOp, p50, hit,
+				fmt.Sprintf("%d", best.MaxLiveBytes),
+			})
+		}
+		fmt.Fprint(out, t.Render())
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// regionSites are the telemetry sites of the OS layer's lock-free
+// region structures: the free-bin Treiber stacks and the per-arena
+// bump pointers.
+var regionSites = []string{"region-pop", "region-push", "region-bump"}
+
+// runArenas compares the unsharded OS layer (arenas=1, the
+// pre-sharding layout) against per-processor region arenas, at the
+// maximum thread count, on the two workloads that recycle superblocks
+// through the region bins hardest. Telemetry is forced on so both rows
+// carry region-CAS retries and steal counts from the same run — the
+// acceptance comparison for the arena layer.
+func runArenas(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	cfg.Telemetry = true
+	maxT := cfg.Threads[len(cfg.Threads)-1]
+	variants := []struct {
+		name   string
+		arenas int
+	}{
+		{"arenas=1 (global OS layer)", 1},
+		{fmt.Sprintf("arenas=%d (per-processor)", cfg.Processors), cfg.Processors},
+	}
+	workloads := []bench.Workload{cfg.larson(), cfg.linuxScalability()}
+	for _, w := range workloads {
+		t := Table{
+			Title:   fmt.Sprintf("Region arenas: %s at %d threads", w.Name(), maxT),
+			Columns: []string{"variant", "ops/s", "region retries", "region retries/op", "steals", "maxlive B"},
+			Notes: []string{
+				"region retries = failed CASes at the region-pop, region-push, and region-bump sites",
+				"steals = region allocations served from a sibling arena's partition",
+			},
+		}
+		for _, v := range variants {
+			var best bench.Result
+			for i := 0; i < scalarReps; i++ {
+				opt := cfg.lockFreeOptions(core.Config{})
+				opt.HeapConfig.Arenas = v.arenas
+				a := alloc.NewLockFree(opt)
+				runtime.GC()
+				r := w.Run(a, maxT)
+				cfg.note(r)
+				if r.OpsPerSec() > best.OpsPerSec() {
+					best = r
+				}
+			}
+			raw, perOp, steals := "-", "-", "-"
+			if tel := best.Telemetry; tel != nil && best.Ops > 0 {
+				var rr uint64
+				for _, site := range regionSites {
+					rr += tel.RetriesBySite[site]
+				}
+				raw = fmt.Sprintf("%d", rr)
+				perOp = fmt.Sprintf("%.6f", float64(rr)/float64(best.Ops))
+				steals = fmt.Sprintf("%d", tel.RetriesBySite[telemetry.SiteRegionSteal.String()])
+			}
+			t.Rows = append(t.Rows, []string{
+				v.name,
+				fmt.Sprintf("%.0f", best.OpsPerSec()),
+				raw, perOp, steals,
 				fmt.Sprintf("%d", best.MaxLiveBytes),
 			})
 		}

@@ -49,6 +49,11 @@ type Plan struct {
 	// tolerance can be verified with the batched refill/flush paths in
 	// play.
 	Magazine int
+	// Arenas sets the region-arena count of the shared heap (0 =
+	// one arena per processor, the allocator default; 1 = the
+	// unsharded layout), so kill tolerance can be verified with
+	// cross-arena stealing and remote-free routing in play.
+	Arenas int
 	// Telemetry, when non-nil, is attached to the allocator; after the
 	// run its flight recorder holds the events leading up to each kill
 	// (every hook firing is recorded, so the ring's tail shows exactly
@@ -88,7 +93,7 @@ func Run(plan Plan) (Result, error) {
 	}
 	a := core.New(core.Config{
 		Processors:   procs,
-		HeapConfig:   mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 28},
+		HeapConfig:   mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 28, Arenas: plan.Arenas},
 		Telemetry:    plan.Telemetry,
 		MagazineSize: plan.Magazine,
 	})

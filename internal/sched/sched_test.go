@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -103,6 +104,40 @@ func TestMassacre(t *testing.T) {
 		t.Errorf("structure corrupted: %v", res.InvariantErr)
 	}
 	t.Logf("%v", res)
+}
+
+// TestKillAtEveryPointArenas repeats the per-point kill sweep at both
+// ends of the region-arena ablation — the unsharded OS layer
+// (Arenas=1) and more arenas than processors — so victims die with
+// cross-arena stealing and remote-free routing in play on both
+// layouts. A thread killed mid-steal or mid-remote-free must never
+// block other arenas.
+func TestKillAtEveryPointArenas(t *testing.T) {
+	for _, arenas := range []int{1, 6} {
+		for p := core.HookPoint(0); p < core.NumHookPoints; p++ {
+			p := p
+			t.Run(fmt.Sprintf("arenas=%d/%v", arenas, p), func(t *testing.T) {
+				res, err := Run(Plan{
+					Victims:        2,
+					Survivors:      2,
+					OpsPerSurvivor: 10000,
+					OpsBeforeKill:  50,
+					Seed:           int64(p) + 100*int64(arenas),
+					Point:          p,
+					Arenas:         arenas,
+				})
+				if err != nil {
+					t.Fatalf("survivors blocked: %v", err)
+				}
+				if res.SurvivorOps != 2*10000 {
+					t.Errorf("survivor ops = %d", res.SurvivorOps)
+				}
+				if res.InvariantErr != nil {
+					t.Errorf("structure corrupted: %v", res.InvariantErr)
+				}
+			})
+		}
+	}
 }
 
 // TestLeakIsBounded verifies the kill damage is bounded memory: each

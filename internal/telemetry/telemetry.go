@@ -96,6 +96,13 @@ const (
 	// SiteMagFlush: retries of the batched anchor splice returning a
 	// magazine group to its superblock.
 	SiteMagFlush
+	// SiteRegionBump: retries of a region-arena bump-pointer CAS.
+	SiteRegionBump
+	// SiteRegionSteal: region allocations served by a sibling arena
+	// because the local arena's bins and partition were dry. Unlike
+	// the other sites this counts events, not CAS retries; it shares
+	// the retry plumbing so steals appear in the same reports.
+	SiteRegionSteal
 	// NumSites is the number of instrumented sites.
 	NumSites
 )
@@ -119,6 +126,8 @@ var siteNames = [NumSites]string{
 	"mag-refill-reserve",
 	"mag-refill-pop",
 	"mag-flush",
+	"region-bump",
+	"region-steal",
 }
 
 func (s Site) String() string {
