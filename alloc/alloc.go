@@ -22,8 +22,10 @@ import (
 	"repro/internal/baseline/hoard"
 	"repro/internal/baseline/ptmalloc"
 	"repro/internal/baseline/serial"
+	"repro/internal/chunkheap"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/shadow"
 )
 
 // Thread is a per-goroutine allocation handle. Handles are not safe
@@ -52,7 +54,7 @@ type Unregisterer interface {
 // Allocator is the common interface satisfied by all four allocators.
 type Allocator interface {
 	// Name identifies the allocator in benchmark output
-	// ("lockfree", "hoard", "ptmalloc", "serial").
+	// ("lockfree", "hoard", "ptmalloc", "serial", "chunkheap").
 	Name() string
 	// NewThread registers a worker and returns its handle.
 	NewThread() Thread
@@ -73,6 +75,18 @@ type Options struct {
 	// Processors and HeapConfig above take precedence over the
 	// corresponding fields.
 	LockFree core.Config
+
+	// Shadow attaches a shadow-heap oracle (internal/shadow) that
+	// mirrors every Malloc/Free into a reference model and detects
+	// double-free, invalid free, overlap, and write-after-free. It only
+	// takes effect when the binary is built with the `shadowheap` tag;
+	// otherwise construction is unchanged and the oracle costs nothing.
+	Shadow bool
+	// ShadowConfig tunes the oracle (violation handler, telemetry
+	// recorder for flight-recorder dumps, poison limits). Name, Heap,
+	// VerifyOnReuse, and CrossCheck are set by the constructor and
+	// ignored here.
+	ShadowConfig shadow.Config
 }
 
 type lockFree struct{ a *core.Allocator }
@@ -83,6 +97,10 @@ func (w lockFree) Heap() *mem.Heap   { return w.a.Heap() }
 
 // Core returns the underlying core allocator (for stats and tests).
 func (w lockFree) Core() *core.Allocator { return w.a }
+
+// ShadowOracle exposes the attached shadow oracle (nil unless built
+// with the shadowheap tag and constructed with Options.Shadow).
+func (w lockFree) ShadowOracle() *shadow.Oracle { return w.a.ShadowOracle() }
 
 // CoreAccessor is implemented by the lock-free allocator wrapper to
 // expose the underlying core.Allocator.
@@ -95,6 +113,18 @@ func NewLockFree(opt Options) Allocator {
 		cfg.Processors = opt.Processors
 	}
 	cfg.HeapConfig = opt.HeapConfig
+	if opt.Shadow && shadow.Enabled && cfg.Shadow == nil {
+		// The oracle is integrated in the core (not wrapped around it)
+		// so the magazine and kill-tolerance paths are mirrored too.
+		// The core's free path keeps free-list links in the block
+		// prefix, never the payload, so write-after-free verification
+		// is sound.
+		sc := opt.ShadowConfig
+		sc.Name = "lockfree"
+		sc.VerifyOnReuse = true
+		sc.CrossCheck = true
+		cfg.Shadow = shadow.New(sc)
+	}
 	return lockFree{core.New(cfg)}
 }
 
@@ -107,7 +137,10 @@ func (w serialAlloc) Heap() *mem.Heap   { return w.a.Heap() }
 // NewSerial constructs the single-global-lock baseline (the stand-in
 // for the default libc malloc).
 func NewSerial(opt Options) Allocator {
-	return serialAlloc{serial.New(serial.Config{HeapConfig: opt.HeapConfig})}
+	a := serialAlloc{serial.New(serial.Config{HeapConfig: opt.HeapConfig})}
+	// The best-fit tree threads child links through freed payloads, so
+	// the oracle poisons but must not verify on reuse (verify=false).
+	return shadowWrap(a, opt, false, chunkheap.MutableHeaderBits)
 }
 
 type hoardAlloc struct{ a *hoard.Allocator }
@@ -118,10 +151,13 @@ func (w hoardAlloc) Heap() *mem.Heap   { return w.a.Heap() }
 
 // NewHoard constructs the Hoard-like lock-based baseline.
 func NewHoard(opt Options) Allocator {
-	return hoardAlloc{hoard.New(hoard.Config{
+	a := hoardAlloc{hoard.New(hoard.Config{
 		Processors: opt.Processors,
 		HeapConfig: opt.HeapConfig,
 	})}
+	// Hoard's free lists link through the block prefix like the core,
+	// so freed payloads stay poisoned and can be verified on reuse.
+	return shadowWrap(a, opt, true, 0)
 }
 
 type ptmallocAlloc struct{ a *ptmalloc.Allocator }
@@ -132,15 +168,21 @@ func (w ptmallocAlloc) Heap() *mem.Heap   { return w.a.Heap() }
 
 // NewPtmalloc constructs the Ptmalloc-like multi-arena baseline.
 func NewPtmalloc(opt Options) Allocator {
-	return ptmallocAlloc{ptmalloc.New(ptmalloc.Config{
+	a := ptmallocAlloc{ptmalloc.New(ptmalloc.Config{
 		Arenas:     opt.Processors,
 		HeapConfig: opt.HeapConfig,
 	})}
+	// The chunk engine writes fd/bk bin links and boundary-tag footers
+	// inside freed payloads, so reuse verification is off.
+	return shadowWrap(a, opt, false, chunkheap.MutableHeaderBits)
 }
 
 // Names lists the registered allocator names in canonical benchmark
-// order (the paper's: new allocator, Hoard, Ptmalloc, libc).
-func Names() []string { return []string{"lockfree", "hoard", "ptmalloc", "serial"} }
+// order (the paper's: new allocator, Hoard, Ptmalloc, libc) plus the
+// direct chunk-engine baseline.
+func Names() []string {
+	return []string{"lockfree", "hoard", "ptmalloc", "serial", "chunkheap"}
+}
 
 // New constructs an allocator by name.
 func New(name string, opt Options) (Allocator, error) {
@@ -153,6 +195,8 @@ func New(name string, opt Options) (Allocator, error) {
 		return NewPtmalloc(opt), nil
 	case "serial", "libc":
 		return NewSerial(opt), nil
+	case "chunkheap":
+		return NewChunkHeap(opt), nil
 	}
 	valid := Names()
 	sort.Strings(valid)

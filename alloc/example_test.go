@@ -44,6 +44,7 @@ func ExampleNew() {
 		fmt.Println(a.Name())
 	}
 	// Output:
+	// chunkheap
 	// hoard
 	// lockfree
 	// ptmalloc

@@ -1,0 +1,218 @@
+//go:build shadowheap
+
+package alloc_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/alloc"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/shadow"
+)
+
+type violations struct {
+	mu sync.Mutex
+	vs []shadow.Violation
+}
+
+func (c *violations) add(v shadow.Violation) {
+	c.mu.Lock()
+	c.vs = append(c.vs, v)
+	c.mu.Unlock()
+}
+
+func (c *violations) all() []shadow.Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]shadow.Violation(nil), c.vs...)
+}
+
+// newShadowed builds an allocator with a collecting oracle attached,
+// closing the oracle (deregistering it from the cross-allocator
+// registry) when the test ends.
+func newShadowed(t *testing.T, name string, opt alloc.Options) (alloc.Allocator, *violations) {
+	t.Helper()
+	c := &violations{}
+	opt.Shadow = true
+	opt.ShadowConfig = shadow.Config{OnViolation: c.add}
+	a, err := alloc.New(name, opt)
+	if err != nil {
+		t.Fatalf("New(%q): %v", name, err)
+	}
+	sa, ok := a.(alloc.ShadowAccessor)
+	if !ok {
+		t.Fatalf("%q: allocator does not expose its shadow oracle", name)
+	}
+	if sa.ShadowOracle() == nil {
+		t.Fatalf("%q: nil oracle despite Options.Shadow and the shadowheap tag", name)
+	}
+	t.Cleanup(sa.ShadowOracle().Close)
+	return a, c
+}
+
+// TestShadowDoubleFreeAllAllocators drives a deliberate double free
+// through every registered allocator and requires the oracle to detect
+// it, swallow it, and leave the allocator usable.
+func TestShadowDoubleFreeAllAllocators(t *testing.T) {
+	for _, name := range alloc.Names() {
+		t.Run(name, func(t *testing.T) {
+			a, c := newShadowed(t, name, alloc.Options{Processors: 2})
+			th := a.NewThread()
+			p, err := th.Malloc(64)
+			if err != nil {
+				t.Fatalf("malloc: %v", err)
+			}
+			th.Free(p)
+			th.Free(p) // the bug
+			vs := c.all()
+			if len(vs) != 1 || vs[0].Kind != shadow.KindDoubleFree {
+				t.Fatalf("violations = %v, want one double-free", vs)
+			}
+			if vs[0].Ptr != p {
+				t.Fatalf("violation at %v, want %v", vs[0].Ptr, p)
+			}
+			// The invalid free was swallowed: the allocator still works.
+			q, err := th.Malloc(64)
+			if err != nil {
+				t.Fatalf("malloc after double free: %v", err)
+			}
+			th.Free(q)
+			if got := c.all(); len(got) != 1 {
+				t.Fatalf("extra violations after recovery: %v", got[1:])
+			}
+		})
+	}
+}
+
+// TestShadowDoubleFreeAttributionLockfree is the acceptance scenario:
+// lockfree with magazines and sharded arenas enabled, a block allocated
+// on one thread and double-freed on another, with both thread ids
+// attributed.
+func TestShadowDoubleFreeAttributionLockfree(t *testing.T) {
+	a, c := newShadowed(t, "lockfree", alloc.Options{
+		Processors: 2,
+		HeapConfig: mem.Config{Arenas: 2},
+		LockFree:   core.Config{MagazineSize: 8},
+	})
+	t1 := a.NewThread() // core thread id 0
+	t2 := a.NewThread() // core thread id 1
+	p, err := t1.Malloc(48)
+	if err != nil {
+		t.Fatalf("malloc: %v", err)
+	}
+	t2.Free(p)
+	t2.Free(p)
+	vs := c.all()
+	if len(vs) != 1 || vs[0].Kind != shadow.KindDoubleFree {
+		t.Fatalf("violations = %v, want one double-free", vs)
+	}
+	v := vs[0]
+	if v.AllocThread != 0 || v.FreeThread != 1 || v.Thread != 1 {
+		t.Fatalf("attribution = alloc %d / free %d / op %d, want 0/1/1 (%v)",
+			v.AllocThread, v.FreeThread, v.Thread, v)
+	}
+}
+
+// TestShadowWriteAfterFreeLockfree is the second acceptance scenario:
+// with magazines and arenas on, a write into a freed block's payload is
+// caught when the block is reused, attributed to the allocating and
+// freeing threads.
+func TestShadowWriteAfterFreeLockfree(t *testing.T) {
+	a, c := newShadowed(t, "lockfree", alloc.Options{
+		Processors: 2,
+		HeapConfig: mem.Config{Arenas: 2},
+		LockFree:   core.Config{MagazineSize: 8},
+	})
+	th := a.NewThread() // core thread id 0
+	p, err := th.Malloc(64)
+	if err != nil {
+		t.Fatalf("malloc: %v", err)
+	}
+	th.Free(p)                  // payload now poisoned, block magazine-cached
+	a.Heap().Set(p.Add(2), 0xb) // the write-after-free
+	// The magazine is LIFO, so the clobbered block comes back first;
+	// allow a few attempts in case a refill batch reorders it.
+	for i := 0; i < 64 && len(c.all()) == 0; i++ {
+		q, err := th.Malloc(64)
+		if err != nil {
+			t.Fatalf("malloc: %v", err)
+		}
+		defer th.Free(q)
+	}
+	vs := c.all()
+	if len(vs) == 0 {
+		t.Fatal("write-after-free not detected on reuse")
+	}
+	v := vs[0]
+	if v.Kind != shadow.KindWriteAfterFree {
+		t.Fatalf("violation = %v, want write-after-free", v)
+	}
+	if v.Ptr != p || v.AllocThread != 0 || v.FreeThread != 0 {
+		t.Fatalf("attribution wrong: %+v", v)
+	}
+}
+
+// TestShadowCrossAllocatorFree frees a block through the wrong
+// allocator and requires the oracle to name the owner.
+func TestShadowCrossAllocatorFree(t *testing.T) {
+	a, ca := newShadowed(t, "lockfree", alloc.Options{Processors: 2})
+	b, cb := newShadowed(t, "hoard", alloc.Options{Processors: 2})
+	ta, tb := a.NewThread(), b.NewThread()
+	p, err := ta.Malloc(64)
+	if err != nil {
+		t.Fatalf("malloc: %v", err)
+	}
+	tb.Free(p)
+	vs := cb.all()
+	if len(vs) != 1 || vs[0].Kind != shadow.KindCrossAllocatorFree {
+		t.Fatalf("violations = %v, want one cross-allocator free", vs)
+	}
+	if len(ca.all()) != 0 {
+		t.Fatalf("owning allocator flagged: %v", ca.all())
+	}
+	ta.Free(p) // the rightful free still works
+	if len(ca.all()) != 0 {
+		t.Fatalf("rightful free flagged: %v", ca.all())
+	}
+}
+
+// TestShadowCleanChurn runs ordinary traffic on every allocator under
+// the oracle: no false positives, and the model drains to zero.
+func TestShadowCleanChurn(t *testing.T) {
+	for _, name := range alloc.Names() {
+		t.Run(name, func(t *testing.T) {
+			a, c := newShadowed(t, name, alloc.Options{Processors: 2})
+			th := a.NewThread()
+			var held []mem.Ptr
+			for i := 0; i < 400; i++ {
+				sz := uint64(8 << (i % 9))
+				if i%37 == 0 {
+					sz = 3000 + uint64(i)*13 // large path
+				}
+				p, err := th.Malloc(sz)
+				if err != nil {
+					t.Fatalf("malloc(%d): %v", sz, err)
+				}
+				held = append(held, p)
+				if len(held) > 16 {
+					th.Free(held[0])
+					held = held[1:]
+				}
+			}
+			for _, p := range held {
+				th.Free(p)
+			}
+			if u, ok := th.(alloc.Unregisterer); ok {
+				u.Unregister()
+			}
+			if vs := c.all(); len(vs) != 0 {
+				t.Fatalf("clean churn flagged: %v", vs)
+			}
+			if n := a.(alloc.ShadowAccessor).ShadowOracle().LiveBlocks(); n != 0 {
+				t.Fatalf("%d blocks still modeled live after freeing all", n)
+			}
+		})
+	}
+}

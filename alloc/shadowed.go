@@ -1,0 +1,103 @@
+package alloc
+
+import (
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/shadow"
+)
+
+// ShadowAccessor is implemented by allocators constructed with
+// Options.Shadow: it exposes the attached shadow-heap oracle so tests
+// and harnesses can collect its verdict (Err, Violations). It returns
+// nil when the oracle is compiled out (no `shadowheap` build tag).
+type ShadowAccessor interface{ ShadowOracle() *shadow.Oracle }
+
+// usableSizer is implemented by every Thread handle in this repository;
+// the oracle needs the block's actual extent to model overlap and to
+// poison exactly the payload.
+type usableSizer interface{ UsableWords(p mem.Ptr) uint64 }
+
+// shadowed wraps a baseline allocator so every Malloc/Free is mirrored
+// into a shadow oracle. The lock-free allocator is not wrapped — its
+// core integrates the oracle directly (core.Config.Shadow), which also
+// covers the magazine and kill-tolerance paths.
+type shadowed struct {
+	inner  Allocator
+	oracle *shadow.Oracle
+	nextID atomic.Uint64
+}
+
+// shadowWrap attaches an oracle to a baseline allocator when
+// Options.Shadow is set and the shadowheap build tag is active;
+// otherwise it returns the allocator unchanged. verify selects the
+// write-after-free check, which is only sound for allocators whose
+// free paths keep out of freed payloads (see shadow package docs);
+// prefixIgnore masks live-header bits the allocator rewrites
+// legitimately (chunk heaps flip prev-in-use on a live neighbor).
+func shadowWrap(a Allocator, opt Options, verify bool, prefixIgnore uint64) Allocator {
+	if !opt.Shadow || !shadow.Enabled {
+		return a
+	}
+	sc := opt.ShadowConfig
+	sc.Name = a.Name()
+	sc.Heap = a.Heap()
+	sc.VerifyOnReuse = verify
+	sc.CrossCheck = true
+	sc.PrefixIgnoreMask = prefixIgnore
+	return &shadowed{inner: a, oracle: shadow.New(sc)}
+}
+
+func (s *shadowed) Name() string                 { return s.inner.Name() }
+func (s *shadowed) Heap() *mem.Heap              { return s.inner.Heap() }
+func (s *shadowed) ShadowOracle() *shadow.Oracle { return s.oracle }
+
+func (s *shadowed) NewThread() Thread {
+	inner := s.inner.NewThread()
+	t := &shadowThread{
+		inner:  inner,
+		oracle: s.oracle,
+		id:     s.nextID.Add(1) - 1,
+	}
+	t.sizer, _ = inner.(usableSizer)
+	return t
+}
+
+// shadowThread mirrors one handle's operations into the oracle:
+// mallocs after the operation (the block exists and cannot be handed
+// out twice), frees before it (the prefix and payload are still
+// intact, and an invalid free is swallowed so it cannot corrupt the
+// allocator under test).
+type shadowThread struct {
+	inner  Thread
+	oracle *shadow.Oracle
+	sizer  usableSizer
+	id     uint64
+}
+
+func (t *shadowThread) Malloc(size uint64) (mem.Ptr, error) {
+	p, err := t.inner.Malloc(size)
+	if err == nil {
+		usable := (size + mem.WordBytes - 1) / mem.WordBytes
+		if t.sizer != nil {
+			usable = t.sizer.UsableWords(p)
+		}
+		t.oracle.NoteMalloc(t.id, p, size, usable)
+	}
+	return p, err
+}
+
+func (t *shadowThread) Free(p mem.Ptr) {
+	if !t.oracle.NoteFree(t.id, p) {
+		return
+	}
+	t.inner.Free(p)
+}
+
+// Unregister forwards to the wrapped handle when it holds per-thread
+// caches.
+func (t *shadowThread) Unregister() {
+	if u, ok := t.inner.(Unregisterer); ok {
+		u.Unregister()
+	}
+}

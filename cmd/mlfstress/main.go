@@ -6,11 +6,19 @@
 //
 //	mlfstress [-threads 8] [-ops 200000] [-kills 0] [-hyper] [-lifo]
 //	          [-credits 64] [-seed 1] [-telemetry] [-events 16]
+//	          [-magazine 0] [-arenas 0] [-shadow]
 //
 // With -telemetry, the lock-free observability layer is attached: the
 // run ends with a contention/latency summary, and in fault-injection
 // mode (-kills) the flight recorder's tail is dumped, showing the
 // events leading up to each kill.
+//
+// With -shadow (requires building with -tags shadowheap), every
+// malloc/free is mirrored into a shadow-heap oracle that detects
+// double-free, invalid free, overlapping live blocks, and
+// write-after-free via poison-on-free; the first violation aborts the
+// run with the offending pointer, the allocating and freeing thread
+// ids, and the flight recorder's tail.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/sched"
+	"repro/internal/shadow"
 	"repro/internal/sizeclass"
 	"repro/internal/telemetry"
 )
@@ -40,30 +49,49 @@ func main() {
 		seed    = flag.Int64("seed", 1, "PRNG seed")
 		tele    = flag.Bool("telemetry", true, "attach the telemetry layer (contention/latency summary, flight recorder)")
 		events  = flag.Int("events", 16, "flight-recorder events to dump (telemetry mode)")
+		magSize = flag.Int("magazine", 0, "thread-local magazine capacity (0 = magazines off)")
+		arenas  = flag.Int("arenas", 0, "region-arena count (0 = one per processor)")
+		shadowF = flag.Bool("shadow", false, "attach the shadow-heap oracle (needs -tags shadowheap); first violation aborts the run")
 	)
 	flag.Parse()
 
 	if *threads > runtime.GOMAXPROCS(0) {
 		runtime.GOMAXPROCS(*threads)
 	}
+	if *shadowF && !shadow.Enabled {
+		fmt.Fprintln(os.Stderr, "mlfstress: warning: -shadow requested but the binary was built without -tags shadowheap; the oracle is compiled out")
+	}
 
 	if *kills > 0 {
-		runKillStress(*kills, *threads, *ops, *seed, *tele, *events)
+		runKillStress(*kills, *threads, *ops, *seed, *tele, *events, *magSize, *arenas, *shadowF)
 		return
 	}
 
 	cfg := core.Config{
-		Processors:  *threads,
-		MaxCredits:  *credits,
-		PartialLIFO: *lifo,
-		Hyperblocks: *hyper,
+		Processors:   *threads,
+		MaxCredits:   *credits,
+		PartialLIFO:  *lifo,
+		Hyperblocks:  *hyper,
+		MagazineSize: *magSize,
+		HeapConfig:   mem.Config{Arenas: *arenas},
 	}
 	if *tele {
 		cfg.Telemetry = core.NewRecorder(telemetry.Config{})
 	}
+	if *shadowF {
+		// No OnViolation handler: the first violation panics with the
+		// attribution line and the flight recorder's tail.
+		cfg.Shadow = shadow.New(shadow.Config{
+			Name:          "lockfree",
+			VerifyOnReuse: true,
+			Telemetry:     cfg.Telemetry,
+			DumpEvents:    *events,
+		})
+	}
 	a := core.New(cfg)
-	fmt.Printf("mlfstress: %d threads x %d ops (hyper=%v lifo=%v credits=%d)\n",
-		*threads, *ops, *hyper, *lifo, cfg.MaxCredits)
+	fmt.Printf("mlfstress: %d threads x %d ops (hyper=%v lifo=%v credits=%d magazine=%d arenas=%d shadow=%v)\n",
+		*threads, *ops, *hyper, *lifo, cfg.MaxCredits, *magSize, *arenas,
+		*shadowF && shadow.Enabled)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -95,6 +123,9 @@ func main() {
 			for _, p := range held {
 				th.Free(p)
 			}
+			// Return any magazine-cached blocks to the shared structures
+			// so the post-run leak bound sees a quiescent heap.
+			th.Unregister()
 		}(*seed + int64(g))
 	}
 	wg.Wait()
@@ -119,6 +150,14 @@ func main() {
 		fmt.Print(rec.Snapshot().Text(0))
 	}
 
+	if o := a.ShadowOracle(); o != nil {
+		if err := o.Err(); err != nil {
+			fail("shadow oracle: %v", err)
+		}
+		fmt.Printf("shadow oracle: %d violations, %d blocks still modeled live\n",
+			len(o.Violations()), o.LiveBlocks())
+	}
+
 	if s.Ops.Mallocs != s.Ops.Frees {
 		fail("malloc/free imbalance: %d vs %d", s.Ops.Mallocs, s.Ops.Frees)
 	}
@@ -141,9 +180,9 @@ func main() {
 		live*8/1024, bound*8/1024)
 }
 
-func runKillStress(kills, threads, ops int, seed int64, tele bool, events int) {
-	fmt.Printf("mlfstress: fault injection — %d kills, %d survivors x %d ops\n",
-		kills, threads, ops)
+func runKillStress(kills, threads, ops int, seed int64, tele bool, events, magSize, arenas int, useShadow bool) {
+	fmt.Printf("mlfstress: fault injection — %d kills, %d survivors x %d ops (magazine=%d arenas=%d shadow=%v)\n",
+		kills, threads, ops, magSize, arenas, useShadow && shadow.Enabled)
 	var rec *telemetry.Recorder
 	if tele {
 		rec = core.NewRecorder(telemetry.Config{})
@@ -155,7 +194,10 @@ func runKillStress(kills, threads, ops int, seed int64, tele bool, events int) {
 		OpsBeforeKill:  200,
 		Seed:           seed,
 		Point:          -1,
+		Magazine:       magSize,
+		Arenas:         arenas,
 		Telemetry:      rec,
+		Shadow:         useShadow,
 	})
 	if rec != nil {
 		// Dump even when survivors blocked: the flight recorder's tail
@@ -169,6 +211,9 @@ func runKillStress(kills, threads, ops int, seed int64, tele bool, events int) {
 	fmt.Printf("%v\n", res)
 	if res.InvariantErr != nil {
 		fail("invariant violation after kills: %v", res.InvariantErr)
+	}
+	if res.ShadowErr != nil {
+		fail("shadow oracle after kills: %v", res.ShadowErr)
 	}
 	fmt.Println("survivors made full progress; structure intact (bounded leak only)")
 }

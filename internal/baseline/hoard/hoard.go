@@ -138,6 +138,18 @@ type Thread struct {
 
 func (t *Thread) heapIndex() int { return 1 + int(t.id)%(2*t.a.procs) }
 
+// UsableWords returns the payload words available in the block at p
+// (the malloc_usable_size analogue): the size class's block words for
+// superblock blocks, the region words for direct OS blocks, minus the
+// prefix word either way.
+func (t *Thread) UsableWords(p mem.Ptr) uint64 {
+	prefix := t.a.heap.Load(p - 1)
+	if prefix&1 != 0 {
+		return prefix>>1 - 1
+	}
+	return t.a.sbByIdx(prefix>>1).class.BlockWords - 1
+}
+
 func (sb *superblock) groupFor() int {
 	if sb.inUse == sb.class.MaxCount {
 		return fullGroup

@@ -165,6 +165,12 @@ func (a *Allocator) addArena() (int, *arena) {
 	return len(grown) - 1, ar
 }
 
+// UsableWords returns the payload words available in the block at p
+// (the malloc_usable_size analogue).
+func (t *Thread) UsableWords(p mem.Ptr) uint64 {
+	return chunkheap.UsableWords(t.a.heap, p)
+}
+
 // Free returns a block to its origin arena, acquiring that arena's
 // lock (blocking, as in ptmalloc).
 func (t *Thread) Free(p mem.Ptr) {

@@ -106,6 +106,12 @@ func (t *Thread) Free(p mem.Ptr) {
 	a.mu.Unlock()
 }
 
+// UsableWords returns the payload words available in the block at p
+// (the malloc_usable_size analogue).
+func (t *Thread) UsableWords(p mem.Ptr) uint64 {
+	return chunkheap.UsableWords(t.a.heap, p)
+}
+
 // Counts returns total small mallocs and frees performed.
 func (a *Allocator) Counts() (mallocs, frees uint64) {
 	a.mu.Lock()

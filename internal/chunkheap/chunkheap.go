@@ -130,6 +130,13 @@ func Tag(m *mem.Heap, p mem.Ptr) uint64 {
 	return m.Load(p-1) >> headerTagShift & headerTagMask
 }
 
+// MutableHeaderBits are the header bits of a LIVE chunk that the heap
+// legitimately rewrites while the block is allocated: freeing the
+// neighbor below clears this chunk's prev-in-use flag. External
+// header-stability checkers (the shadow oracle) must mask these bits
+// out when comparing a live block's header across its lifetime.
+const MutableHeaderBits uint64 = flagPrevInUse
+
 // IsLargeHeader reports whether a header word marks a direct OS block.
 func IsLargeHeader(h uint64) bool { return h&flagLarge != 0 }
 
@@ -143,6 +150,14 @@ func MakeLargeHeader(regionWords uint64) uint64 {
 
 // LargeWords extracts the total word count from a large-block header.
 func LargeWords(h uint64) uint64 { return headerSize(h) }
+
+// UsableWords returns the payload words available in the allocated
+// block at p (chunk size minus the header word; for direct OS blocks,
+// region size minus the header word) — the malloc_usable_size analogue
+// for chunk-heap-based allocators.
+func UsableWords(m *mem.Heap, p mem.Ptr) uint64 {
+	return headerSize(m.Load(p-1)) - 1
+}
 
 // chunk accessors. A chunk pointer addresses its header word.
 //

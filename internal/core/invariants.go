@@ -29,40 +29,10 @@ import (
 //     plus the blocks held in thread magazines (a cached block is
 //     allocated from the shared structures' point of view).
 func (a *Allocator) CheckInvariants(expectLive int64) error {
-	// magBlocks[desc] = block indices cached in some thread's magazine.
-	magBlocks := make(map[uint64]map[uint64]bool)
-	var totalMag int64
-	a.mu.Lock()
-	for _, t := range a.threads {
-		for cls := range t.mags {
-			for _, p := range t.mags[cls].blocks {
-				prefix := a.heap.Load(p - 1)
-				if prefixIsLarge(prefix) {
-					a.mu.Unlock()
-					return fmt.Errorf("thread %d magazine class %d caches %#x with large-block prefix", t.id, cls, p)
-				}
-				descIdx := prefix >> 1
-				desc := a.desc(descIdx)
-				if desc.ClassIndex() != cls {
-					a.mu.Unlock()
-					return fmt.Errorf("thread %d magazine class %d caches %#x of class %d", t.id, cls, p, desc.ClassIndex())
-				}
-				hi, _ := bits.Mul64((p - 1).Sub(desc.SB()), desc.szMagic.Load())
-				set := magBlocks[descIdx]
-				if set == nil {
-					set = make(map[uint64]bool)
-					magBlocks[descIdx] = set
-				}
-				if set[hi] {
-					a.mu.Unlock()
-					return fmt.Errorf("desc %d block %d cached in two magazines", descIdx, hi)
-				}
-				set[hi] = true
-				totalMag++
-			}
-		}
+	magBlocks, totalMag, err := a.magazineScan()
+	if err != nil {
+		return err
 	}
-	a.mu.Unlock()
 	// reserved[desc] = blocks reserved through some heap's Active word.
 	reserved := make(map[uint64]uint64)
 	for ci := range a.classes {
@@ -132,6 +102,44 @@ func (a *Allocator) CheckInvariants(expectLive int64) error {
 			totalAllocated, expectLive, totalMag)
 	}
 	return nil
+}
+
+// magazineScan validates every thread's magazine-cached blocks and
+// indexes them by descriptor: magBlocks[desc] is the set of block
+// indices cached in some magazine, totalMag their total count. The
+// thread-list mutex is released via defer, so no error path can leave
+// the allocator locked.
+func (a *Allocator) magazineScan() (magBlocks map[uint64]map[uint64]bool, totalMag int64, err error) {
+	magBlocks = make(map[uint64]map[uint64]bool)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, t := range a.threads {
+		for cls := range t.mags {
+			for _, p := range t.mags[cls].blocks {
+				prefix := a.heap.Load(p - 1)
+				if prefixIsLarge(prefix) {
+					return nil, 0, fmt.Errorf("thread %d magazine class %d caches %#x with large-block prefix", t.id, cls, p)
+				}
+				descIdx := prefix >> 1
+				desc := a.desc(descIdx)
+				if desc.ClassIndex() != cls {
+					return nil, 0, fmt.Errorf("thread %d magazine class %d caches %#x of class %d", t.id, cls, p, desc.ClassIndex())
+				}
+				hi, _ := bits.Mul64((p - 1).Sub(desc.SB()), desc.szMagic.Load())
+				set := magBlocks[descIdx]
+				if set == nil {
+					set = make(map[uint64]bool)
+					magBlocks[descIdx] = set
+				}
+				if set[hi] {
+					return nil, 0, fmt.Errorf("desc %d block %d cached in two magazines", descIdx, hi)
+				}
+				set[hi] = true
+				totalMag++
+			}
+		}
+	}
+	return magBlocks, totalMag, nil
 }
 
 func (a *Allocator) walkFreeList(idx uint64, desc *Descriptor, anchor atomicx.Anchor, free uint64, mag map[uint64]bool) error {

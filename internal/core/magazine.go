@@ -300,10 +300,20 @@ func (t *Thread) FlushMagazines() {
 }
 
 // Unregister releases the thread handle: all magazine-cached blocks
-// return to the shared structures. Call it when the owning goroutine
-// stops using the handle (the pthread-exit analogue); the handle's
-// operation counters remain visible in Allocator.Stats. With magazines
-// disabled it is a no-op, so callers may invoke it unconditionally.
+// return to the shared structures and the magazine layer is disabled
+// for this handle. Call it when the owning goroutine stops using the
+// handle (the pthread-exit analogue); the handle's operation counters
+// remain visible in Allocator.Stats. With magazines disabled it is a
+// no-op, so callers may invoke it unconditionally.
+//
+// Unregister is idempotent, and the handle remains usable afterwards:
+// subsequent Malloc/Free bypass the magazines and go straight to the
+// shared structures, so a straggling Free cannot strand a block in a
+// cache nobody will ever flush.
 func (t *Thread) Unregister() {
 	t.FlushMagazines()
+	// Disabling the layer (rather than leaving the empty magazines
+	// armed) makes double-Unregister and use-after-Unregister safe by
+	// construction: there is no cache left to corrupt or leak into.
+	t.magCap = 0
 }

@@ -1,0 +1,13 @@
+//go:build !shadowheap
+
+package core
+
+import "repro/internal/mem"
+
+// Without the shadowheap build tag the oracle cannot exist, so the
+// mirroring hooks compile to nothing: both inline to empty bodies and
+// the malloc/free hot paths carry no shadow branch at all.
+
+func (t *Thread) shadowNoteMalloc(mem.Ptr, uint64) {}
+
+func (t *Thread) shadowNoteFree(mem.Ptr) bool { return true }

@@ -1,0 +1,23 @@
+//go:build shadowheap
+
+package core
+
+import "repro/internal/mem"
+
+// shadowNoteMalloc mirrors a successful malloc into the shadow-heap
+// oracle. Only built under the shadowheap tag; the !shadowheap twin is
+// an empty function, so the unshadowed build pays nothing — not even
+// the nil check — on the malloc path.
+func (t *Thread) shadowNoteMalloc(p mem.Ptr, size uint64) {
+	if t.shadow != nil {
+		t.shadow.NoteMalloc(t.id, p, size, t.UsableWords(p))
+	}
+}
+
+// shadowNoteFree mirrors a free into the oracle before the allocator
+// acts on it. A false return means the free is invalid (double free,
+// unknown pointer, clobbered prefix) and must be swallowed by the
+// caller; the oracle has already reported the violation.
+func (t *Thread) shadowNoteFree(p mem.Ptr) bool {
+	return t.shadow == nil || t.shadow.NoteFree(t.id, p)
+}

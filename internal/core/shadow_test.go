@@ -1,0 +1,142 @@
+//go:build shadowheap
+
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/shadow"
+)
+
+// newShadowCore builds an allocator with a collecting oracle wired
+// through Config.Shadow (the integrated path that also mirrors the
+// magazine layer).
+func newShadowCore(t *testing.T, cfg Config) (*Allocator, func() []shadow.Violation) {
+	t.Helper()
+	var mu sync.Mutex
+	var vs []shadow.Violation
+	cfg.Shadow = shadow.New(shadow.Config{
+		Name:          "lockfree",
+		VerifyOnReuse: true,
+		OnViolation: func(v shadow.Violation) {
+			mu.Lock()
+			vs = append(vs, v)
+			mu.Unlock()
+		},
+	})
+	a := New(cfg)
+	return a, func() []shadow.Violation {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]shadow.Violation(nil), vs...)
+	}
+}
+
+// TestShadowMagazineRoundTrip churns blocks through the magazine layer
+// (free into magazine, reuse from magazine, flush, batch refill) under
+// the oracle: no false positives, and the model drains to zero.
+func TestShadowMagazineRoundTrip(t *testing.T) {
+	a, got := newShadowCore(t, Config{Processors: 2, MagazineSize: 8})
+	th := a.Thread()
+	var held []mem.Ptr
+	for i := 0; i < 3000; i++ {
+		sz := uint64(8 << (i % 9))
+		if i%53 == 0 {
+			sz = 4096 + uint64(i) // large path, straight to the region layer
+		}
+		p, err := th.Malloc(sz)
+		if err != nil {
+			t.Fatalf("malloc(%d): %v", sz, err)
+		}
+		held = append(held, p)
+		if len(held) > 24 {
+			th.Free(held[0])
+			held = held[1:]
+		}
+	}
+	for _, p := range held {
+		th.Free(p)
+	}
+	th.Unregister()
+	if vs := got(); len(vs) != 0 {
+		t.Fatalf("clean magazine churn flagged: %v", vs[0])
+	}
+	if n := a.ShadowOracle().LiveBlocks(); n != 0 {
+		t.Fatalf("%d blocks still modeled live", n)
+	}
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+}
+
+// TestShadowDoubleFreeThroughMagazine double-frees a block that is
+// sitting in a magazine: the oracle must flag it and swallow it before
+// the magazine caches the same pointer twice.
+func TestShadowDoubleFreeThroughMagazine(t *testing.T) {
+	a, got := newShadowCore(t, Config{Processors: 1, MagazineSize: 8})
+	th := a.Thread()
+	p, err := th.Malloc(64)
+	if err != nil {
+		t.Fatalf("malloc: %v", err)
+	}
+	th.Free(p) // now magazine-cached
+	th.Free(p) // double free while cached
+	vs := got()
+	if len(vs) != 1 || vs[0].Kind != shadow.KindDoubleFree {
+		t.Fatalf("violations = %v, want one double-free", vs)
+	}
+	// The magazine must not contain the pointer twice: two mallocs of
+	// the class must return distinct addresses.
+	q1, err := th.Malloc(64)
+	if err != nil {
+		t.Fatalf("malloc: %v", err)
+	}
+	q2, err := th.Malloc(64)
+	if err != nil {
+		t.Fatalf("malloc: %v", err)
+	}
+	if q1 == q2 {
+		t.Fatalf("same pointer handed out twice after swallowed double free")
+	}
+	th.Free(q1)
+	th.Free(q2)
+	th.Unregister()
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestShadowSuperblockRetireNoFalsePositive frees every block of a
+// class so its superblocks retire to the region layer, then reallocates
+// from recycled regions: the region hook must have invalidated the
+// poison, so no stale write-after-free fires.
+func TestShadowSuperblockRetireNoFalsePositive(t *testing.T) {
+	a, got := newShadowCore(t, Config{Processors: 1})
+	th := a.Thread()
+	const n = 600 // several superblocks of the 2048-byte class
+	ptrs := make([]mem.Ptr, n)
+	for i := range ptrs {
+		p, err := th.Malloc(2048)
+		if err != nil {
+			t.Fatalf("malloc: %v", err)
+		}
+		ptrs[i] = p
+	}
+	for _, p := range ptrs {
+		th.Free(p)
+	}
+	// Reallocate; recycled superblock words may hold anything.
+	for i := 0; i < n; i++ {
+		p, err := th.Malloc(2048)
+		if err != nil {
+			t.Fatalf("re-malloc: %v", err)
+		}
+		a.Heap().Set(p, uint64(i)) // write through the fresh block
+		th.Free(p)
+	}
+	if vs := got(); len(vs) != 0 {
+		t.Fatalf("recycled superblocks flagged: %v", vs[0])
+	}
+}

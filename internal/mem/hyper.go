@@ -149,6 +149,9 @@ func (hy *Hyper) AllocFrom(ar Arena) (Ptr, error) {
 // Free returns a superblock obtained from Alloc. Lock-free.
 func (hy *Hyper) Free(sb Ptr) {
 	hy.frees.Add(1)
+	// The superblock's words become reusable by a later AllocFrom
+	// without passing through FreeRegion, so fire the recycle hook here.
+	hy.heap.noteRecycled(sb, hy.sbWords)
 	hy.pushFree(sb)
 	hy.desc(sb).freeCount.Add(1)
 }

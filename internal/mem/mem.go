@@ -129,6 +129,15 @@ type Heap struct {
 	// CAS-max, as before sharding.
 	liveWords    atomic.Uint64
 	maxLiveWords atomic.Uint64
+
+	// regionHook, when set, is called whenever a region's words return
+	// to the recycler — FreeRegion, and the hyperblock layer's
+	// superblock free stack — *before* the words become reusable, so an
+	// observer (the shadow-heap oracle) can drop any expectations it
+	// holds about their contents. Loaded atomically; nil when unused.
+	// Last field so the hook's presence does not shift the offsets of
+	// the fields the Load/Store/seg hot paths touch.
+	regionHook atomic.Pointer[func(p Ptr, words uint64)]
 }
 
 // arenaShard is one shard of the region allocator. Padded so that two
@@ -165,6 +174,28 @@ var stealTestHook func(requester, victim int)
 // free-stack push/pop and bump CAS loops (nil detaches). Safe to call
 // while the heap is in use.
 func (h *Heap) SetTelemetry(st *telemetry.Stripes) { h.tele.Store(st) }
+
+// SetRegionHook installs fn to be called with (base, words) whenever a
+// word range is recycled for reuse (FreeRegion, and superblocks entering
+// the hyperblock layer's free stack), strictly before any later
+// allocation can hand the range out again. One hook per heap; nil
+// detaches. Safe to call while the heap is in use. The hook must not
+// call back into the region allocator.
+func (h *Heap) SetRegionHook(fn func(p Ptr, words uint64)) {
+	if fn == nil {
+		h.regionHook.Store(nil)
+		return
+	}
+	h.regionHook.Store(&fn)
+}
+
+// noteRecycled fires the region hook, if any, for a range about to
+// become reusable.
+func (h *Heap) noteRecycled(p Ptr, words uint64) {
+	if fn := h.regionHook.Load(); fn != nil {
+		(*fn)(p, words)
+	}
+}
 
 // ArenaStats is a point-in-time snapshot of one arena's counters.
 // Request-side counters (RegionAllocs, ReusedRegions, Steals) are
@@ -442,6 +473,7 @@ func (h *Heap) FreeRegion(p Ptr, n uint64) {
 			p, n, RegionWords(n)))
 	}
 	words := RegionWords(n)
+	h.noteRecycled(p, words)
 	owner := h.arenaOf(p)
 	st := &h.arenas[owner].stats
 	st.regionFrees.Add(1)

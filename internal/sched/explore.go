@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -53,8 +54,15 @@ type ExploreResult struct {
 type threadState struct {
 	yielded chan struct{} // thread -> director: reached a yield (or started)
 	resume  chan struct{} // director -> thread: run to the next yield
-	done    chan struct{} // closed when the script returns
+	done    chan struct{} // closed when the script returns (or aborts)
+	err     error         // script panic, recovered; read after done closes
 }
+
+// exploreAbort is the panic value used to unwind a scripted thread
+// during teardown: when one script fails, the director resumes the
+// remaining blocked threads with the abort flag set and their hooks
+// panic out of the allocator instead of running on.
+type exploreAbort struct{}
 
 // Explore runs the search. It returns an error (with the offending
 // decision sequence) as soon as any schedule fails its Check.
@@ -126,6 +134,7 @@ func runSchedule(cfg ExploreConfig, decisions []int, alts *[]int) (int, error) {
 	a := cfg.NewAllocator()
 	n := len(cfg.Scripts)
 	states := make([]*threadState, n)
+	var abort atomic.Bool
 	for i, script := range cfg.Scripts {
 		st := &threadState{
 			yielded: make(chan struct{}),
@@ -137,20 +146,52 @@ func runSchedule(cfg ExploreConfig, decisions []int, alts *[]int) (int, error) {
 		th.SetHook(func(core.HookPoint) {
 			st.yielded <- struct{}{}
 			<-st.resume
+			if abort.Load() {
+				panic(exploreAbort{})
+			}
 		})
 		go func(script Script) {
+			// done must close on every exit path — including a script
+			// panic — or the director (and any sibling threads blocked
+			// on resume) would hang. A panic is captured as the
+			// schedule's error rather than crashing the process.
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(exploreAbort); !ok {
+						st.err = fmt.Errorf("script panic: %v", r)
+					}
+				}
+				close(st.done)
+			}()
 			// Initial yield: no thread runs before the director's
 			// first grant.
 			st.yielded <- struct{}{}
 			<-st.resume
+			if abort.Load() {
+				panic(exploreAbort{})
+			}
 			script(th)
-			close(st.done)
 		}(script)
 		<-st.yielded // wait for the initial yield
 	}
 
-	running := make([]bool, n) // granted and not yet yielded/done
+	// teardown releases every still-blocked scripted thread: the abort
+	// flag makes its next resume panic out of the allocator, and the
+	// deferred recover above closes done.
 	finished := make([]bool, n)
+	teardown := func() {
+		abort.Store(true)
+		for i, st := range states {
+			if finished[i] {
+				continue
+			}
+			st.resume <- struct{}{}
+			<-st.done
+			finished[i] = true
+		}
+	}
+
+	running := make([]bool, n) // granted and not yet yielded/done
 	choice := 0
 	for {
 		// Runnable = started/yielded and not finished.
@@ -181,9 +222,21 @@ func runSchedule(cfg ExploreConfig, decisions []int, alts *[]int) (int, error) {
 		case <-states[t].done:
 			running[t] = false
 			finished[t] = true
+			if err := states[t].err; err != nil {
+				teardown()
+				return choice, fmt.Errorf("thread %d: %w", t, err)
+			}
 		}
 	}
-	// Detach hooks (threads are done).
+	// Terminal checks (threads are done). The shadow oracle, when one
+	// is attached to the allocator, is consulted first: a double-free
+	// or write-after-free detected mid-schedule is more precise than
+	// whatever downstream inconsistency Check would report.
+	if o := a.ShadowOracle(); o != nil {
+		if err := o.Err(); err != nil {
+			return choice, err
+		}
+	}
 	if cfg.Check != nil {
 		if err := cfg.Check(a); err != nil {
 			return choice, err

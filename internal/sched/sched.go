@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/shadow"
 	"repro/internal/telemetry"
 )
 
@@ -59,6 +60,11 @@ type Plan struct {
 	// (every hook firing is recorded, so the ring's tail shows exactly
 	// where each victim died).
 	Telemetry *telemetry.Recorder
+	// Shadow attaches a shadow-heap oracle in collecting mode (requires
+	// the shadowheap build tag; a no-op without it). Kills may leak
+	// blocks but must never make the allocator hand out overlapping or
+	// stale memory — the oracle's verdict lands in Result.ShadowErr.
+	Shadow bool
 }
 
 // Result reports what happened.
@@ -75,6 +81,9 @@ type Result struct {
 	// InvariantErr is non-nil if the post-mortem structural check
 	// found corruption (leaks are expected; corruption never is).
 	InvariantErr error
+	// ShadowErr is the shadow oracle's verdict (nil when Plan.Shadow is
+	// off or the shadowheap build tag is absent).
+	ShadowErr error
 }
 
 func (r Result) String() string {
@@ -91,11 +100,23 @@ func Run(plan Plan) (Result, error) {
 	if procs == 0 {
 		procs = 4
 	}
+	var sh *shadow.Oracle
+	if plan.Shadow {
+		// Collecting mode: an empty OnViolation suppresses the default
+		// panic; violations accumulate and surface via Result.ShadowErr.
+		sh = shadow.New(shadow.Config{
+			Name:          "lockfree",
+			VerifyOnReuse: true,
+			OnViolation:   func(shadow.Violation) {},
+			Telemetry:     plan.Telemetry,
+		})
+	}
 	a := core.New(core.Config{
 		Processors:   procs,
 		HeapConfig:   mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 28, Arenas: plan.Arenas},
 		Telemetry:    plan.Telemetry,
 		MagazineSize: plan.Magazine,
+		Shadow:       sh,
 	})
 
 	res := Result{Kills: map[core.HookPoint]int{}}
@@ -217,5 +238,6 @@ func Run(plan Plan) (Result, error) {
 	// consistent counts); kills may only leak, never corrupt. Live
 	// count is unknowable after kills, so pass -1.
 	res.InvariantErr = a.CheckInvariants(-1)
+	res.ShadowErr = sh.Err()
 	return res, nil
 }

@@ -1,0 +1,39 @@
+//go:build !shadowheap
+
+package shadow_test
+
+import (
+	"testing"
+
+	"repro/internal/shadow"
+)
+
+// TestDisabledOracleIsNil pins the tag-off contract every call site
+// relies on: New returns nil, all methods are nil-receiver no-ops, and
+// NoteFree approves so frees pass straight through to the allocator.
+func TestDisabledOracleIsNil(t *testing.T) {
+	if shadow.Enabled {
+		t.Fatal("shadow.Enabled true without the shadowheap build tag")
+	}
+	o := shadow.New(shadow.Config{Name: "off"})
+	if o != nil {
+		t.Fatal("New returned a non-nil oracle with the oracle compiled out")
+	}
+	// Every method must be safe on the nil oracle.
+	o.AttachHeap(nil)
+	o.NoteMalloc(0, 1, 8, 1)
+	if !o.NoteFree(0, 1) {
+		t.Fatal("nil oracle rejected a free")
+	}
+	o.InvalidateRange(0, 16)
+	if err := o.Err(); err != nil {
+		t.Fatalf("nil oracle Err = %v", err)
+	}
+	if vs := o.Violations(); vs != nil {
+		t.Fatalf("nil oracle Violations = %v", vs)
+	}
+	if n := o.LiveBlocks(); n != 0 {
+		t.Fatalf("nil oracle LiveBlocks = %d", n)
+	}
+	o.Close()
+}

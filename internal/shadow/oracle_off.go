@@ -1,0 +1,43 @@
+//go:build !shadowheap
+
+package shadow
+
+import "repro/internal/mem"
+
+// Enabled reports whether the oracle is compiled in (the shadowheap
+// build tag is set).
+const Enabled = false
+
+// Oracle is the no-op stand-in compiled without the shadowheap tag.
+// New returns nil and every method is safe (and free) on the nil
+// receiver, so call sites stay wired through unconditionally and cost
+// one nil-check per operation.
+type Oracle struct{}
+
+// New returns nil: without the shadowheap tag there is no oracle, and
+// nil-guarded call sites compile to nothing.
+func New(Config) *Oracle { return nil }
+
+// AttachHeap is a no-op.
+func (o *Oracle) AttachHeap(*mem.Heap) {}
+
+// Close is a no-op.
+func (o *Oracle) Close() {}
+
+// NoteMalloc is a no-op.
+func (o *Oracle) NoteMalloc(thread uint64, p mem.Ptr, size, usable uint64) {}
+
+// NoteFree is a no-op; the free always proceeds.
+func (o *Oracle) NoteFree(thread uint64, p mem.Ptr) bool { return true }
+
+// InvalidateRange is a no-op.
+func (o *Oracle) InvalidateRange(mem.Ptr, uint64) {}
+
+// Err always returns nil.
+func (o *Oracle) Err() error { return nil }
+
+// Violations always returns nil.
+func (o *Oracle) Violations() []Violation { return nil }
+
+// LiveBlocks always returns 0.
+func (o *Oracle) LiveBlocks() int { return 0 }
