@@ -88,8 +88,10 @@ func main() {
 	})
 	http.HandleFunc("/heap", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{
-			"stats": a.Stats(),
-			"hyper": a.HyperStats(),
+			"stats":          a.Stats(),
+			"hyper":          a.HyperStats(),
+			"descStripes":    a.DescStripes(),
+			"descStripeFree": a.DescStripeFree(),
 		})
 	})
 
@@ -115,6 +117,8 @@ func printHeapStats(w interface{ Write([]byte) (int, error) }, a *core.Allocator
 	fmt.Fprintf(w, "heap: live %d KiB, max-live %d KiB, descriptors %d (+%d free)\n",
 		s.Heap.LiveWords*8/1024, s.Heap.MaxLiveWords*8/1024,
 		s.DescsAllocated, s.DescsOnFreelist)
+	fmt.Fprintf(w, "desc pool: %d stripes, free per stripe %v\n",
+		a.DescStripes(), a.DescStripeFree())
 }
 
 // churn is the embedded workload: random-size malloc/free traffic with

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas]
+//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas|poolstripes]
 //	         [-threads 1,2,4,8,16] [-scale 0.01] [-allocs lockfree,hoard,...]
-//	         [-procs N] [-telemetry] [-magazine N] [-arenas N] [-json] [-list] [-v]
+//	         [-procs N] [-telemetry] [-magazine N] [-arenas N] [-descstripes N]
+//	         [-json] [-list] [-v]
 //
 // -scale 1.0 runs the paper's full parameters (10M malloc/free pairs
 // per thread, 30-second timed phases); the default 0.01 finishes each
@@ -20,7 +21,11 @@
 // -arenas N shards every allocator's OS layer into N region arenas
 // (0 = one per processor heap, the default; 1 = the unsharded global
 // layout); the arenas experiment compares 1 vs per-processor
-// regardless of this flag. -json additionally writes every individual
+// regardless of this flag. -descstripes N likewise sets the
+// descriptor-pool freelist stripe count on every lock-free allocator
+// (0 = one per processor, 1 = the paper's single DescAvail list); the
+// poolstripes experiment compares 1 vs per-processor regardless of
+// this flag. -json additionally writes every individual
 // measurement to a BENCH_<unixtime>.json file.
 package main
 
@@ -52,6 +57,7 @@ type jsonReport struct {
 	Telemetry     bool           `json:"telemetry"`
 	Magazine      int            `json:"magazine,omitempty"`
 	Arenas        int            `json:"arenas,omitempty"`
+	DescStripes   int            `json:"descStripes,omitempty"`
 	Results       []bench.Result `json:"results"`
 }
 
@@ -65,6 +71,7 @@ func main() {
 		teleFlag    = flag.Bool("telemetry", true, "attach the telemetry layer to lock-free allocators (retries/op and latency per row)")
 		magFlag     = flag.Int("magazine", 0, "thread-local magazine size for lock-free allocators (0 = off)")
 		arenasFlag  = flag.Int("arenas", 0, "region arenas per heap (0 = one per processor, 1 = unsharded)")
+		stripesFlag = flag.Int("descstripes", 0, "descriptor-pool freelist stripes (0 = one per processor, 1 = single DescAvail)")
 		jsonFlag    = flag.Bool("json", false, "write all measurements to a BENCH_<unixtime>.json file")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
 		verboseFlag = flag.Bool("v", false, "print every individual measurement")
@@ -83,12 +90,13 @@ func main() {
 		fatal("invalid -threads: %v", err)
 	}
 	cfg := report.RunConfig{
-		Threads:    threads,
-		Scale:      *scaleFlag,
-		Processors: *procsFlag,
-		Telemetry:  *teleFlag,
-		Magazine:   *magFlag,
-		Arenas:     *arenasFlag,
+		Threads:     threads,
+		Scale:       *scaleFlag,
+		Processors:  *procsFlag,
+		Telemetry:   *teleFlag,
+		Magazine:    *magFlag,
+		Arenas:      *arenasFlag,
+		DescStripes: *stripesFlag,
 	}
 	if *allocsFlag != "" {
 		cfg.Allocators = strings.Split(*allocsFlag, ",")
@@ -141,6 +149,7 @@ func main() {
 			Telemetry:     *teleFlag,
 			Magazine:      *magFlag,
 			Arenas:        *arenasFlag,
+			DescStripes:   *stripesFlag,
 			Results:       results,
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")

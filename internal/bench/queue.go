@@ -2,105 +2,73 @@ package bench
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"repro/alloc"
-	"repro/internal/atomicx"
 	"repro/internal/mem"
+	"repro/internal/pool"
 )
 
 // Queue is the lock-free FIFO queue used by the Producer-consumer
-// benchmark (§4.1): a Michael–Scott queue [20] whose nodes are blocks
-// obtained from the allocator under test — exactly the paper's point
-// that a lock-free allocator makes lock-free dynamic data structures
-// fully dynamic. Node pointers are packed with a 24-bit version tag to
+// benchmark (§4.1): the generic Michael–Scott queue [20] from
+// internal/pool, with a backend whose nodes are blocks obtained from
+// the allocator under test — exactly the paper's point that a
+// lock-free allocator makes lock-free dynamic data structures fully
+// dynamic. Node pointers are packed with a 24-bit version tag to
 // prevent ABA when freed nodes are recycled by the allocator [18].
 //
 // A node is a 16-byte block: word 0 holds the value, word 1 the packed
 // (next pointer, tag) link.
 type Queue struct {
 	heap *mem.Heap
-	head atomic.Uint64 // packed (node ptr, tag)
-	tail atomic.Uint64
-	size atomic.Int64
+	q    pool.FIFO[queueBackend]
 }
 
 const queueNodeBytes = 16
 
+// queueBackend adapts allocator blocks to pool.Backend. It is built
+// per call because node allocation and recycling go through the
+// calling thread's handle.
+type queueBackend struct {
+	heap *mem.Heap
+	th   alloc.Thread
+}
+
+func (b queueBackend) AllocNode() (uint64, error) {
+	p, err := b.th.Malloc(queueNodeBytes)
+	return uint64(p), err
+}
+func (b queueBackend) FreeNode(ref uint64)             { b.th.Free(mem.Ptr(ref)) }
+func (b queueBackend) LoadValue(ref uint64) uint64     { return b.heap.Load(mem.Ptr(ref)) }
+func (b queueBackend) StoreValue(ref uint64, v uint64) { b.heap.Store(mem.Ptr(ref), v) }
+func (b queueBackend) LoadLink(ref uint64) uint64      { return b.heap.Load(mem.Ptr(ref).Add(1)) }
+func (b queueBackend) StoreLink(ref uint64, w uint64)  { b.heap.Store(mem.Ptr(ref).Add(1), w) }
+func (b queueBackend) CASLink(ref uint64, old, new uint64) bool {
+	return b.heap.CAS(mem.Ptr(ref).Add(1), old, new)
+}
+
 // NewQueue creates an empty queue, allocating its dummy node from th.
 func NewQueue(a alloc.Allocator, th alloc.Thread) *Queue {
 	q := &Queue{heap: a.Heap()}
-	dummy, err := th.Malloc(queueNodeBytes)
-	if err != nil {
+	if err := q.q.Init(queueBackend{q.heap, th}); err != nil {
 		panic(fmt.Sprintf("bench queue: %v", err))
 	}
-	q.heap.Store(dummy.Add(1), atomicx.Tagged{}.Pack())
-	q.head.Store(atomicx.Tagged{Idx: uint64(dummy)}.Pack())
-	q.tail.Store(atomicx.Tagged{Idx: uint64(dummy)}.Pack())
 	return q
 }
 
 // Enqueue appends v, allocating the node from th (one of the
 // producer's three mallocs per task).
 func (q *Queue) Enqueue(th alloc.Thread, v uint64) {
-	n, err := th.Malloc(queueNodeBytes)
-	if err != nil {
+	if err := q.q.Enqueue(queueBackend{q.heap, th}, v); err != nil {
 		panic(fmt.Sprintf("bench queue: %v", err))
-	}
-	q.heap.Store(n, v)
-	// Null link, bumping the tag left over from the block's prior life.
-	oldTag := atomicx.UnpackTagged(q.heap.Load(n.Add(1))).Tag
-	q.heap.Store(n.Add(1), atomicx.Tagged{Idx: 0, Tag: oldTag + 1}.Pack())
-	for {
-		tailWord := q.tail.Load()
-		t := atomicx.UnpackTagged(tailWord)
-		nextAddr := mem.Ptr(t.Idx).Add(1)
-		nextWord := q.heap.Load(nextAddr)
-		nx := atomicx.UnpackTagged(nextWord)
-		if tailWord != q.tail.Load() {
-			continue
-		}
-		if nx.Idx == 0 {
-			if q.heap.CAS(nextAddr, nextWord, atomicx.Tagged{Idx: uint64(n), Tag: nx.Tag + 1}.Pack()) {
-				q.tail.CompareAndSwap(tailWord, atomicx.Tagged{Idx: uint64(n), Tag: t.Tag + 1}.Pack())
-				q.size.Add(1)
-				return
-			}
-		} else {
-			q.tail.CompareAndSwap(tailWord, atomicx.Tagged{Idx: nx.Idx, Tag: t.Tag + 1}.Pack())
-		}
 	}
 }
 
 // Dequeue removes the oldest value; the retired node is freed through
 // th (one of the consumer's four frees per task).
 func (q *Queue) Dequeue(th alloc.Thread) (uint64, bool) {
-	for {
-		headWord := q.head.Load()
-		h := atomicx.UnpackTagged(headWord)
-		tailWord := q.tail.Load()
-		t := atomicx.UnpackTagged(tailWord)
-		nextWord := q.heap.Load(mem.Ptr(h.Idx).Add(1))
-		nx := atomicx.UnpackTagged(nextWord)
-		if headWord != q.head.Load() {
-			continue
-		}
-		if h.Idx == t.Idx {
-			if nx.Idx == 0 {
-				return 0, false
-			}
-			q.tail.CompareAndSwap(tailWord, atomicx.Tagged{Idx: nx.Idx, Tag: t.Tag + 1}.Pack())
-			continue
-		}
-		v := q.heap.Load(mem.Ptr(nx.Idx))
-		if q.head.CompareAndSwap(headWord, atomicx.Tagged{Idx: nx.Idx, Tag: h.Tag + 1}.Pack()) {
-			th.Free(mem.Ptr(h.Idx))
-			q.size.Add(-1)
-			return v, true
-		}
-	}
+	return q.q.Dequeue(queueBackend{q.heap, th})
 }
 
 // Len returns a racy size estimate (used by the producer's helping
 // heuristic).
-func (q *Queue) Len() int64 { return q.size.Load() }
+func (q *Queue) Len() int64 { return int64(q.q.Len()) }

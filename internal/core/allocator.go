@@ -39,6 +39,13 @@ type Config struct {
 	// DefaultProcessors.
 	Processors int
 
+	// DescStripes is the number of freelist stripes in the descriptor
+	// pool (internal/pool): each stripe is an independent DescAvail
+	// head, threads pick one by id, and dry stripes migrate whole
+	// chains from siblings. 0 selects one stripe per processor; 1
+	// reproduces the paper's single DescAvail word.
+	DescStripes int
+
 	// MaxCredits caps blocks reserved through the Active word at once
 	// (the paper's MAXCREDITS, default and maximum 64). Setting 1
 	// disables batched credits: every malloc from the active
@@ -138,7 +145,7 @@ type Allocator struct {
 	maxCredits uint64
 
 	classes []scState
-	descs   *descTable
+	descs   *descPool
 
 	cfg Config
 
@@ -158,7 +165,7 @@ type Allocator struct {
 	// on the same cache lines in every process, rather than at whatever
 	// phase a 208- or 224-byte slot happens to start at. Growing the
 	// struct within the padding budget cannot change the layout.
-	_ [256 - 216]byte
+	_ [256 - 224]byte
 }
 
 // scState is the per-size-class state (paper's sizeclass structure).
@@ -201,6 +208,11 @@ func New(cfg Config) *Allocator {
 	if cfg.MagazineSize < 0 {
 		cfg.MagazineSize = 0
 	}
+	if cfg.DescStripes <= 0 {
+		// Stripe the descriptor freelist like the processor heaps and
+		// region arenas: one DescAvail head per processor.
+		cfg.DescStripes = cfg.Processors
+	}
 	h := cfg.Heap
 	if h == nil {
 		if cfg.HeapConfig.Arenas == 0 {
@@ -218,7 +230,7 @@ func New(cfg Config) *Allocator {
 		procs:      uint64(cfg.Processors),
 		maxCredits: uint64(cfg.MaxCredits),
 		classes:    make([]scState, sizeclass.NumClasses()),
-		descs:      newDescTable(),
+		descs:      newDescPool(cfg.DescStripes),
 	}
 	if a.shadow != nil {
 		// Bind the oracle to this allocator's address space and install
@@ -237,7 +249,7 @@ func New(cfg Config) *Allocator {
 	if cfg.Telemetry != nil {
 		a.tele = cfg.Telemetry
 		stripes = cfg.Telemetry.Stripes()
-		a.descs.tele = stripes
+		a.descs.SetTelemetry(stripes)
 		h.SetTelemetry(stripes)
 	}
 	for i := range a.classes {
@@ -279,7 +291,12 @@ func (a *Allocator) procHeap(id uint64) *ProcHeap {
 }
 
 // desc returns the descriptor with the given index.
-func (a *Allocator) desc(idx uint64) *Descriptor { return a.descs.get(idx) }
+func (a *Allocator) desc(idx uint64) *Descriptor { return a.descs.Get(idx) }
+
+// stripe is the descriptor-pool stripe this thread allocates from and
+// retires to; like processor-heap selection it is a pure function of
+// the thread id.
+func (t *Thread) stripe() int { return int(t.id) }
 
 // allocSB obtains a superblock region through the calling thread's
 // region arena, or through the hyperblock layer when enabled (paper
@@ -396,7 +413,7 @@ type Thread struct {
 	// Pad into the 256-byte size class so every Thread is 64-byte
 	// aligned and the ops counter block sits at a fixed cache-line
 	// phase (see the matching padding on Allocator).
-	_ [256 - 240]byte
+	_ [256 - 248]byte
 }
 
 // opCounters is the per-thread operation-counter block. The owning
@@ -419,6 +436,7 @@ type opCounters struct {
 	magHits           atomic.Uint64
 	magMisses         atomic.Uint64
 	magFlushes        atomic.Uint64
+	partialListDrops  atomic.Uint64
 }
 
 // snapshot loads every counter. Loads are individually atomic but not
@@ -440,6 +458,7 @@ func (c *opCounters) snapshot() OpStats {
 		MagazineHits:      mh,
 		MagazineMisses:    c.magMisses.Load(),
 		MagazineFlushes:   c.magFlushes.Load(),
+		PartialListDrops:  c.partialListDrops.Load(),
 	}
 }
 
@@ -468,6 +487,11 @@ type OpStats struct {
 	// MagazineFlushes counts superblock groups spliced back into
 	// anchors by magazine flushes (one CAS each).
 	MagazineFlushes uint64
+	// PartialListDrops counts descriptors dropped because the partial
+	// list could not accept them (node-pool exhaustion — a bounded
+	// leak of superblock capacity in place of the pre-pool panic;
+	// the dropped superblock's blocks stay live and freeable).
+	PartialListDrops uint64
 }
 
 func (s *OpStats) add(o OpStats) {
@@ -484,6 +508,7 @@ func (s *OpStats) add(o OpStats) {
 	s.MagazineHits += o.MagazineHits
 	s.MagazineMisses += o.MagazineMisses
 	s.MagazineFlushes += o.MagazineFlushes
+	s.PartialListDrops += o.PartialListDrops
 }
 
 // Stats is an allocator-wide snapshot.
@@ -512,11 +537,19 @@ func (a *Allocator) Stats() Stats {
 		s.Ops.add(t.ops.snapshot())
 	}
 	a.mu.Unlock()
-	s.DescsAllocated = a.descs.allocated.Load()
-	s.DescsOnFreelist = a.descs.retired.Load()
+	s.DescsAllocated = a.descs.Allocated()
+	s.DescsOnFreelist = a.descs.Retired()
 	s.Heap = a.heap.Stats()
 	return s
 }
+
+// DescStripes returns the number of descriptor-pool freelist stripes.
+func (a *Allocator) DescStripes() int { return a.descs.Stripes() }
+
+// DescStripeFree returns the retired-descriptor count on each
+// descriptor-pool stripe (racy; exact at quiescence). Operators use it
+// to see freelist imbalance next to the per-arena region-bin tables.
+func (a *Allocator) DescStripeFree() []uint64 { return a.descs.StripeFree() }
 
 // ID returns the thread id used for processor-heap selection.
 func (t *Thread) ID() uint64 { return t.id }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 func benchConfig() Config {
@@ -85,4 +87,47 @@ func BenchmarkMallocFreeParallel(b *testing.B) {
 			th.Free(p)
 		}
 	})
+}
+
+// BenchmarkDescChurnParallel stresses the descriptor pool: each
+// iteration allocates a batch of largest-class blocks spanning many
+// superblocks, then frees them all, so every batch retires its
+// superblocks' descriptors and the next batch reallocates them. The
+// stripes=1 variant is the paper's single DescAvail list; the striped
+// variant should show desc-alloc/desc-retire retries per op collapse.
+func BenchmarkDescChurnParallel(b *testing.B) {
+	cfg := benchConfig()
+	for _, stripes := range []int{1, cfg.Processors} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.DescStripes = stripes
+			rec := NewRecorder(telemetry.Config{})
+			cfg.Telemetry = rec
+			a := New(cfg)
+			// 2048-byte blocks: 7 per superblock, so a 64-block batch
+			// churns ~10 superblocks (descriptors) per iteration.
+			const batch, size = 64, 2048
+			b.RunParallel(func(pb *testing.PB) {
+				th := a.Thread()
+				var ptrs [batch]mem.Ptr
+				for pb.Next() {
+					for j := range ptrs {
+						p, err := th.Malloc(size)
+						if err != nil {
+							b.Fatal(err)
+						}
+						ptrs[j] = p
+					}
+					for j := range ptrs {
+						th.Free(ptrs[j])
+					}
+				}
+			})
+			retries := rec.Snapshot().Retries
+			descRetries := retries[telemetry.SiteDescAlloc.String()] +
+				retries[telemetry.SiteDescRetire.String()]
+			b.ReportMetric(float64(descRetries)/float64(b.N), "desc-retries/op")
+			b.ReportMetric(float64(retries[telemetry.SitePoolMigrate.String()])/float64(b.N), "migrations/op")
+		})
+	}
 }

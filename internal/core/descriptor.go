@@ -3,8 +3,8 @@ package core
 import (
 	"sync/atomic"
 
-	"repro/internal/atomicx"
 	"repro/internal/mem"
+	"repro/internal/pool"
 	"repro/internal/telemetry"
 )
 
@@ -20,7 +20,10 @@ import (
 //
 // As in the paper (§3.2.5), descriptor storage is never returned to the
 // OS; retired descriptors are recycled through a lock-free freelist
-// (DescAvail). Fields that may be written during one lifetime and read
+// (DescAvail), which since the pool refactor lives in internal/pool —
+// chunk-carve growth (Figure 7), wide-tag ABA prevention in place of
+// the paper's SafeCAS hazard pointers, and striped freelist heads keyed
+// by thread id. Fields that may be written during one lifetime and read
 // during a concurrent stale access from a previous lifetime are atomic,
 // which also keeps the implementation clean under the Go race detector.
 type Descriptor struct {
@@ -30,7 +33,8 @@ type Descriptor struct {
 	Anchor atomic.Uint64
 
 	// next links retired descriptors in the DescAvail freelist
-	// (Figure 7).
+	// (Figure 7); it holds a packed (index, tag) word managed by the
+	// pool.
 	next atomic.Uint64
 
 	// sb is the base pointer of the associated superblock.
@@ -60,6 +64,9 @@ type Descriptor struct {
 	classIdx atomic.Int64
 }
 
+// PoolNext exposes the freelist link word to the descriptor pool.
+func (d *Descriptor) PoolNext() *atomic.Uint64 { return &d.next }
+
 // SB returns the superblock base pointer.
 func (d *Descriptor) SB() mem.Ptr { return mem.Ptr(d.sb.Load()) }
 
@@ -85,142 +92,24 @@ const (
 	// DESCSBSIZE).
 	descChunkLog2 = 6
 	descChunk     = 1 << descChunkLog2
-	descChunkMask = descChunk - 1
 
 	// maxDescChunks bounds the descriptor table (2^24 descriptors,
 	// i.e. 2^24 superblocks ≈ 256 GiB of small-block heap).
 	maxDescChunks = 1 << 18
 )
 
-// descTable is the chunked, lock-free-growable descriptor store plus
-// the global DescAvail freelist of Figure 7.
-type descTable struct {
-	chunks []atomic.Pointer[[]Descriptor]
+// descPool is the descriptor store: the paper's chunked table plus the
+// DescAvail freelist of Figure 7, provided by the generic pool layer
+// with one freelist stripe per processor.
+type descPool = pool.Pool[Descriptor, *Descriptor]
 
-	// nextIdx is the bump counter for never-used descriptor indices;
-	// it advances in whole chunks. It starts at descChunk so that the
-	// first chunk (containing reserved index 0) is never handed out in
-	// a batch, keeping batches chunk-aligned.
-	nextIdx atomic.Uint64
-
-	// avail is the DescAvail head: a packed (index:40, tag:24) word.
-	// The paper prevents ABA on this freelist with hazard pointers
-	// (SafeCAS, Figure 7 line 4); because our descriptors live at
-	// stable indices and are never unmapped, a wide version tag is an
-	// equally safe and simpler choice here (see internal/hazard for
-	// the hazard-pointer methodology itself, which the lock-free FIFO
-	// queue substrate uses).
-	avail atomic.Uint64
-
-	allocated atomic.Uint64 // descriptors ever created (for stats)
-	retired   atomic.Uint64 // descriptors currently on the freelist
-
-	// tele, when non-nil, receives CAS-retry counts for the DescAvail
-	// freelist (striped: descriptor alloc/retire runs on the
-	// superblock-churn path, outside any thread handle's hot loop).
-	tele *telemetry.Stripes
-}
-
-func newDescTable() *descTable {
-	t := &descTable{chunks: make([]atomic.Pointer[[]Descriptor], maxDescChunks)}
-	t.nextIdx.Store(descChunk)
-	return t
-}
-
-// get returns the descriptor with the given index. The index must have
-// been produced by alloc.
-func (t *descTable) get(idx uint64) *Descriptor {
-	cp := t.chunks[idx>>descChunkLog2].Load()
-	return &(*cp)[idx&descChunkMask]
-}
-
-// alloc pops a retired descriptor or carves a fresh chunk (DescAlloc,
-// Figure 7). Lock-free.
-func (t *descTable) alloc() uint64 {
-	for {
-		oldHead := t.avail.Load()
-		h := atomicx.UnpackTagged(oldHead)
-		if h.Idx != 0 {
-			next := t.get(h.Idx).next.Load()
-			newHead := atomicx.Tagged{Idx: next, Tag: h.Tag + 1}.Pack()
-			// The paper uses SafeCAS (hazard-pointer protected); the
-			// tagged head provides the same ABA safety for
-			// index-addressed descriptors.
-			if t.avail.CompareAndSwap(oldHead, newHead) {
-				t.retired.Add(^uint64(0))
-				return h.Idx
-			}
-			if t.tele != nil {
-				t.tele.Retry(telemetry.SiteDescAlloc, h.Idx)
-			}
-			continue
-		}
-		// Freelist empty: allocate a descriptor superblock (a chunk),
-		// take its first descriptor, and install the rest. The paper
-		// frees the chunk if another thread repopulated the freelist
-		// first (Figure 7 lines 8-9); table chunks cannot be unmapped,
-		// so on that race the loser pushes its whole chain instead —
-		// a bounded over-allocation noted in DESIGN.md.
-		first := t.grow()
-		rest := t.get(first).next.Load()
-		atomicx.Fence() // Figure 7 line 7
-		newHead := atomicx.Tagged{Idx: rest, Tag: h.Tag + 1}.Pack()
-		if t.avail.CompareAndSwap(oldHead, newHead) {
-			t.retired.Add(descChunk - 1) // the rest of the chunk is now available
-			return first
-		}
-		if t.tele != nil {
-			t.tele.Retry(telemetry.SiteDescAlloc, first)
-		}
-		last := first + descChunk - 1
-		t.retireChain(first, last, descChunk)
-	}
-}
-
-// grow materializes one chunk of fresh descriptors linked
-// first→first+1→…→0 and returns the first index.
-func (t *descTable) grow() uint64 {
-	base := t.nextIdx.Add(descChunk) - descChunk
-	ci := base >> descChunkLog2
-	if ci >= maxDescChunks {
-		panic("core: descriptor table exhausted")
-	}
-	s := make([]Descriptor, descChunk)
-	for i := range s {
-		n := base + uint64(i) + 1
-		if i == len(s)-1 {
-			n = 0
-		}
-		s[i].next.Store(n)
-	}
-	if !t.chunks[ci].CompareAndSwap(nil, &s) {
-		panic("core: descriptor chunk slot already populated")
-	}
-	t.allocated.Add(descChunk)
-	return base
-}
-
-// retire pushes a descriptor onto the DescAvail freelist (DescRetire,
-// Figure 7). Lock-free.
-func (t *descTable) retire(idx uint64) {
-	t.retireChain(idx, idx, 1)
-}
-
-// retireChain pushes the chain first..last (already linked via next,
-// except last) onto the freelist.
-func (t *descTable) retireChain(first, last, n uint64) {
-	for {
-		oldHead := t.avail.Load()
-		h := atomicx.UnpackTagged(oldHead)
-		t.get(last).next.Store(h.Idx)
-		atomicx.Fence() // Figure 7 line 3
-		newHead := atomicx.Tagged{Idx: first, Tag: h.Tag + 1}.Pack()
-		if t.avail.CompareAndSwap(oldHead, newHead) {
-			t.retired.Add(n)
-			return
-		}
-		if t.tele != nil {
-			t.tele.Retry(telemetry.SiteDescRetire, first)
-		}
-	}
+func newDescPool(stripes int) *descPool {
+	return pool.New[Descriptor, *Descriptor](pool.Config{
+		ChunkLog2:   descChunkLog2,
+		MaxChunks:   maxDescChunks,
+		Stripes:     stripes,
+		AllocSite:   telemetry.SiteDescAlloc,
+		RetireSite:  telemetry.SiteDescRetire,
+		MigrateSite: telemetry.SitePoolMigrate,
+	})
 }

@@ -158,7 +158,7 @@ func (t *Thread) heapPutPartial(descIdx uint64) {
 	desc := a.desc(descIdx)
 	h := a.procHeap(desc.heapID.Load())
 	if a.cfg.NoPartialSlot {
-		h.sc.partial.Put(descIdx)
+		t.listPutPartial(h.sc, descIdx)
 		return
 	}
 	// With multiple slots (§3.2.6 option), fill an empty extra slot
@@ -179,7 +179,19 @@ func (t *Thread) heapPutPartial(descIdx uint64) {
 		}
 	}
 	if prev != 0 { // line 3
-		h.sc.partial.Put(prev) // ListPutPartial
+		t.listPutPartial(h.sc, prev) // ListPutPartial
+	}
+}
+
+// listPutPartial inserts a descriptor into the size class's partial
+// list. The only failure is node-pool exhaustion (pool.ErrExhausted),
+// which the free path has no way to report; the descriptor is dropped
+// instead — its superblock's live blocks stay freeable through their
+// prefixes, only the unallocated remainder is leaked — and counted, so
+// the condition is observable. The pre-pool implementation panicked.
+func (t *Thread) listPutPartial(sc *scState, descIdx uint64) {
+	if err := sc.partial.Put(descIdx); err != nil {
+		t.ops.partialListDrops.Add(1)
 	}
 }
 
@@ -191,17 +203,17 @@ func (t *Thread) removeEmptyDesc(heapID, descIdx uint64) {
 	h := a.procHeap(heapID)
 	if !a.cfg.NoPartialSlot {
 		if h.Partial.CompareAndSwap(descIdx, 0) { // line 1
-			a.descs.retire(descIdx) // line 2
+			a.descs.Retire(t.stripe(), descIdx) // line 2
 			return
 		}
 		for i := range h.extraPartial {
 			if h.extraPartial[i].CompareAndSwap(descIdx, 0) {
-				a.descs.retire(descIdx)
+				a.descs.Retire(t.stripe(), descIdx)
 				return
 			}
 		}
 	}
-	a.listRemoveEmptyDesc(h.sc) // line 3
+	t.listRemoveEmptyDesc(h.sc) // line 3
 }
 
 // listRemoveEmptyDesc is the FIFO-list variant of ListRemoveEmptyDesc
@@ -211,7 +223,8 @@ func (t *Thread) removeEmptyDesc(heapID, descIdx uint64) {
 // descriptors per call bounds the empty fraction of the list at one
 // half. The goal is only that empty descriptors are *eventually*
 // recycled, not that this particular one is removed now.
-func (a *Allocator) listRemoveEmptyDesc(sc *scState) {
+func (t *Thread) listRemoveEmptyDesc(sc *scState) {
+	a := t.a
 	for moved := 0; moved < 2; {
 		descIdx, ok := sc.partial.Get()
 		if !ok {
@@ -219,10 +232,10 @@ func (a *Allocator) listRemoveEmptyDesc(sc *scState) {
 		}
 		desc := a.desc(descIdx)
 		if atomicx.UnpackAnchor(desc.Anchor.Load()).State == atomicx.StateEmpty {
-			a.descs.retire(descIdx)
+			a.descs.Retire(t.stripe(), descIdx)
 			return
 		}
-		sc.partial.Put(descIdx)
+		t.listPutPartial(sc, descIdx)
 		moved++
 	}
 }

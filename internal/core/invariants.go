@@ -60,11 +60,29 @@ func (a *Allocator) CheckInvariants(expectLive int64) error {
 		}
 	}
 
+	// Descriptor-pool accounting: every index in [First, Limit) was
+	// carved by grow, so the pool's allocated counter must cover the
+	// range exactly; the freelist walk must agree with the retired
+	// counter; and a freelisted descriptor must be EMPTY (or never
+	// initialized) — a live superblock's descriptor can never be on a
+	// freelist stripe.
+	freeDescs := a.descs.FreeIndices()
+	limit := a.descs.Limit()
+	if got, want := a.descs.Allocated(), limit-a.descs.First(); got != want {
+		return fmt.Errorf("desc pool: allocated counter %d, index range holds %d", got, want)
+	}
+	if got, want := uint64(len(freeDescs)), a.descs.Retired(); got != want {
+		return fmt.Errorf("desc pool: freelist stripes hold %d descriptors, retired counter says %d", got, want)
+	}
+
 	var totalAllocated int64
-	limit := a.descs.nextIdx.Load()
 	for idx := uint64(descChunk); idx < limit; idx++ {
 		desc := a.desc(idx)
 		anchor := atomicx.UnpackAnchor(desc.Anchor.Load())
+		if freeDescs[idx] && desc.MaxCount() != 0 && anchor.State != atomicx.StateEmpty {
+			return fmt.Errorf("desc %d is on the freelist in state %s",
+				idx, atomicx.StateName(anchor.State))
+		}
 		if desc.MaxCount() == 0 {
 			continue // never initialized
 		}
@@ -167,4 +185,4 @@ func (a *Allocator) walkFreeList(idx uint64, desc *Descriptor, anchor atomicx.An
 
 // DescriptorCount returns how many descriptors have ever been created
 // (diagnostics).
-func (a *Allocator) DescriptorCount() uint64 { return a.descs.allocated.Load() }
+func (a *Allocator) DescriptorCount() uint64 { return a.descs.Allocated() }

@@ -263,7 +263,7 @@ retry:
 		oa := atomicx.UnpackAnchor(oldWord)
 		if oa.State == atomicx.StateEmpty {
 			t.ops.emptyPartialSkips.Add(1)
-			a.descs.retire(descIdx) // line 6
+			a.descs.Retire(t.stripe(), descIdx) // line 6
 			goto retry
 		}
 		// oa.State must be PARTIAL and oa.Count > 0.
@@ -353,11 +353,16 @@ func (t *Thread) mallocFromNewSB(h *ProcHeap) (mem.Ptr, error) {
 	a := t.a
 	cls := h.sc.class
 
-	descIdx := a.descs.alloc() // line 1
+	descIdx, err := a.descs.Alloc(t.stripe()) // line 1
+	if err != nil {
+		// Descriptor table exhausted: surface it through malloc's
+		// existing error path instead of crashing.
+		return 0, err
+	}
 	desc := a.desc(descIdx)
 	sb, err := t.allocSB(cls.SBWords) // line 2
 	if err != nil {
-		a.descs.retire(descIdx)
+		a.descs.Retire(t.stripe(), descIdx)
 		return 0, err
 	}
 
@@ -430,7 +435,7 @@ func (t *Thread) mallocFromNewSB(h *ProcHeap) (mem.Ptr, error) {
 	// surface) see a retired descriptor, not a live superblock.
 	desc.Anchor.Store(atomicx.Anchor{State: atomicx.StateEmpty, Tag: anchor.Tag + 1}.Pack())
 	a.freeSB(sb, cls.SBWords)
-	a.descs.retire(descIdx)
+	a.descs.Retire(t.stripe(), descIdx)
 	t.ops.newSBRaceLoss.Add(1)
 	if t.rec != nil {
 		t.rec.Note(telemetry.EvRaceLoss, cls.Index, uint64(sb))

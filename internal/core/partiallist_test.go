@@ -4,15 +4,27 @@ import (
 	"testing"
 
 	"repro/internal/atomicx"
-
+	"repro/internal/partial"
 	"repro/internal/sizeclass"
 )
+
+// mustPut inserts into a partial list, failing the test on pool
+// exhaustion (impossible at test scale).
+func mustPut(t *testing.T, l partial.List, v uint64) {
+	t.Helper()
+	if err := l.Put(v); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // mkDesc manufactures a descriptor with a real superblock in the given
 // state (test-only; bypasses the malloc paths).
 func mkDesc(t *testing.T, a *Allocator, state uint64) uint64 {
 	t.Helper()
-	idx := a.descs.alloc()
+	idx, err := a.descs.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	d := a.desc(idx)
 	cls := sizeclass.ByIndex(0)
 	sb, _, err := a.heap.AllocRegion(cls.SBWords)
@@ -45,10 +57,10 @@ func TestListRemoveEmptyDescRetiresHead(t *testing.T) {
 	a := New(testConfig())
 	sc := &a.classes[0]
 	empty := mkDesc(t, a, atomicx.StateEmpty)
-	sc.partial.Put(empty)
-	before := a.descs.retired.Load()
-	a.listRemoveEmptyDesc(sc)
-	if got := a.descs.retired.Load(); got != before+1 {
+	mustPut(t, sc.partial, empty)
+	before := a.descs.Retired()
+	a.Thread().listRemoveEmptyDesc(sc)
+	if got := a.descs.Retired(); got != before+1 {
 		t.Errorf("retired count %d -> %d, want +1", before, got)
 	}
 	if sc.partial.Len() != 0 {
@@ -64,9 +76,9 @@ func TestListRemoveEmptyDescSkipsNonEmpty(t *testing.T) {
 	sc := &a.classes[0]
 	partial := mkDesc(t, a, atomicx.StatePartial)
 	empty := mkDesc(t, a, atomicx.StateEmpty)
-	sc.partial.Put(partial)
-	sc.partial.Put(empty)
-	a.listRemoveEmptyDesc(sc)
+	mustPut(t, sc.partial, partial)
+	mustPut(t, sc.partial, empty)
+	a.Thread().listRemoveEmptyDesc(sc)
 	// The partial descriptor must still be in the list; the empty one
 	// must be gone.
 	v, ok := sc.partial.Get()
@@ -88,9 +100,9 @@ func TestListRemoveEmptyDescBoundedWork(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		d := mkDesc(t, a, atomicx.StatePartial)
 		descs = append(descs, d)
-		sc.partial.Put(d)
+		mustPut(t, sc.partial, d)
 	}
-	a.listRemoveEmptyDesc(sc)
+	a.Thread().listRemoveEmptyDesc(sc)
 	if got := sc.partial.Len(); got != 5 {
 		t.Errorf("list length = %d, want 5 (nothing removed)", got)
 	}
@@ -149,7 +161,7 @@ func TestHeapGetPartialPrefersSlot(t *testing.T) {
 	h := &sc.heaps[0]
 	inList := mkDesc(t, a, atomicx.StatePartial)
 	inSlot := mkDesc(t, a, atomicx.StatePartial)
-	sc.partial.Put(inList)
+	mustPut(t, sc.partial, inList)
 	h.Partial.Store(inSlot)
 	if got := th.heapGetPartial(h); got != inSlot {
 		t.Errorf("got %d, want slot desc %d", got, inSlot)

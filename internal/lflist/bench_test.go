@@ -6,12 +6,12 @@ import "testing"
 func BenchmarkInsertDelete(b *testing.B) {
 	l := New()
 	for k := uint64(1); k <= 64; k += 2 {
-		l.Insert(k)
+		mustInsert(l, k)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := uint64(i%32)*2 + 2 // even keys churn among odd residents
-		l.Insert(k)
+		mustInsert(l, k)
 		l.Delete(k)
 	}
 }
@@ -20,7 +20,7 @@ func BenchmarkInsertDelete(b *testing.B) {
 func BenchmarkContains(b *testing.B) {
 	l := New()
 	for k := uint64(1); k <= 1000; k++ {
-		l.Insert(k)
+		mustInsert(l, k)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -34,7 +34,7 @@ func BenchmarkParallelChurn(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		k := uint64(1)
 		for pb.Next() {
-			l.Insert(k)
+			mustInsert(l, k)
 			l.Delete(k)
 			k = k%64 + 1
 		}

@@ -6,20 +6,31 @@
 // The paper's §3.2.6 names this structure as the LIFO-variant
 // partial-list manager, and §5 names list-based sets and hash tables
 // among the lock-free structures that the allocator's techniques make
-// "completely dynamic": nodes here are recycled through a freelist
-// (not leaked, not GC-dependent), with the ABA problem on node reuse
-// prevented by version tags on every link word — the same discipline
-// as the allocator's own descriptor lists.
+// "completely dynamic": nodes here are recycled through the shared
+// internal/pool freelist (not leaked, not GC-dependent), with the ABA
+// problem on node reuse prevented by version tags on every link word —
+// the same discipline as the allocator's own descriptor lists.
 //
-// Link-word encoding: idx:40 | mark:1 | tag:23. The mark bit is
+// Live link-word encoding: idx:40 | mark:1 | tag:23. The mark bit is
 // Harris/Michael logical deletion: a marked link means the node
 // holding it is deleted and must be physically unlinked by the next
 // traversal. Because mark and successor share one word, deletion
 // commits with a single CAS.
+//
+// A node's one link word serves both as its live list link (the
+// encoding above) and, while the node is retired, as the pool's
+// freelist link (a packed atomicx.Tagged: idx:40 | tag:24). The
+// encodings place their tags at different shifts, but every store at a
+// link word — list CAS, pool push, insert re-link — strictly increases
+// the word's bits above the index field until tag wraparound, so no
+// word value can recur across a free/reallocate cycle and the
+// validation CASes stay ABA-safe under either decoding.
 package lflist
 
 import (
 	"sync/atomic"
+
+	"repro/internal/pool"
 )
 
 const (
@@ -43,91 +54,48 @@ func unpack(w uint64) (idx uint64, marked bool, tag uint64) {
 
 const (
 	chunkLog2 = 8
-	chunkSize = 1 << chunkLog2
-	chunkMask = chunkSize - 1
 	maxChunks = 1 << 16
 )
 
 type node struct {
 	key  atomic.Uint64
-	next atomic.Uint64 // packed (idx, mark, tag)
+	next atomic.Uint64 // packed (idx, mark, tag); pool freelist word when retired
 }
+
+// PoolNext exposes the link word to the pool's freelist.
+func (n *node) PoolNext() *atomic.Uint64 { return &n.next }
 
 // List is a sorted lock-free set of uint64 keys.
 type List struct {
 	head atomic.Uint64 // packed link to the first node (never marked)
 
-	chunks  []atomic.Pointer[[]node]
-	nextIdx atomic.Uint64
-	free    atomic.Uint64 // tagged freelist head (reuses the link word)
+	pool *pool.Pool[node, *node]
 
 	size atomic.Int64
 }
 
 // New creates an empty list.
 func New() *List {
-	l := &List{chunks: make([]atomic.Pointer[[]node], maxChunks)}
-	l.nextIdx.Store(chunkSize) // reserve index 0 as nil
-	return l
+	return &List{pool: pool.New[node, *node](pool.Config{
+		ChunkLog2: chunkLog2,
+		MaxChunks: maxChunks,
+	})}
 }
 
-func (l *List) node(idx uint64) *node {
-	cp := l.chunks[idx>>chunkLog2].Load()
-	return &(*cp)[idx&chunkMask]
-}
+func (l *List) node(idx uint64) *node { return l.pool.Get(idx) }
 
-func (l *List) allocNode(key uint64) uint64 {
-	for {
-		oldHead := l.free.Load()
-		idx, _, tag := unpack(oldHead)
-		if idx != 0 {
-			next, _, _ := unpack(l.node(idx).next.Load())
-			if l.free.CompareAndSwap(oldHead, pack(next, false, tag+1)) {
-				l.node(idx).key.Store(key)
-				return idx
-			}
-			continue
-		}
-		base := l.nextIdx.Add(chunkSize) - chunkSize
-		ci := base >> chunkLog2
-		if ci >= maxChunks {
-			panic("lflist: node pool exhausted")
-		}
-		s := make([]node, chunkSize)
-		for i := range s {
-			n := base + uint64(i) + 1
-			if i == len(s)-1 {
-				n = 0
-			}
-			s[i].next.Store(pack(n, false, 0))
-		}
-		if !l.chunks[ci].CompareAndSwap(nil, &s) {
-			panic("lflist: chunk slot already populated")
-		}
-		rest, _, _ := unpack(l.node(base).next.Load())
-		if l.free.CompareAndSwap(oldHead, pack(rest, false, tag+1)) {
-			l.node(base).key.Store(key)
-			return base
-		}
-		// Lost the install race: donate the whole fresh chain.
-		l.freeChain(base, base+chunkSize-1)
+// allocNode produces a node holding key, or a wrapped pool.ErrExhausted
+// when the node pool's chunk table is full.
+func (l *List) allocNode(key uint64) (uint64, error) {
+	idx, err := l.pool.Alloc(0)
+	if err != nil {
+		return 0, err
 	}
+	l.node(idx).key.Store(key)
+	return idx, nil
 }
 
-func (l *List) freeNode(idx uint64) { l.freeChain(idx, idx) }
-
-func (l *List) freeChain(first, last uint64) {
-	for {
-		oldHead := l.free.Load()
-		hIdx, _, tag := unpack(oldHead)
-		ln := l.node(last)
-		_, _, ltag := unpack(ln.next.Load())
-		ln.next.Store(pack(hIdx, false, ltag+1))
-		if l.free.CompareAndSwap(oldHead, pack(first, false, tag+1)) {
-			return
-		}
-	}
-}
+func (l *List) freeNode(idx uint64) { l.pool.Retire(0, idx) }
 
 // position is a validated (prev link word, current node) cursor.
 type position struct {
@@ -190,33 +158,37 @@ retry:
 	}
 }
 
-// Insert adds k; it returns false if k was already present.
-func (l *List) Insert(k uint64) bool {
-	_, inserted := l.insertFrom(&l.head, k)
-	return inserted
+// Insert adds k; inserted is false if k was already present. The only
+// error is a wrapped pool.ErrExhausted.
+func (l *List) Insert(k uint64) (inserted bool, err error) {
+	_, inserted, err = l.insertFrom(&l.head, k)
+	return inserted, err
 }
 
 // insertFrom inserts k starting the search at the given link word and
 // returns the index of k's node (fresh or pre-existing) plus whether
 // this call inserted it.
-func (l *List) insertFrom(start *atomic.Uint64, k uint64) (uint64, bool) {
+func (l *List) insertFrom(start *atomic.Uint64, k uint64) (uint64, bool, error) {
 	for {
 		pos := l.findFrom(start, k)
 		if pos.cur != 0 && l.node(pos.cur).key.Load() == k {
 			// Re-validate the snapshot before reporting "present".
 			if pos.prev.Load() == pos.prevW {
-				return pos.cur, false
+				return pos.cur, false, nil
 			}
 			continue
 		}
-		n := l.allocNode(k)
+		n, err := l.allocNode(k)
+		if err != nil {
+			return 0, false, err
+		}
 		nn := l.node(n)
 		_, _, ntag := unpack(nn.next.Load())
 		nn.next.Store(pack(pos.cur, false, ntag+1))
 		_, _, ptag := unpack(pos.prevW)
 		if pos.prev.CompareAndSwap(pos.prevW, pack(n, false, ptag+1)) {
 			l.size.Add(1)
-			return n, true
+			return n, true, nil
 		}
 		l.freeNode(n)
 	}
@@ -274,11 +246,11 @@ func (l *List) LinkOf(idx uint64) *atomic.Uint64 { return &l.node(idx).next }
 
 // InsertHead inserts k searching from the list head and returns the
 // node index and whether this call inserted it.
-func (l *List) InsertHead(k uint64) (uint64, bool) { return l.insertFrom(&l.head, k) }
+func (l *List) InsertHead(k uint64) (uint64, bool, error) { return l.insertFrom(&l.head, k) }
 
 // InsertFrom inserts k searching from the given link word (see
 // LinkOf) and returns the node index and whether this call inserted it.
-func (l *List) InsertFrom(start *atomic.Uint64, k uint64) (uint64, bool) {
+func (l *List) InsertFrom(start *atomic.Uint64, k uint64) (uint64, bool, error) {
 	return l.insertFrom(start, k)
 }
 

@@ -21,12 +21,22 @@ func TestEmptyList(t *testing.T) {
 	}
 }
 
+// mustInsert is Insert failing the test process on pool exhaustion
+// (impossible at test scale).
+func mustInsert(l *List, k uint64) bool {
+	ok, err := l.Insert(k)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
 func TestInsertContainsDelete(t *testing.T) {
 	l := New()
-	if !l.Insert(10) {
+	if !mustInsert(l, 10) {
 		t.Fatal("insert 10")
 	}
-	if l.Insert(10) {
+	if mustInsert(l, 10) {
 		t.Fatal("duplicate insert succeeded")
 	}
 	if !l.Contains(10) {
@@ -50,7 +60,7 @@ func TestSortedOrder(t *testing.T) {
 	l := New()
 	keys := []uint64{50, 10, 40, 20, 30, 60, 5}
 	for _, k := range keys {
-		l.Insert(k)
+		mustInsert(l, k)
 	}
 	snap := l.Snapshot()
 	if len(snap) != len(keys) {
@@ -64,7 +74,7 @@ func TestSortedOrder(t *testing.T) {
 func TestDeleteMiddleAndEnds(t *testing.T) {
 	l := New()
 	for k := uint64(1); k <= 5; k++ {
-		l.Insert(k)
+		mustInsert(l, k)
 	}
 	for _, k := range []uint64{3, 1, 5} { // middle, head, tail
 		if !l.Delete(k) {
@@ -80,16 +90,16 @@ func TestDeleteMiddleAndEnds(t *testing.T) {
 func TestNodeRecycling(t *testing.T) {
 	l := New()
 	for i := 0; i < 10; i++ {
-		l.Insert(uint64(i + 1))
+		mustInsert(l, uint64(i + 1))
 		l.Delete(uint64(i + 1))
 	}
-	before := l.nextIdx.Load()
+	before := l.pool.Limit()
 	for i := 0; i < 10000; i++ {
 		k := uint64(i%7 + 1)
-		l.Insert(k)
+		mustInsert(l, k)
 		l.Delete(k)
 	}
-	if after := l.nextIdx.Load(); after != before {
+	if after := l.pool.Limit(); after != before {
 		t.Errorf("pool grew %d -> %d under steady churn; nodes not recycled", before, after)
 	}
 }
@@ -104,7 +114,7 @@ func TestConcurrentDisjointInserts(t *testing.T) {
 		go func(g uint64) {
 			defer wg.Done()
 			for i := uint64(0); i < perG; i++ {
-				if !l.Insert(g*perG + i + 1) {
+				if !mustInsert(l, g*perG + i + 1) {
 					t.Errorf("disjoint insert failed")
 					return
 				}
@@ -137,7 +147,7 @@ func TestConcurrentInsertDeleteSameKeys(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				k := uint64(rng.Intn(16) + 1)
 				if rng.Intn(2) == 0 {
-					if l.Insert(k) {
+					if mustInsert(l, k) {
 						inserts.Add(1)
 					}
 				} else {
@@ -171,7 +181,7 @@ func TestConcurrentContains(t *testing.T) {
 	// find them while writers churn the other keys.
 	l := New()
 	for k := uint64(3); k <= 300; k += 3 {
-		l.Insert(k)
+		mustInsert(l, k)
 	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -190,7 +200,7 @@ func TestConcurrentContains(t *testing.T) {
 				if k%3 == 0 {
 					continue
 				}
-				l.Insert(k)
+				mustInsert(l, k)
 				l.Delete(k)
 			}
 		}(int64(g) + 9)
@@ -223,7 +233,7 @@ func TestConcurrentContains(t *testing.T) {
 func TestLenTracksMutations(t *testing.T) {
 	l := New()
 	for k := uint64(1); k <= 100; k++ {
-		l.Insert(k)
+		mustInsert(l, k)
 	}
 	if l.Len() != 100 {
 		t.Errorf("Len = %d", l.Len())

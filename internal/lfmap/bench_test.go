@@ -6,12 +6,12 @@ import "testing"
 func BenchmarkInsertDelete(b *testing.B) {
 	m := New()
 	for k := uint64(1); k <= 4096; k++ {
-		m.Insert(k)
+		mustInsert(m, k)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := uint64(i%4096) + 5000
-		m.Insert(k)
+		mustInsert(m, k)
 		m.Delete(k)
 	}
 }
@@ -21,7 +21,7 @@ func BenchmarkInsertDelete(b *testing.B) {
 func BenchmarkContains(b *testing.B) {
 	m := New()
 	for k := uint64(1); k <= 100000; k++ {
-		m.Insert(k)
+		mustInsert(m, k)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -33,12 +33,12 @@ func BenchmarkContains(b *testing.B) {
 func BenchmarkParallelChurn(b *testing.B) {
 	m := New()
 	for k := uint64(1); k <= 1024; k++ {
-		m.Insert(k)
+		mustInsert(m, k)
 	}
 	b.RunParallel(func(pb *testing.PB) {
 		k := uint64(1)
 		for pb.Next() {
-			m.Insert(k + 2000)
+			mustInsert(m, k + 2000)
 			m.Contains(k)
 			m.Delete(k + 2000)
 			k = k%1024 + 1

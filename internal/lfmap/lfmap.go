@@ -52,7 +52,10 @@ func New() *Map {
 	m.buckets[0].Store(&seg)
 	m.size.Store(2)
 	// Bucket 0's dummy anchors the whole list.
-	idx, _ := m.list.InsertHead(dummyKey(0))
+	idx, _, err := m.list.InsertHead(dummyKey(0))
+	if err != nil {
+		panic(err) // a fresh list's pool cannot be exhausted
+	}
 	seg[0].Store(idx)
 	return m
 }
@@ -85,36 +88,62 @@ func parent(b uint64) uint64 {
 
 // bucketStart returns the traversal-start link of bucket b,
 // initializing the bucket (and, recursively, its ancestors) on first
-// touch.
-func (m *Map) bucketStart(b uint64) *atomic.Uint64 {
+// touch. The only error is a wrapped pool.ErrExhausted from dummy-node
+// allocation.
+func (m *Map) bucketStart(b uint64) (*atomic.Uint64, error) {
 	slot := m.bucketSlot(b)
 	if idx := slot.Load(); idx != 0 {
-		return m.list.LinkOf(idx)
+		return m.list.LinkOf(idx), nil
 	}
 	// Initialize: insert b's dummy starting from the parent bucket.
-	var startLink *atomic.Uint64
 	if b == 0 {
 		panic("lfmap: bucket 0 must be initialized at construction")
 	}
-	startLink = m.bucketStart(parent(b))
-	idx, _ := m.list.InsertFrom(startLink, dummyKey(b))
+	startLink, err := m.bucketStart(parent(b))
+	if err != nil {
+		return nil, err
+	}
+	idx, _, err := m.list.InsertFrom(startLink, dummyKey(b))
+	if err != nil {
+		return nil, err
+	}
 	// Publish (racers may have published the same pre-existing dummy).
 	slot.CompareAndSwap(0, idx)
-	return m.list.LinkOf(slot.Load())
+	return m.list.LinkOf(slot.Load()), nil
 }
 
-func (m *Map) bucketOf(k uint64) *atomic.Uint64 {
+func (m *Map) bucketOf(k uint64) (*atomic.Uint64, error) {
 	return m.bucketStart(k & (m.size.Load() - 1))
 }
 
-// Insert adds k; it returns false if already present.
-func (m *Map) Insert(k uint64) bool {
+// bucketOrAncestor is bucketOf for operations that cannot report an
+// error (Contains, Delete): when a dummy node cannot be allocated, the
+// traversal degrades to the nearest initialized ancestor bucket —
+// bucket 0 always exists — trading a longer walk for correctness.
+func (m *Map) bucketOrAncestor(k uint64) *atomic.Uint64 {
+	b := k & (m.size.Load() - 1)
+	for {
+		start, err := m.bucketStart(b)
+		if err == nil {
+			return start
+		}
+		b = parent(b)
+	}
+}
+
+// Insert adds k; inserted is false if already present. The only error
+// is a wrapped pool.ErrExhausted when the list's node pool is full.
+func (m *Map) Insert(k uint64) (inserted bool, err error) {
 	if k > MaxKey {
 		panic("lfmap: key exceeds 63 bits")
 	}
-	_, inserted := m.list.InsertFrom(m.bucketOf(k), regularKey(k))
-	if !inserted {
-		return false
+	start, err := m.bucketOf(k)
+	if err != nil {
+		return false, err
+	}
+	_, inserted, err = m.list.InsertFrom(start, regularKey(k))
+	if err != nil || !inserted {
+		return false, err
 	}
 	n := m.count.Add(1)
 	// Double the bucket count when the load factor is exceeded.
@@ -125,7 +154,7 @@ func (m *Map) Insert(k uint64) bool {
 		}
 		m.size.CompareAndSwap(size, size*2)
 	}
-	return true
+	return true, nil
 }
 
 // Delete removes k; it returns false if absent.
@@ -133,7 +162,7 @@ func (m *Map) Delete(k uint64) bool {
 	if k > MaxKey {
 		panic("lfmap: key exceeds 63 bits")
 	}
-	if !m.list.DeleteFrom(m.bucketOf(k), regularKey(k)) {
+	if !m.list.DeleteFrom(m.bucketOrAncestor(k), regularKey(k)) {
 		return false
 	}
 	m.count.Add(-1)
@@ -145,7 +174,7 @@ func (m *Map) Contains(k uint64) bool {
 	if k > MaxKey {
 		panic("lfmap: key exceeds 63 bits")
 	}
-	return m.list.ContainsFrom(m.bucketOf(k), regularKey(k))
+	return m.list.ContainsFrom(m.bucketOrAncestor(k), regularKey(k))
 }
 
 // Len returns a racy item-count estimate.

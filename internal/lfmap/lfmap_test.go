@@ -10,15 +10,25 @@ import (
 	"testing/quick"
 )
 
+// mustInsert is Insert failing the test process on pool exhaustion
+// (impossible at test scale).
+func mustInsert(m *Map, k uint64) bool {
+	ok, err := m.Insert(k)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
 func TestBasic(t *testing.T) {
 	m := New()
 	if m.Contains(7) {
 		t.Fatal("empty map contains 7")
 	}
-	if !m.Insert(7) {
+	if !mustInsert(m, 7) {
 		t.Fatal("insert 7")
 	}
-	if m.Insert(7) {
+	if mustInsert(m, 7) {
 		t.Fatal("duplicate insert")
 	}
 	if !m.Contains(7) {
@@ -36,7 +46,7 @@ func TestManyKeysAcrossResizes(t *testing.T) {
 	m := New()
 	const n = 10000
 	for k := uint64(1); k <= n; k++ {
-		if !m.Insert(k) {
+		if !mustInsert(m, k) {
 			t.Fatalf("insert %d", k)
 		}
 	}
@@ -73,7 +83,7 @@ func TestSparseKeys(t *testing.T) {
 		keys = append(keys, i<<32|5)
 	}
 	for _, k := range keys {
-		if !m.Insert(k) {
+		if !mustInsert(m, k) {
 			t.Fatalf("insert %#x", k)
 		}
 	}
@@ -86,7 +96,7 @@ func TestSparseKeys(t *testing.T) {
 
 func TestMaxKeyBoundary(t *testing.T) {
 	m := New()
-	if !m.Insert(MaxKey) {
+	if !mustInsert(m, MaxKey) {
 		t.Fatal("insert MaxKey")
 	}
 	if !m.Contains(MaxKey) {
@@ -97,7 +107,7 @@ func TestMaxKeyBoundary(t *testing.T) {
 			t.Error("key > MaxKey accepted")
 		}
 	}()
-	m.Insert(MaxKey + 1)
+	mustInsert(m, MaxKey + 1)
 }
 
 func TestKeysRoundTrip(t *testing.T) {
@@ -105,7 +115,7 @@ func TestKeysRoundTrip(t *testing.T) {
 	want := []uint64{3, 1, 4, 1 << 40, 9, 2, 6}
 	inserted := 0
 	for _, k := range want {
-		if m.Insert(k) {
+		if mustInsert(m, k) {
 			inserted++
 		}
 	}
@@ -158,7 +168,7 @@ func TestConcurrentDisjoint(t *testing.T) {
 			defer wg.Done()
 			for i := uint64(0); i < perG; i++ {
 				k := g*perG + i + 1
-				if !m.Insert(k) {
+				if !mustInsert(m, k) {
 					t.Errorf("insert %d", k)
 					return
 				}
@@ -194,7 +204,7 @@ func TestConcurrentChurnConservation(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				k := uint64(rng.Intn(64) + 1)
 				if rng.Intn(2) == 0 {
-					if m.Insert(k) {
+					if mustInsert(m, k) {
 						inserts.Add(1)
 					}
 				} else {
@@ -226,14 +236,14 @@ func TestStableReadersDuringResize(t *testing.T) {
 	m := New()
 	stable := []uint64{100001, 200002, 300003, 400004}
 	for _, k := range stable {
-		m.Insert(k)
+		mustInsert(m, k)
 	}
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() { // writer driving resizes
 		defer wg.Done()
 		for k := uint64(1); k <= 20000; k++ {
-			m.Insert(k)
+			mustInsert(m, k)
 		}
 	}()
 	for r := 0; r < 2; r++ {

@@ -6,17 +6,19 @@
 // optimized memory management" — queue nodes are allocated from a
 // private pool "in a manner similar but simpler than allocating
 // descriptors", and ABA on the pointer-sized head/tail is prevented
-// without a general-purpose allocator. This package reproduces that:
-// nodes live at stable indices in a chunked pool, head/tail/next are
-// packed (index, tag) words, and freed nodes are recycled through a
-// tagged freelist. The LIFO alternative (a Treiber stack) is also
-// provided for the ablation benchmark.
+// without a general-purpose allocator. This package reproduces that
+// over the shared pool layer: nodes live at stable indices in an
+// internal/pool chunked pool, head/tail/next are packed (index, tag)
+// words, and freed nodes are recycled through the pool's tagged
+// freelist. The LIFO alternative (a Treiber stack) is also provided
+// for the ablation benchmark.
 package partial
 
 import (
 	"sync/atomic"
 
 	"repro/internal/atomicx"
+	"repro/internal/pool"
 	"repro/internal/telemetry"
 )
 
@@ -24,8 +26,10 @@ import (
 // stores non-zero uint64 values (descriptor indices). All operations
 // are lock-free.
 type List interface {
-	// Put inserts a descriptor index (ListPutPartial).
-	Put(v uint64)
+	// Put inserts a descriptor index (ListPutPartial). The only error
+	// is a wrapped pool.ErrExhausted when the node pool's chunk table
+	// is full.
+	Put(v uint64) error
 	// Get removes and returns a descriptor index, or ok=false if the
 	// list is observed empty (ListGetPartial).
 	Get() (v uint64, ok bool)
@@ -38,197 +42,81 @@ type List interface {
 
 const (
 	nodeChunkLog2 = 8
-	nodeChunk     = 1 << nodeChunkLog2
-	nodeChunkMask = nodeChunk - 1
 	maxNodeChunks = 1 << 16
 )
 
 type node struct {
 	value atomic.Uint64
-	next  atomic.Uint64 // packed (index, tag)
+	next  atomic.Uint64 // packed (index, tag): queue link and pool freelist word
 }
 
-// pool is the node pool: chunked storage plus a tagged freelist,
-// mirroring the descriptor allocator but without per-node metadata.
-type pool struct {
-	chunks  []atomic.Pointer[[]node]
-	nextIdx atomic.Uint64
-	free    atomic.Uint64 // packed (index, tag) freelist head
+// PoolNext exposes the link word to the pool's freelist.
+func (n *node) PoolNext() *atomic.Uint64 { return &n.next }
+
+type nodePool = pool.Pool[node, *node]
+
+func newPool() *nodePool {
+	return pool.New[node, *node](pool.Config{
+		ChunkLog2: nodeChunkLog2,
+		MaxChunks: maxNodeChunks,
+	})
 }
 
-func newPool() *pool {
-	p := &pool{chunks: make([]atomic.Pointer[[]node], maxNodeChunks)}
-	p.nextIdx.Store(nodeChunk) // reserve chunk 0 so index 0 is never used
-	return p
-}
+// backend adapts the node pool to pool.Backend for the generic FIFO.
+type backend struct{ p *nodePool }
 
-func (p *pool) node(idx uint64) *node {
-	cp := p.chunks[idx>>nodeChunkLog2].Load()
-	return &(*cp)[idx&nodeChunkMask]
-}
-
-func (p *pool) alloc() uint64 {
-	for {
-		oldHead := p.free.Load()
-		h := atomicx.UnpackTagged(oldHead)
-		if h.Idx != 0 {
-			next := atomicx.UnpackTagged(p.node(h.Idx).next.Load()).Idx
-			newHead := atomicx.Tagged{Idx: next, Tag: h.Tag + 1}.Pack()
-			if p.free.CompareAndSwap(oldHead, newHead) {
-				return h.Idx
-			}
-			continue
-		}
-		first := p.grow()
-		rest := atomicx.UnpackTagged(p.node(first).next.Load()).Idx
-		newHead := atomicx.Tagged{Idx: rest, Tag: h.Tag + 1}.Pack()
-		if p.free.CompareAndSwap(oldHead, newHead) {
-			return first
-		}
-		p.pushChain(first, first+nodeChunk-1, nodeChunk)
-	}
-}
-
-func (p *pool) grow() uint64 {
-	base := p.nextIdx.Add(nodeChunk) - nodeChunk
-	ci := base >> nodeChunkLog2
-	if ci >= maxNodeChunks {
-		panic("partial: node pool exhausted")
-	}
-	s := make([]node, nodeChunk)
-	for i := range s {
-		n := base + uint64(i) + 1
-		if i == len(s)-1 {
-			n = 0
-		}
-		s[i].next.Store(atomicx.Tagged{Idx: n}.Pack())
-	}
-	if !p.chunks[ci].CompareAndSwap(nil, &s) {
-		panic("partial: node chunk slot already populated")
-	}
-	return base
-}
-
-func (p *pool) release(idx uint64) { p.pushChain(idx, idx, 1) }
-
-func (p *pool) pushChain(first, last, n uint64) {
-	_ = n
-	for {
-		oldHead := p.free.Load()
-		h := atomicx.UnpackTagged(oldHead)
-		ln := p.node(last)
-		old := atomicx.UnpackTagged(ln.next.Load())
-		ln.next.Store(atomicx.Tagged{Idx: h.Idx, Tag: old.Tag + 1}.Pack())
-		newHead := atomicx.Tagged{Idx: first, Tag: h.Tag + 1}.Pack()
-		if p.free.CompareAndSwap(oldHead, newHead) {
-			return
-		}
-	}
+func (b backend) AllocNode() (uint64, error)     { return b.p.Alloc(0) }
+func (b backend) FreeNode(ref uint64)            { b.p.Retire(0, ref) }
+func (b backend) LoadValue(ref uint64) uint64    { return b.p.Get(ref).value.Load() }
+func (b backend) StoreValue(ref uint64, v uint64) { b.p.Get(ref).value.Store(v) }
+func (b backend) LoadLink(ref uint64) uint64     { return b.p.Get(ref).next.Load() }
+func (b backend) StoreLink(ref uint64, w uint64) { b.p.Get(ref).next.Store(w) }
+func (b backend) CASLink(ref uint64, old, new uint64) bool {
+	return b.p.Get(ref).next.CompareAndSwap(old, new)
 }
 
 // FIFO is the Michael–Scott lock-free queue over the node pool: the
 // paper's preferred partial-list structure, reducing contention and
 // false sharing by spreading reuse over time.
 type FIFO struct {
-	pool *pool
-	head atomic.Uint64 // packed (index, tag)
-	tail atomic.Uint64
-	size atomic.Int64
-	tele atomic.Pointer[telemetry.Stripes]
+	pool *nodePool
+	q    pool.FIFO[backend]
 }
 
 // Instrument implements List.
-func (q *FIFO) Instrument(st *telemetry.Stripes) { q.tele.Store(st) }
+func (q *FIFO) Instrument(st *telemetry.Stripes) {
+	q.q.Instrument(st, telemetry.SitePartialListPut, telemetry.SitePartialListGet)
+}
 
 // NewFIFO creates an empty FIFO list. Multiple FIFO lists may share a
 // process; each owns a private node pool.
 func NewFIFO() *FIFO {
 	q := &FIFO{pool: newPool()}
-	dummy := q.pool.alloc()
-	q.pool.node(dummy).next.Store(atomicx.Tagged{Idx: 0}.Pack())
-	q.head.Store(atomicx.Tagged{Idx: dummy}.Pack())
-	q.tail.Store(atomicx.Tagged{Idx: dummy}.Pack())
+	if err := q.q.Init(backend{q.pool}); err != nil {
+		panic(err) // a fresh pool cannot be exhausted
+	}
 	return q
 }
 
 // Put enqueues v at the tail (ListPutPartial).
-func (q *FIFO) Put(v uint64) {
+func (q *FIFO) Put(v uint64) error {
 	if v == 0 {
 		panic("partial: Put(0)")
 	}
-	n := q.pool.alloc()
-	nd := q.pool.node(n)
-	nd.value.Store(v)
-	old := atomicx.UnpackTagged(nd.next.Load())
-	nd.next.Store(atomicx.Tagged{Idx: 0, Tag: old.Tag + 1}.Pack())
-	for {
-		oldTail := q.tail.Load()
-		t := atomicx.UnpackTagged(oldTail)
-		tn := q.pool.node(t.Idx)
-		oldNext := tn.next.Load()
-		nx := atomicx.UnpackTagged(oldNext)
-		if oldTail != q.tail.Load() {
-			continue
-		}
-		if nx.Idx == 0 {
-			if tn.next.CompareAndSwap(oldNext, atomicx.Tagged{Idx: n, Tag: nx.Tag + 1}.Pack()) {
-				q.tail.CompareAndSwap(oldTail, atomicx.Tagged{Idx: n, Tag: t.Tag + 1}.Pack())
-				q.size.Add(1)
-				return
-			}
-		} else {
-			q.tail.CompareAndSwap(oldTail, atomicx.Tagged{Idx: nx.Idx, Tag: t.Tag + 1}.Pack())
-		}
-		if st := q.tele.Load(); st != nil {
-			st.Retry(telemetry.SitePartialListPut, v)
-		}
-	}
+	return q.q.Enqueue(backend{q.pool}, v)
 }
 
 // Get dequeues from the head (ListGetPartial).
-func (q *FIFO) Get() (uint64, bool) {
-	for {
-		oldHead := q.head.Load()
-		h := atomicx.UnpackTagged(oldHead)
-		oldTail := q.tail.Load()
-		t := atomicx.UnpackTagged(oldTail)
-		next := atomicx.UnpackTagged(q.pool.node(h.Idx).next.Load())
-		if oldHead != q.head.Load() {
-			continue
-		}
-		if h.Idx == t.Idx {
-			if next.Idx == 0 {
-				return 0, false
-			}
-			q.tail.CompareAndSwap(oldTail, atomicx.Tagged{Idx: next.Idx, Tag: t.Tag + 1}.Pack())
-			continue
-		}
-		v := q.pool.node(next.Idx).value.Load()
-		if q.head.CompareAndSwap(oldHead, atomicx.Tagged{Idx: next.Idx, Tag: h.Tag + 1}.Pack()) {
-			q.pool.release(h.Idx)
-			q.size.Add(-1)
-			return v, true
-		}
-		if st := q.tele.Load(); st != nil {
-			st.Retry(telemetry.SitePartialListGet, h.Idx)
-		}
-	}
-}
+func (q *FIFO) Get() (uint64, bool) { return q.q.Dequeue(backend{q.pool}) }
 
 // Len returns a racy size estimate.
-func (q *FIFO) Len() int {
-	n := q.size.Load()
-	if n < 0 {
-		n = 0
-	}
-	return int(n)
-}
+func (q *FIFO) Len() int { return q.q.Len() }
 
 // LIFO is the Treiber-stack alternative partial list (the paper's
 // simpler variant, kept for the FIFO-vs-LIFO ablation). Values are
 // stored in pool nodes, with a tagged head for ABA safety.
 type LIFO struct {
-	pool *pool
+	pool *nodePool
 	head atomic.Uint64 // packed (index, tag)
 	size atomic.Int64
 	tele atomic.Pointer[telemetry.Stripes]
@@ -243,12 +131,15 @@ func NewLIFO() *LIFO {
 }
 
 // Put pushes v.
-func (s *LIFO) Put(v uint64) {
+func (s *LIFO) Put(v uint64) error {
 	if v == 0 {
 		panic("partial: Put(0)")
 	}
-	n := s.pool.alloc()
-	nd := s.pool.node(n)
+	n, err := s.pool.Alloc(0)
+	if err != nil {
+		return err
+	}
+	nd := s.pool.Get(n)
 	nd.value.Store(v)
 	for {
 		oldHead := s.head.Load()
@@ -257,7 +148,7 @@ func (s *LIFO) Put(v uint64) {
 		nd.next.Store(atomicx.Tagged{Idx: h.Idx, Tag: old.Tag + 1}.Pack())
 		if s.head.CompareAndSwap(oldHead, atomicx.Tagged{Idx: n, Tag: h.Tag + 1}.Pack()) {
 			s.size.Add(1)
-			return
+			return nil
 		}
 		if st := s.tele.Load(); st != nil {
 			st.Retry(telemetry.SitePartialListPut, v)
@@ -273,11 +164,11 @@ func (s *LIFO) Get() (uint64, bool) {
 		if h.Idx == 0 {
 			return 0, false
 		}
-		nd := s.pool.node(h.Idx)
+		nd := s.pool.Get(h.Idx)
 		next := atomicx.UnpackTagged(nd.next.Load())
 		if s.head.CompareAndSwap(oldHead, atomicx.Tagged{Idx: next.Idx, Tag: h.Tag + 1}.Pack()) {
 			v := nd.value.Load()
-			s.pool.release(h.Idx)
+			s.pool.Retire(0, h.Idx)
 			s.size.Add(-1)
 			return v, true
 		}

@@ -148,12 +148,12 @@ func TestNodeReuse(t *testing.T) {
 		q.Put(1)
 		q.Get()
 	}
-	before := q.pool.nextIdx.Load()
+	before := q.pool.Limit()
 	for i := 0; i < 10000; i++ {
 		q.Put(1)
 		q.Get()
 	}
-	after := q.pool.nextIdx.Load()
+	after := q.pool.Limit()
 	if after != before {
 		t.Errorf("pool grew from %d to %d under steady-state put/get", before, after)
 	}

@@ -1,0 +1,372 @@
+// Package pool implements the chunked, tagged-index node pool that the
+// paper's substrate re-derives in four places: the descriptor allocator
+// (DescAlloc/DescRetire, Figure 7), the partial-list node pools
+// ("similar but simpler than allocating descriptors", §3.2.6), the
+// ordered-list node freelist, and the producer-consumer queue. One
+// generic implementation replaces all four hand-rolled copies.
+//
+// Nodes live at stable dense indices in a chunked table that only
+// grows; index 0 is reserved as NULL. Retired nodes are recycled
+// through lock-free Treiber freelists whose heads are packed
+// (index:40, tag:24) words (atomicx.Tagged). The paper prevents ABA on
+// DescAvail with hazard pointers (SafeCAS, Figure 7 line 4); because
+// pool nodes live at stable indices and are never unmapped, a wide
+// version tag is an equally safe and simpler choice — see DESIGN.md.
+//
+// Beyond the paper, the freelist head can be striped: each stripe is a
+// cache-padded independent head, callers pick a stripe by thread id,
+// and a dry stripe pulls a sibling's whole chain with one CAS (batched
+// migration, mirroring the region-arena steal path in internal/mem).
+// With Stripes=1 the pool is behaviour-identical to the original
+// single-head DescAvail freelist.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/telemetry"
+)
+
+// ErrExhausted is returned (wrapped) by Alloc when the pool's chunk
+// table is full. Clients surface it through their existing error
+// paths; the previous hand-rolled pools crashed the process instead.
+var ErrExhausted = errors.New("node pool exhausted")
+
+// Node is the hook a pooled type provides: access to the one word the
+// pool uses to link retired nodes. The word holds a packed
+// atomicx.Tagged while the node is on a freelist; clients may reuse it
+// for their own tagged links while the node is live, as long as every
+// store bumps the word's high (tag) bits — tag monotonicity at each
+// word is what makes recycling ABA-safe.
+type Node interface {
+	PoolNext() *atomic.Uint64
+}
+
+// Config parameterizes a Pool.
+type Config struct {
+	// ChunkLog2 is the log2 of nodes per table chunk; a chunk is also
+	// the unit of growth (the paper's DESCSBSIZE).
+	ChunkLog2 uint
+	// MaxChunks bounds the table; Alloc returns ErrExhausted beyond it.
+	MaxChunks uint64
+	// Stripes is the number of independent freelist heads. 0 or 1
+	// selects the paper's single DescAvail word.
+	Stripes int
+	// AllocSite/RetireSite, when telemetry is attached via
+	// SetTelemetry, receive CAS-retry counts for freelist pops and
+	// pushes; MigrateSite counts cross-stripe chain migrations
+	// (events, not retries). All three are ignored until SetTelemetry
+	// is called.
+	AllocSite   telemetry.Site
+	RetireSite  telemetry.Site
+	MigrateSite telemetry.Site
+}
+
+// stripe is one cache-padded freelist head: a packed (index, tag) word.
+type stripe struct {
+	head atomic.Uint64
+	_    [7]uint64
+}
+
+// migrateTestHook, when non-nil, runs after a migration detaches a
+// victim stripe's chain and before it is spliced into the local
+// stripe. Tests use it to force deterministic interleavings; it must
+// only be set while the pool is quiescent.
+var migrateTestHook func(local, victim int)
+
+// Pool is a generic chunked tagged-index pool. T is the node type; PT
+// is *T constrained to expose the link word.
+type Pool[T any, PT interface {
+	*T
+	Node
+}] struct {
+	chunks []atomic.Pointer[[]T]
+
+	// nextIdx is the bump counter for never-used indices; it advances
+	// in whole chunks via CAS (so exhaustion is stable, not a counter
+	// overflow). It starts at one chunk so the chunk containing
+	// reserved index 0 is never handed out and batches stay
+	// chunk-aligned.
+	nextIdx atomic.Uint64
+
+	stripes []stripe
+
+	allocated atomic.Uint64 // nodes ever created (for stats)
+	retired   atomic.Uint64 // nodes currently on freelists
+
+	tele atomic.Pointer[telemetry.Stripes]
+
+	cfg       Config
+	chunkSize uint64
+	chunkMask uint64
+}
+
+// New creates an empty pool.
+func New[T any, PT interface {
+	*T
+	Node
+}](cfg Config) *Pool[T, PT] {
+	if cfg.Stripes < 1 {
+		cfg.Stripes = 1
+	}
+	p := &Pool[T, PT]{
+		chunks:    make([]atomic.Pointer[[]T], cfg.MaxChunks),
+		stripes:   make([]stripe, cfg.Stripes),
+		cfg:       cfg,
+		chunkSize: 1 << cfg.ChunkLog2,
+		chunkMask: 1<<cfg.ChunkLog2 - 1,
+	}
+	p.nextIdx.Store(p.chunkSize)
+	return p
+}
+
+// SetTelemetry attaches (or, with nil, detaches) striped CAS-retry
+// counters recording at the sites named in Config. Safe to call while
+// the pool is in use.
+func (p *Pool[T, PT]) SetTelemetry(st *telemetry.Stripes) { p.tele.Store(st) }
+
+// Get returns the node with the given index, which must have been
+// produced by Alloc.
+func (p *Pool[T, PT]) Get(idx uint64) PT {
+	cp := p.chunks[idx>>p.cfg.ChunkLog2].Load()
+	return PT(&(*cp)[idx&p.chunkMask])
+}
+
+func (p *Pool[T, PT]) link(idx uint64) *atomic.Uint64 {
+	return p.Get(idx).PoolNext()
+}
+
+func (p *Pool[T, PT]) retry(site telemetry.Site, key uint64) {
+	if st := p.tele.Load(); st != nil {
+		st.Retry(site, key)
+	}
+}
+
+func (p *Pool[T, PT]) stripeFor(id int) int {
+	return int(uint64(id) % uint64(len(p.stripes)))
+}
+
+// Alloc pops a retired node from the caller's stripe, migrates a chain
+// from a sibling stripe if the local one is dry, or carves a fresh
+// chunk (DescAlloc, Figure 7). stripe is any non-negative caller
+// identity (typically a thread id); it is reduced modulo the stripe
+// count. Lock-free.
+func (p *Pool[T, PT]) Alloc(stripe int) (uint64, error) {
+	si := p.stripeFor(stripe)
+	s := &p.stripes[si]
+	for {
+		oldHead := s.head.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		if h.Idx != 0 {
+			next := atomicx.UnpackTagged(p.link(h.Idx).Load()).Idx
+			newHead := atomicx.Tagged{Idx: next, Tag: h.Tag + 1}.Pack()
+			// The paper uses SafeCAS (hazard-pointer protected); the
+			// tagged head provides the same ABA safety for
+			// index-addressed nodes.
+			if s.head.CompareAndSwap(oldHead, newHead) {
+				p.retired.Add(^uint64(0))
+				return h.Idx, nil
+			}
+			p.retry(p.cfg.AllocSite, h.Idx)
+			continue
+		}
+		if len(p.stripes) > 1 {
+			if idx, ok := p.migrate(si); ok {
+				return idx, nil
+			}
+		}
+		// All stripes dry: allocate a node superblock (a chunk), take
+		// its first node, and install the rest. The paper frees the
+		// chunk if another thread repopulated the freelist first
+		// (Figure 7 lines 8-9); table chunks cannot be unmapped, so on
+		// that race the loser pushes its whole chain instead — a
+		// bounded over-allocation noted in DESIGN.md.
+		first, err := p.grow()
+		if err != nil {
+			return 0, err
+		}
+		rest := atomicx.UnpackTagged(p.link(first).Load()).Idx
+		atomicx.Fence() // Figure 7 line 7
+		newHead := atomicx.Tagged{Idx: rest, Tag: h.Tag + 1}.Pack()
+		if s.head.CompareAndSwap(oldHead, newHead) {
+			p.retired.Add(p.chunkSize - 1) // the rest of the chunk is now available
+			return first, nil
+		}
+		p.retry(p.cfg.AllocSite, first)
+		p.pushChain(s, first, first+p.chunkSize-1, p.chunkSize)
+	}
+}
+
+// migrate serves a dry stripe by detaching a sibling's entire chain
+// with one CAS — the pool-layer analogue of the region arenas'
+// cross-arena steal. The CAS to (NULL, tag+1) makes the chain
+// exclusively ours, so the walk to find its tail races with nothing;
+// the first node is returned to the caller and the remainder spliced
+// into the local stripe.
+func (p *Pool[T, PT]) migrate(local int) (uint64, bool) {
+	n := len(p.stripes)
+	for off := 1; off < n; off++ {
+		v := local + off
+		if v >= n {
+			v -= n
+		}
+		vs := &p.stripes[v]
+		oldHead := vs.head.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		if h.Idx == 0 {
+			continue
+		}
+		if !vs.head.CompareAndSwap(oldHead, atomicx.Tagged{Idx: 0, Tag: h.Tag + 1}.Pack()) {
+			// Contended victim: move on rather than spin on it.
+			p.retry(p.cfg.AllocSite, h.Idx)
+			continue
+		}
+		if migrateTestHook != nil {
+			migrateTestHook(local, v)
+		}
+		if st := p.tele.Load(); st != nil {
+			// An event count, like region steals, not a CAS retry.
+			st.Retry(p.cfg.MigrateSite, uint64(v))
+		}
+		first := h.Idx
+		rest := atomicx.UnpackTagged(p.link(first).Load()).Idx
+		if rest != 0 {
+			last := rest
+			for {
+				nx := atomicx.UnpackTagged(p.link(last).Load()).Idx
+				if nx == 0 {
+					break
+				}
+				last = nx
+			}
+			// The migrated nodes stay retired; only the node handed to
+			// the caller leaves the freelists, accounted below.
+			p.spliceChain(&p.stripes[local], rest, last)
+		}
+		p.retired.Add(^uint64(0))
+		return first, true
+	}
+	return 0, false
+}
+
+// grow materializes one chunk of fresh nodes linked first→first+1→…→0
+// and returns the first index. The bump is CAS-guarded so exhaustion
+// is stable: a full table keeps returning ErrExhausted instead of
+// advancing the counter.
+func (p *Pool[T, PT]) grow() (uint64, error) {
+	for {
+		base := p.nextIdx.Load()
+		ci := base >> p.cfg.ChunkLog2
+		if ci >= p.cfg.MaxChunks {
+			return 0, fmt.Errorf("pool: %d chunks of %d nodes: %w",
+				p.cfg.MaxChunks, p.chunkSize, ErrExhausted)
+		}
+		if !p.nextIdx.CompareAndSwap(base, base+p.chunkSize) {
+			continue
+		}
+		s := make([]T, p.chunkSize)
+		for i := range s {
+			n := base + uint64(i) + 1
+			if i == len(s)-1 {
+				n = 0
+			}
+			PT(&s[i]).PoolNext().Store(atomicx.Tagged{Idx: n}.Pack())
+		}
+		if !p.chunks[ci].CompareAndSwap(nil, &s) {
+			panic("pool: chunk slot already populated")
+		}
+		p.allocated.Add(p.chunkSize)
+		return base, nil
+	}
+}
+
+// Retire pushes a node onto the caller's stripe (DescRetire, Figure 7).
+// Lock-free.
+func (p *Pool[T, PT]) Retire(stripe int, idx uint64) {
+	p.RetireChain(stripe, idx, idx, 1)
+}
+
+// RetireChain pushes the chain first..last (already linked node to
+// node via packed link words, except last) of n nodes onto the
+// caller's stripe. Lock-free.
+func (p *Pool[T, PT]) RetireChain(stripe int, first, last, n uint64) {
+	p.pushChain(&p.stripes[p.stripeFor(stripe)], first, last, n)
+}
+
+func (p *Pool[T, PT]) pushChain(s *stripe, first, last, n uint64) {
+	p.spliceChain(s, first, last)
+	p.retired.Add(n)
+}
+
+// spliceChain links last to the stripe's head and installs first as
+// the new head, bumping both tags; it does not touch the retired
+// counter (migration moves chains that are already retired).
+func (p *Pool[T, PT]) spliceChain(s *stripe, first, last uint64) {
+	ln := p.link(last)
+	for {
+		oldHead := s.head.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		old := atomicx.UnpackTagged(ln.Load())
+		ln.Store(atomicx.Tagged{Idx: h.Idx, Tag: old.Tag + 1}.Pack())
+		atomicx.Fence() // Figure 7 line 3
+		newHead := atomicx.Tagged{Idx: first, Tag: h.Tag + 1}.Pack()
+		if s.head.CompareAndSwap(oldHead, newHead) {
+			return
+		}
+		p.retry(p.cfg.RetireSite, first)
+	}
+}
+
+// Allocated returns how many nodes have ever been created.
+func (p *Pool[T, PT]) Allocated() uint64 { return p.allocated.Load() }
+
+// Retired returns how many nodes are currently on freelists.
+func (p *Pool[T, PT]) Retired() uint64 { return p.retired.Load() }
+
+// First returns the lowest valid node index (one chunk, since the
+// chunk containing reserved index 0 is never handed out).
+func (p *Pool[T, PT]) First() uint64 { return p.chunkSize }
+
+// Limit returns one past the highest index ever handed out; indices
+// in [First, Limit) are exactly the nodes counted by Allocated.
+func (p *Pool[T, PT]) Limit() uint64 { return p.nextIdx.Load() }
+
+// Stripes returns the number of freelist stripes.
+func (p *Pool[T, PT]) Stripes() int { return len(p.stripes) }
+
+// StripeFree returns the number of retired nodes on each stripe's
+// freelist by walking the chains. The walk races with concurrent
+// Alloc/Retire (each step is bounded, so a torn snapshot can only
+// mis-count, not loop); exact results need a quiescent pool.
+func (p *Pool[T, PT]) StripeFree() []uint64 {
+	out := make([]uint64, len(p.stripes))
+	bound := p.allocated.Load()
+	for i := range p.stripes {
+		idx := atomicx.UnpackTagged(p.stripes[i].head.Load()).Idx
+		var n uint64
+		for idx != 0 && n < bound {
+			n++
+			idx = atomicx.UnpackTagged(p.link(idx).Load()).Idx
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// FreeIndices returns the set of node indices currently on freelists.
+// Quiescent callers only (invariant checkers, tests).
+func (p *Pool[T, PT]) FreeIndices() map[uint64]bool {
+	out := make(map[uint64]bool)
+	bound := p.allocated.Load()
+	for i := range p.stripes {
+		idx := atomicx.UnpackTagged(p.stripes[i].head.Load()).Idx
+		for idx != 0 && uint64(len(out)) <= bound {
+			out[idx] = true
+			idx = atomicx.UnpackTagged(p.link(idx).Load()).Idx
+		}
+	}
+	return out
+}

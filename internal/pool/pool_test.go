@@ -1,0 +1,321 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/atomicx"
+)
+
+// tnode is the test node: a stamp word for ownership checks plus the
+// pool link word.
+type tnode struct {
+	stamp atomic.Uint64
+	next  atomic.Uint64
+}
+
+func (n *tnode) PoolNext() *atomic.Uint64 { return &n.next }
+
+type tpool = Pool[tnode, *tnode]
+
+func newTestPool(cfg Config) *tpool { return New[tnode, *tnode](cfg) }
+
+func mustAlloc(t *testing.T, p *tpool, stripe int) uint64 {
+	t.Helper()
+	idx, err := p.Alloc(stripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestAllocDistinctAndRecycled(t *testing.T) {
+	p := newTestPool(Config{ChunkLog2: 3, MaxChunks: 16})
+	const n = 20 // crosses chunk boundaries (chunk = 8)
+	seen := map[uint64]bool{}
+	idxs := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := mustAlloc(t, p, 0)
+		if idx == 0 {
+			t.Fatal("Alloc returned reserved index 0")
+		}
+		if idx < p.First() || idx >= p.Limit() {
+			t.Fatalf("index %d outside [%d, %d)", idx, p.First(), p.Limit())
+		}
+		if seen[idx] {
+			t.Fatalf("index %d allocated twice", idx)
+		}
+		seen[idx] = true
+		idxs = append(idxs, idx)
+	}
+	if got := p.Allocated() - p.Retired(); got != n {
+		t.Fatalf("live = %d, want %d", got, n)
+	}
+	for _, idx := range idxs {
+		p.Retire(0, idx)
+	}
+	limit := p.Limit()
+	// Steady-state churn must recycle, not grow.
+	for i := 0; i < 10*n; i++ {
+		p.Retire(0, mustAlloc(t, p, 0))
+	}
+	if p.Limit() != limit {
+		t.Fatalf("pool grew %d -> %d under steady churn", limit, p.Limit())
+	}
+}
+
+func TestErrExhaustedTypedAndStable(t *testing.T) {
+	// MaxChunks=2 with the first chunk reserved leaves exactly one
+	// usable chunk of 4 nodes.
+	p := newTestPool(Config{ChunkLog2: 2, MaxChunks: 2})
+	for i := 0; i < 4; i++ {
+		mustAlloc(t, p, 0)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Alloc(0); !errors.Is(err, ErrExhausted) {
+			t.Fatalf("attempt %d: err = %v, want wrapped ErrExhausted", i, err)
+		}
+	}
+	if got := p.Limit(); got != 8 {
+		t.Fatalf("exhaustion advanced the bump counter: Limit = %d, want 8", got)
+	}
+	// Retiring a node makes the pool usable again.
+	p.Retire(0, 4)
+	if idx := mustAlloc(t, p, 0); idx != 4 {
+		t.Fatalf("recycled index = %d, want 4", idx)
+	}
+}
+
+func TestRetireChain(t *testing.T) {
+	p := newTestPool(Config{ChunkLog2: 4, MaxChunks: 4})
+	a, b, c := mustAlloc(t, p, 0), mustAlloc(t, p, 0), mustAlloc(t, p, 0)
+	// Build the chain a -> b -> c by hand, preserving each link's tag.
+	link := func(from, to uint64) {
+		w := p.Get(from).PoolNext()
+		old := atomicx.UnpackTagged(w.Load())
+		w.Store(atomicx.Tagged{Idx: to, Tag: old.Tag + 1}.Pack())
+	}
+	link(a, b)
+	link(b, c)
+	before := p.Retired()
+	p.RetireChain(0, a, c, 3)
+	if got := p.Retired(); got != before+3 {
+		t.Fatalf("retired %d -> %d, want +3", before, got)
+	}
+	// LIFO: the chain head comes back first.
+	for _, want := range []uint64{a, b, c} {
+		if got := mustAlloc(t, p, 0); got != want {
+			t.Fatalf("got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestAccountingInvariant(t *testing.T) {
+	// allocated == live + retired at every quiescent point, across all
+	// stripes, with FreeIndices agreeing exactly.
+	p := newTestPool(Config{ChunkLog2: 3, MaxChunks: 1 << 10, Stripes: 4})
+	live := map[uint64]bool{}
+	rng := uint64(1)
+	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
+	for step := 0; step < 5000; step++ {
+		if next()%2 == 0 || len(live) == 0 {
+			idx := mustAlloc(t, p, int(next()%7))
+			if live[idx] {
+				t.Fatalf("step %d: index %d double-allocated", step, idx)
+			}
+			live[idx] = true
+		} else {
+			for idx := range live {
+				delete(live, idx)
+				p.Retire(int(next()%7), idx)
+				break
+			}
+		}
+	}
+	if got, want := p.Allocated(), uint64(len(live))+p.Retired(); got != want {
+		t.Fatalf("allocated %d != live %d + retired %d", got, len(live), p.Retired())
+	}
+	free := p.FreeIndices()
+	if uint64(len(free)) != p.Retired() {
+		t.Fatalf("freelists hold %d, retired counter %d", len(free), p.Retired())
+	}
+	for idx := range live {
+		if free[idx] {
+			t.Fatalf("live index %d found on a freelist", idx)
+		}
+	}
+	var stripeSum uint64
+	for _, n := range p.StripeFree() {
+		stripeSum += n
+	}
+	if stripeSum != p.Retired() {
+		t.Fatalf("stripe walk sums to %d, retired counter %d", stripeSum, p.Retired())
+	}
+}
+
+func TestStripeMigration(t *testing.T) {
+	p := newTestPool(Config{ChunkLog2: 3, MaxChunks: 16, Stripes: 4})
+	// Stripe 2's first alloc grows a chunk; the 7 leftovers land on
+	// stripe 2.
+	first := mustAlloc(t, p, 2)
+	limit := p.Limit()
+	if free := p.StripeFree(); free[2] != 7 {
+		t.Fatalf("stripe 2 free = %v, want 7 on stripe 2", free)
+	}
+	// A dry sibling must migrate stripe 2's chain, not grow.
+	got := mustAlloc(t, p, 0)
+	if p.Limit() != limit {
+		t.Fatalf("migration path grew the pool (%d -> %d)", limit, p.Limit())
+	}
+	if got == first {
+		t.Fatalf("migrated alloc returned live index %d", got)
+	}
+	free := p.StripeFree()
+	if free[2] != 0 || free[0] != 6 {
+		t.Fatalf("after migration StripeFree = %v, want [6 0 0 0]", free)
+	}
+	if got, want := p.Allocated()-p.Retired(), uint64(2); got != want {
+		t.Fatalf("live = %d, want %d", got, want)
+	}
+}
+
+func TestMigrationInterleave(t *testing.T) {
+	// Force the worst interleaving: while a migration holds a detached
+	// chain (between the victim CAS and the local splice), the victim
+	// stripe refills and a third stripe allocates. No index may be
+	// served twice.
+	p := newTestPool(Config{ChunkLog2: 2, MaxChunks: 64, Stripes: 4})
+	seed := make([]uint64, 0, 8)
+	for i := 0; i < 8; i++ {
+		seed = append(seed, mustAlloc(t, p, 1))
+	}
+	for _, idx := range seed {
+		p.Retire(1, idx)
+	}
+
+	var hooked atomic.Bool
+	var hookLocal, hookVictim int
+	served := make(chan uint64, 4)
+	migrateTestHook = func(local, victim int) {
+		if !hooked.CompareAndSwap(false, true) {
+			return // only instrument the outermost migration
+		}
+		hookLocal, hookVictim = local, victim
+		// The chain is detached: the victim looks empty. Concurrent
+		// allocs must either migrate elsewhere or grow — never see the
+		// in-flight chain.
+		idx, err := p.Alloc(victim)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		served <- idx
+	}
+	defer func() { migrateTestHook = nil }()
+
+	idx, err := p.Alloc(3) // dry stripe: must migrate from stripe 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	served <- idx
+	if !hooked.Load() {
+		t.Fatal("migration hook never fired")
+	}
+	if hookLocal != 3 || hookVictim != 1 {
+		t.Fatalf("migration %d<-%d, want 3<-1", hookLocal, hookVictim)
+	}
+	close(served)
+	seen := map[uint64]bool{}
+	for idx := range served {
+		if seen[idx] {
+			t.Fatalf("index %d served twice across the interleaving", idx)
+		}
+		seen[idx] = true
+	}
+	if got, want := p.Allocated(), uint64(len(seen))+p.Retired(); got != want {
+		t.Fatalf("allocated %d != live %d + retired %d", got, len(seen), p.Retired())
+	}
+}
+
+// TestABARecyclingFuzz hammers Alloc/Retire from many goroutines across
+// stripes, stamping each node at allocation with a CAS from zero: if
+// tagged recycling ever handed one index to two owners, the loser's
+// stamp CAS fails. Run with -race in CI.
+func TestABARecyclingFuzz(t *testing.T) {
+	p := newTestPool(Config{ChunkLog2: 4, MaxChunks: 1 << 10, Stripes: 4})
+	const goroutines = 8
+	iters := 20000
+	if testing.Short() {
+		iters = 2000
+	}
+	var wg sync.WaitGroup
+	var doubles atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			held := make([]uint64, 0, 16)
+			for i := 0; i < iters; i++ {
+				idx, err := p.Alloc(int(g))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tag := g<<32 | uint64(i) | 1
+				if !p.Get(idx).stamp.CompareAndSwap(0, tag) {
+					doubles.Add(1)
+					continue
+				}
+				held = append(held, idx)
+				if len(held) == cap(held) || i%3 == 0 {
+					// Release in bursts, sometimes to a sibling stripe,
+					// to keep migration in play.
+					for _, h := range held {
+						p.Get(h).stamp.Store(0)
+						p.Retire(int(g+uint64(len(held)))%4, h)
+					}
+					held = held[:0]
+				}
+			}
+			for _, h := range held {
+				p.Get(h).stamp.Store(0)
+				p.Retire(int(g), h)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if n := doubles.Load(); n != 0 {
+		t.Fatalf("%d double allocations detected", n)
+	}
+	if got, want := p.Allocated(), p.Retired(); got != want {
+		t.Fatalf("quiescent: allocated %d != retired %d (all nodes released)", got, want)
+	}
+	if free := p.FreeIndices(); uint64(len(free)) != p.Retired() {
+		t.Fatalf("freelists hold %d, retired counter %d", len(free), p.Retired())
+	}
+}
+
+func BenchmarkAllocRetire(b *testing.B) {
+	for _, stripes := range []int{1, 4} {
+		name := "stripes=1"
+		if stripes != 1 {
+			name = "stripes=4"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := newTestPool(Config{ChunkLog2: 6, MaxChunks: 1 << 12, Stripes: stripes})
+			var id atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				g := int(id.Add(1))
+				for pb.Next() {
+					idx, err := p.Alloc(g)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.Retire(g, idx)
+				}
+			})
+		})
+	}
+}

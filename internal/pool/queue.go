@@ -1,0 +1,143 @@
+package pool
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/telemetry"
+)
+
+// Backend supplies a FIFO with node storage. The two implementations
+// in the tree are the partial lists' private node pool and the
+// producer-consumer benchmark's allocator-backed nodes (§4.1: the
+// queue's nodes come from the allocator under test — the paper's point
+// that a lock-free allocator makes lock-free structures fully
+// dynamic). Node references are uint64 values that fit the 40-bit
+// index field of atomicx.Tagged; 0 is never a valid reference. The
+// link word must keep its tag bits monotone across node lifetimes
+// (pool-backed nodes get this from Pool's link discipline).
+type Backend interface {
+	// AllocNode produces a fresh node reference.
+	AllocNode() (uint64, error)
+	// FreeNode recycles a node dequeued out of the queue.
+	FreeNode(ref uint64)
+	// LoadValue/StoreValue access the node's value word.
+	LoadValue(ref uint64) uint64
+	StoreValue(ref uint64, v uint64)
+	// LoadLink/StoreLink/CASLink access the node's packed
+	// (index, tag) link word.
+	LoadLink(ref uint64) uint64
+	StoreLink(ref uint64, w uint64)
+	CASLink(ref uint64, old, new uint64) bool
+}
+
+// FIFO is the Michael–Scott lock-free queue [20] "with optimized
+// memory management" (§3.2.6): head/tail are packed (index, tag)
+// words, so ABA on node recycling is prevented without a
+// general-purpose allocator. The backend is passed per call rather
+// than stored, because the benchmark queue's backend includes the
+// calling thread's allocator handle.
+type FIFO[B Backend] struct {
+	head atomic.Uint64 // packed (index, tag)
+	tail atomic.Uint64
+	size atomic.Int64
+
+	tele             atomic.Pointer[telemetry.Stripes]
+	putSite, getSite telemetry.Site
+}
+
+// Init allocates the dummy node; it must complete before any
+// Enqueue/Dequeue.
+func (q *FIFO[B]) Init(b B) error {
+	dummy, err := b.AllocNode()
+	if err != nil {
+		return err
+	}
+	old := atomicx.UnpackTagged(b.LoadLink(dummy))
+	b.StoreLink(dummy, atomicx.Tagged{Idx: 0, Tag: old.Tag + 1}.Pack())
+	q.head.Store(atomicx.Tagged{Idx: dummy}.Pack())
+	q.tail.Store(atomicx.Tagged{Idx: dummy}.Pack())
+	return nil
+}
+
+// Instrument attaches striped CAS-retry counters recording enqueue
+// retries at putSite and dequeue retries at getSite (nil detaches).
+// Safe to call while the queue is in use.
+func (q *FIFO[B]) Instrument(st *telemetry.Stripes, putSite, getSite telemetry.Site) {
+	q.putSite, q.getSite = putSite, getSite
+	q.tele.Store(st)
+}
+
+// Enqueue appends v at the tail.
+func (q *FIFO[B]) Enqueue(b B, v uint64) error {
+	n, err := b.AllocNode()
+	if err != nil {
+		return err
+	}
+	b.StoreValue(n, v)
+	// Null link, bumping the tag left over from the node's prior life.
+	old := atomicx.UnpackTagged(b.LoadLink(n))
+	b.StoreLink(n, atomicx.Tagged{Idx: 0, Tag: old.Tag + 1}.Pack())
+	for {
+		oldTail := q.tail.Load()
+		t := atomicx.UnpackTagged(oldTail)
+		oldNext := b.LoadLink(t.Idx)
+		nx := atomicx.UnpackTagged(oldNext)
+		if oldTail != q.tail.Load() {
+			continue
+		}
+		if nx.Idx == 0 {
+			if b.CASLink(t.Idx, oldNext, atomicx.Tagged{Idx: n, Tag: nx.Tag + 1}.Pack()) {
+				q.tail.CompareAndSwap(oldTail, atomicx.Tagged{Idx: n, Tag: t.Tag + 1}.Pack())
+				q.size.Add(1)
+				return nil
+			}
+		} else {
+			// Help a lagging enqueuer swing the tail.
+			q.tail.CompareAndSwap(oldTail, atomicx.Tagged{Idx: nx.Idx, Tag: t.Tag + 1}.Pack())
+		}
+		if st := q.tele.Load(); st != nil {
+			st.Retry(q.putSite, v)
+		}
+	}
+}
+
+// Dequeue removes the oldest value; the vacated node is recycled
+// through the backend.
+func (q *FIFO[B]) Dequeue(b B) (uint64, bool) {
+	for {
+		oldHead := q.head.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		oldTail := q.tail.Load()
+		t := atomicx.UnpackTagged(oldTail)
+		next := atomicx.UnpackTagged(b.LoadLink(h.Idx))
+		if oldHead != q.head.Load() {
+			continue
+		}
+		if h.Idx == t.Idx {
+			if next.Idx == 0 {
+				return 0, false
+			}
+			q.tail.CompareAndSwap(oldTail, atomicx.Tagged{Idx: next.Idx, Tag: t.Tag + 1}.Pack())
+			continue
+		}
+		v := b.LoadValue(next.Idx)
+		if q.head.CompareAndSwap(oldHead, atomicx.Tagged{Idx: next.Idx, Tag: h.Tag + 1}.Pack()) {
+			b.FreeNode(h.Idx)
+			q.size.Add(-1)
+			return v, true
+		}
+		if st := q.tele.Load(); st != nil {
+			st.Retry(q.getSite, h.Idx)
+		}
+	}
+}
+
+// Len returns a racy size estimate.
+func (q *FIFO[B]) Len() int {
+	n := q.size.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}

@@ -1,0 +1,165 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// qnode is a queue node backed by the pool: value word plus link word.
+type qnode struct {
+	value atomic.Uint64
+	next  atomic.Uint64
+}
+
+func (n *qnode) PoolNext() *atomic.Uint64 { return &n.next }
+
+type qbackend struct{ p *Pool[qnode, *qnode] }
+
+func (b qbackend) AllocNode() (uint64, error)      { return b.p.Alloc(0) }
+func (b qbackend) FreeNode(ref uint64)             { b.p.Retire(0, ref) }
+func (b qbackend) LoadValue(ref uint64) uint64     { return b.p.Get(ref).value.Load() }
+func (b qbackend) StoreValue(ref uint64, v uint64) { b.p.Get(ref).value.Store(v) }
+func (b qbackend) LoadLink(ref uint64) uint64      { return b.p.Get(ref).next.Load() }
+func (b qbackend) StoreLink(ref uint64, w uint64)  { b.p.Get(ref).next.Store(w) }
+func (b qbackend) CASLink(ref uint64, old, new uint64) bool {
+	return b.p.Get(ref).next.CompareAndSwap(old, new)
+}
+
+func newTestFIFO(t *testing.T, cfg Config) (*FIFO[qbackend], qbackend) {
+	t.Helper()
+	b := qbackend{New[qnode, *qnode](cfg)}
+	q := &FIFO[qbackend]{}
+	if err := q.Init(b); err != nil {
+		t.Fatal(err)
+	}
+	return q, b
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q, b := newTestFIFO(t, Config{ChunkLog2: 3, MaxChunks: 64})
+	const n = 100
+	for i := uint64(1); i <= n; i++ {
+		if err := q.Enqueue(b, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	for i := uint64(1); i <= n; i++ {
+		v, ok := q.Dequeue(b)
+		if !ok || v != i {
+			t.Fatalf("Dequeue = (%d, %v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(b); ok {
+		t.Fatal("Dequeue succeeded on empty queue")
+	}
+}
+
+func TestFIFONodeReuse(t *testing.T) {
+	q, b := newTestFIFO(t, Config{ChunkLog2: 3, MaxChunks: 64})
+	for i := 0; i < 10; i++ {
+		if err := q.Enqueue(b, 1); err != nil {
+			t.Fatal(err)
+		}
+		q.Dequeue(b)
+	}
+	limit := b.p.Limit()
+	for i := 0; i < 10000; i++ {
+		if err := q.Enqueue(b, 1); err != nil {
+			t.Fatal(err)
+		}
+		q.Dequeue(b)
+	}
+	if b.p.Limit() != limit {
+		t.Fatalf("pool grew %d -> %d under steady enqueue/dequeue", limit, b.p.Limit())
+	}
+}
+
+func TestFIFOEnqueueExhausted(t *testing.T) {
+	// One usable chunk of 4 nodes; the dummy takes one.
+	q, b := newTestFIFO(t, Config{ChunkLog2: 2, MaxChunks: 2})
+	var n int
+	for ; n < 10; n++ {
+		if err := q.Enqueue(b, uint64(n+1)); err != nil {
+			if !errors.Is(err, ErrExhausted) {
+				t.Fatalf("err = %v, want wrapped ErrExhausted", err)
+			}
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("enqueued %d before exhaustion, want 3 (4-node chunk minus dummy)", n)
+	}
+	// The queue still drains intact, and recycling restores capacity.
+	for i := uint64(1); i <= 3; i++ {
+		v, ok := q.Dequeue(b)
+		if !ok || v != i {
+			t.Fatalf("Dequeue = (%d, %v), want %d", v, ok, i)
+		}
+	}
+	if err := q.Enqueue(b, 99); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+}
+
+func TestFIFOConcurrent(t *testing.T) {
+	// Sized for the worst case of every produced item in flight at once.
+	q, b := newTestFIFO(t, Config{ChunkLog2: 6, MaxChunks: 1 << 12})
+	const producers, consumers = 4, 4
+	perP := 20000
+	if testing.Short() {
+		perP = 2000
+	}
+	var produced, consumed atomic.Uint64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 1; j <= perP; j++ {
+				if err := q.Enqueue(b, uint64(g*perP+j)); err != nil {
+					t.Error(err)
+					return
+				}
+				produced.Add(uint64(g*perP + j))
+			}
+		}(i)
+	}
+	var cg sync.WaitGroup
+	for i := 0; i < consumers; i++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, ok := q.Dequeue(b)
+				if ok {
+					consumed.Add(v)
+					continue
+				}
+				select {
+				case <-done:
+					if v, ok := q.Dequeue(b); ok { // final drain
+						consumed.Add(v)
+						continue
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+	if produced.Load() != consumed.Load() {
+		t.Fatalf("produced sum %d != consumed sum %d", produced.Load(), consumed.Load())
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", q.Len())
+	}
+}

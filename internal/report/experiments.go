@@ -38,6 +38,11 @@ type RunConfig struct {
 	// constructed for an experiment (0 = one arena per processor, the
 	// default; 1 = the unsharded OS layer).
 	Arenas int
+	// DescStripes sets the descriptor-pool freelist stripe count on
+	// every lock-free allocator constructed for an experiment (0 = one
+	// stripe per processor, the default; 1 = the paper's single
+	// DescAvail list).
+	DescStripes int
 	// Record, when non-nil, receives every individual measurement as
 	// it is taken (used for machine-readable output, e.g. benchmal
 	// -json).
@@ -59,6 +64,9 @@ func (c RunConfig) lockFreeOptions(lf core.Config) alloc.Options {
 	}
 	if lf.MagazineSize == 0 {
 		lf.MagazineSize = c.Magazine
+	}
+	if lf.DescStripes == 0 {
+		lf.DescStripes = c.DescStripes
 	}
 	opt := alloc.Options{Processors: c.Processors, LockFree: lf}
 	opt.HeapConfig.Arenas = c.Arenas
@@ -109,6 +117,7 @@ func (c RunConfig) newAlloc(name string) (alloc.Allocator, error) {
 			opt.LockFree.Telemetry = core.NewRecorder(telemetry.Config{})
 		}
 		opt.LockFree.MagazineSize = c.Magazine
+		opt.LockFree.DescStripes = c.DescStripes
 	}
 	return alloc.New(name, opt)
 }
@@ -257,6 +266,12 @@ func Experiments() []Experiment {
 			Title: "Region arenas: per-processor OS-layer sharding with lock-free stealing",
 			Paper: "beyond the paper — shards the OS layer's bump pointer and free-region bins; compare region-CAS retries and steals against the unsharded layout",
 			Run:   runArenas,
+		},
+		{
+			ID:    "poolstripes",
+			Title: "Descriptor-pool stripes: sharded freelist heads with batched chain migration",
+			Paper: "beyond the paper — stripes the paper's single DescAvail list; compare desc-alloc/desc-retire retries and chain migrations against the unstriped layout",
+			Run:   runPoolStripes,
 		},
 	}
 }
@@ -614,6 +629,73 @@ func runArenas(cfg RunConfig, out io.Writer) error {
 				v.name,
 				fmt.Sprintf("%.0f", best.OpsPerSec()),
 				raw, perOp, steals,
+				fmt.Sprintf("%d", best.MaxLiveBytes),
+			})
+		}
+		fmt.Fprint(out, t.Render())
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// descSites are the telemetry sites of the descriptor pool's striped
+// freelist heads.
+var descSites = []string{"desc-alloc", "desc-retire"}
+
+// runPoolStripes compares the paper's single DescAvail freelist
+// (DescStripes=1) against per-processor freelist stripes with batched
+// chain migration, at the maximum thread count, on the two workloads
+// that churn descriptors hardest (larson recycles superblocks
+// continuously; threadtest creates and destroys them in bulk).
+// Telemetry is forced on so both rows carry desc-CAS retries and
+// migration counts from the same run — the acceptance comparison for
+// the generic pool layer.
+func runPoolStripes(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	cfg.Telemetry = true
+	maxT := cfg.Threads[len(cfg.Threads)-1]
+	variants := []struct {
+		name    string
+		stripes int
+	}{
+		{"stripes=1 (single DescAvail)", 1},
+		{fmt.Sprintf("stripes=%d (per-processor)", cfg.Processors), cfg.Processors},
+	}
+	workloads := []bench.Workload{cfg.larson(), cfg.threadtest()}
+	for _, w := range workloads {
+		t := Table{
+			Title:   fmt.Sprintf("Descriptor-pool stripes: %s at %d threads", w.Name(), maxT),
+			Columns: []string{"variant", "ops/s", "desc retries", "desc retries/op", "migrations", "maxlive B"},
+			Notes: []string{
+				"desc retries = failed CASes at the desc-alloc and desc-retire freelist sites",
+				"migrations = whole-chain transfers from a sibling stripe to a dry one",
+			},
+		}
+		for _, v := range variants {
+			var best bench.Result
+			for i := 0; i < scalarReps; i++ {
+				a := alloc.NewLockFree(cfg.lockFreeOptions(core.Config{DescStripes: v.stripes}))
+				runtime.GC()
+				r := w.Run(a, maxT)
+				cfg.note(r)
+				if r.OpsPerSec() > best.OpsPerSec() {
+					best = r
+				}
+			}
+			raw, perOp, migs := "-", "-", "-"
+			if tel := best.Telemetry; tel != nil && best.Ops > 0 {
+				var rr uint64
+				for _, site := range descSites {
+					rr += tel.RetriesBySite[site]
+				}
+				raw = fmt.Sprintf("%d", rr)
+				perOp = fmt.Sprintf("%.6f", float64(rr)/float64(best.Ops))
+				migs = fmt.Sprintf("%d", tel.RetriesBySite[telemetry.SitePoolMigrate.String()])
+			}
+			t.Rows = append(t.Rows, []string{
+				v.name,
+				fmt.Sprintf("%.0f", best.OpsPerSec()),
+				raw, perOp, migs,
 				fmt.Sprintf("%d", best.MaxLiveBytes),
 			})
 		}

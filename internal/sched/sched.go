@@ -55,6 +55,11 @@ type Plan struct {
 	// unsharded layout), so kill tolerance can be verified with
 	// cross-arena stealing and remote-free routing in play.
 	Arenas int
+	// DescStripes sets the descriptor-pool stripe count (0 = one
+	// stripe per processor, the allocator default; 1 = the paper's
+	// single DescAvail list), so kill tolerance can be verified with
+	// cross-stripe chain migration in play.
+	DescStripes int
 	// Telemetry, when non-nil, is attached to the allocator; after the
 	// run its flight recorder holds the events leading up to each kill
 	// (every hook firing is recorded, so the ring's tail shows exactly
@@ -116,6 +121,7 @@ func Run(plan Plan) (Result, error) {
 		HeapConfig:   mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 28, Arenas: plan.Arenas},
 		Telemetry:    plan.Telemetry,
 		MagazineSize: plan.Magazine,
+		DescStripes:  plan.DescStripes,
 		Shadow:       sh,
 	})
 

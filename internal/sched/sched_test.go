@@ -140,6 +140,40 @@ func TestKillAtEveryPointArenas(t *testing.T) {
 	}
 }
 
+// TestKillAtEveryPointDescStripes repeats the per-point kill sweep at
+// both ends of the descriptor-pool ablation — the paper's single
+// DescAvail list (DescStripes=1) and more stripes than processors — so
+// victims die with cross-stripe chain migration in play on both
+// layouts. A thread killed between a migration's detach CAS and its
+// splice must never strand the chain where peers can't reach it.
+func TestKillAtEveryPointDescStripes(t *testing.T) {
+	for _, stripes := range []int{1, 6} {
+		for p := core.HookPoint(0); p < core.NumHookPoints; p++ {
+			p := p
+			t.Run(fmt.Sprintf("stripes=%d/%v", stripes, p), func(t *testing.T) {
+				res, err := Run(Plan{
+					Victims:        2,
+					Survivors:      2,
+					OpsPerSurvivor: 10000,
+					OpsBeforeKill:  50,
+					Seed:           int64(p) + 1000*int64(stripes),
+					Point:          p,
+					DescStripes:    stripes,
+				})
+				if err != nil {
+					t.Fatalf("survivors blocked: %v", err)
+				}
+				if res.SurvivorOps != 2*10000 {
+					t.Errorf("survivor ops = %d", res.SurvivorOps)
+				}
+				if res.InvariantErr != nil {
+					t.Errorf("structure corrupted: %v", res.InvariantErr)
+				}
+			})
+		}
+	}
+}
+
 // TestLeakIsBounded verifies the kill damage is bounded memory: each
 // victim can leak its held blocks plus at most a few superblocks'
 // worth of reservations and stranded superblocks.

@@ -103,6 +103,12 @@ const (
 	// the other sites this counts events, not CAS retries; it shares
 	// the retry plumbing so steals appear in the same reports.
 	SiteRegionSteal
+	// SitePoolMigrate: pool allocations whose stripe was dry and
+	// pulled a whole freelist chain from a sibling stripe (see
+	// internal/pool). Like SiteRegionSteal this counts events, not
+	// CAS retries; it shares the retry plumbing so migrations appear
+	// in the same reports.
+	SitePoolMigrate
 	// NumSites is the number of instrumented sites.
 	NumSites
 )
@@ -128,6 +134,7 @@ var siteNames = [NumSites]string{
 	"mag-flush",
 	"region-bump",
 	"region-steal",
+	"pool-migrate",
 }
 
 func (s Site) String() string {
