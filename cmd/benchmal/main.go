@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas|poolstripes]
+//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas|poolstripes|census]
 //	         [-threads 1,2,4,8,16] [-scale 0.01] [-allocs lockfree,hoard,...]
 //	         [-procs N] [-telemetry] [-magazine N] [-arenas N] [-descstripes N]
-//	         [-json] [-list] [-v]
+//	         [-samplerate N] [-json] [-list] [-v]
 //
 // -scale 1.0 runs the paper's full parameters (10M malloc/free pairs
 // per thread, 30-second timed phases); the default 0.01 finishes each
@@ -25,8 +25,13 @@
 // descriptor-pool freelist stripe count on every lock-free allocator
 // (0 = one per processor, 1 = the paper's single DescAvail list); the
 // poolstripes experiment compares 1 vs per-processor regardless of
-// this flag. -json additionally writes every individual
-// measurement to a BENCH_<unixtime>.json file.
+// this flag. -samplerate N enables the allocation sampler (one sample
+// per N mallocs) on every telemetry recorder, adding a census digest —
+// fragmentation and live-block ages — to each measurement (0 = off,
+// the default, preserving the bare telemetry cost); the census
+// experiment compares off/on regardless of this flag. -json
+// additionally writes every individual measurement to a
+// BENCH_<unixtime>.json file.
 package main
 
 import (
@@ -58,6 +63,7 @@ type jsonReport struct {
 	Magazine      int            `json:"magazine,omitempty"`
 	Arenas        int            `json:"arenas,omitempty"`
 	DescStripes   int            `json:"descStripes,omitempty"`
+	SampleRate    int            `json:"sampleRate,omitempty"`
 	Results       []bench.Result `json:"results"`
 }
 
@@ -72,6 +78,7 @@ func main() {
 		magFlag     = flag.Int("magazine", 0, "thread-local magazine size for lock-free allocators (0 = off)")
 		arenasFlag  = flag.Int("arenas", 0, "region arenas per heap (0 = one per processor, 1 = unsharded)")
 		stripesFlag = flag.Int("descstripes", 0, "descriptor-pool freelist stripes (0 = one per processor, 1 = single DescAvail)")
+		rateFlag    = flag.Int("samplerate", 0, "allocation sampling period for census columns (0 = sampler off)")
 		jsonFlag    = flag.Bool("json", false, "write all measurements to a BENCH_<unixtime>.json file")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
 		verboseFlag = flag.Bool("v", false, "print every individual measurement")
@@ -97,6 +104,7 @@ func main() {
 		Magazine:    *magFlag,
 		Arenas:      *arenasFlag,
 		DescStripes: *stripesFlag,
+		SampleRate:  *rateFlag,
 	}
 	if *allocsFlag != "" {
 		cfg.Allocators = strings.Split(*allocsFlag, ",")
@@ -150,6 +158,7 @@ func main() {
 			Magazine:      *magFlag,
 			Arenas:        *arenasFlag,
 			DescStripes:   *stripesFlag,
+			SampleRate:    *rateFlag,
 			Results:       results,
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -3,14 +3,19 @@
 // packed-word layouts of Figure 3, and the large-allocation threshold.
 // Useful for sanity-checking configuration against the paper.
 //
-//	heapinfo [-live] [-threads 4] [-ops 50000] [-arenas N]
+//	heapinfo [-live] [-threads 4] [-ops 50000] [-arenas N] [-samplerate 1024]
 //
 // With -live, a short multithreaded malloc/free workload is run on a
 // fresh allocator (hyperblock layer enabled) and the resulting live
 // statistics are printed: Allocator.Stats, heap and hyperblock
 // counters, a per-arena breakdown of the OS layer with region-bin
-// occupancy, and the telemetry snapshot. -arenas overrides the
-// region-arena count (0 = one per processor heap, 1 = unsharded).
+// occupancy, the telemetry snapshot, and a heap census taken while the
+// workload's final live set is still held — per-class superblock
+// states and block inventory, internal/external fragmentation,
+// live-block age quantiles, and the call sites holding the most live
+// bytes. -arenas overrides the region-arena count (0 = one per
+// processor heap, 1 = unsharded); -samplerate sets the allocation
+// sampling period (0 = sampler off).
 package main
 
 import (
@@ -20,8 +25,10 @@ import (
 	"os"
 	"sync"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/atomicx"
+	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/sizeclass"
@@ -34,6 +41,7 @@ func main() {
 		threads = flag.Int("threads", 4, "workload goroutines (-live)")
 		ops     = flag.Int("ops", 50000, "operations per goroutine (-live)")
 		arenas  = flag.Int("arenas", 0, "region arenas (-live; 0 = one per processor, 1 = unsharded)")
+		rate    = flag.Int("samplerate", 1024, "allocation sampling period for the census (-live; 0 = off)")
 	)
 	flag.Parse()
 	fmt.Println("Packed word layouts (paper Figure 3):")
@@ -61,24 +69,28 @@ func main() {
 
 	if *live {
 		fmt.Println()
-		runLive(*threads, *ops, *arenas)
+		runLive(*threads, *ops, *arenas, *rate)
 	}
 }
 
 // runLive exercises a fresh allocator and prints its live statistics:
-// operation counters, heap/hyperblock state, and the telemetry
-// snapshot (contention, latency, flight-recorder tail).
-func runLive(threads, ops, arenas int) {
-	rec := core.NewRecorder(telemetry.Config{})
+// operation counters, heap/hyperblock state, the telemetry snapshot
+// (contention, latency, flight-recorder tail), and a census taken in
+// the window between churn finishing and the workers releasing their
+// final live sets — so the census has real live blocks to inventory.
+func runLive(threads, ops, arenas, rate int) {
+	rec := core.NewRecorder(telemetry.Config{SampleRate: rate})
 	a := core.New(core.Config{
 		Processors:  threads,
 		HeapConfig:  mem.Config{Arenas: arenas},
 		Hyperblocks: true,
 		Telemetry:   rec,
 	})
-	var wg sync.WaitGroup
+	var wg, churnDone sync.WaitGroup
+	censusReady := make(chan struct{})
 	for g := 0; g < threads; g++ {
 		wg.Add(1)
+		churnDone.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
 			th := a.Thread()
@@ -100,11 +112,16 @@ func runLive(threads, ops, arenas int) {
 				}
 				held = append(held, p)
 			}
+			churnDone.Done()
+			<-censusReady // hold the live set while the census walks
 			for _, p := range held {
 				th.Free(p)
 			}
 		}(int64(g))
 	}
+	churnDone.Wait()
+	c := census.Take(a)
+	close(censusReady)
 	wg.Wait()
 
 	s := a.Stats()
@@ -147,6 +164,76 @@ func runLive(threads, ops, arenas int) {
 	} else {
 		fmt.Println("\nRegion bins: empty (no free regions awaiting reuse)")
 	}
+	printCensus(c)
 	fmt.Println()
 	fmt.Print(rec.Snapshot().Text(8))
+}
+
+// printCensus renders the heap census taken at peak liveness: per-class
+// and per-arena inventory, fragmentation, live-block ages, and the top
+// call sites by live bytes.
+func printCensus(c *census.Census) {
+	fmt.Println("\nHeap census (taken with workload live sets held):")
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "class\tA\tF\tP\tE\tused\tfree\tresv\tmag\tpartial\tint frag\t")
+	for _, cc := range c.Classes {
+		if cc.Superblocks == [4]uint64{} && cc.MagazineCached == 0 {
+			continue
+		}
+		frag := "-"
+		if cc.SampledLive > 0 {
+			frag = fmt.Sprintf("%.1f%%", 100*cc.InternalFragRatio)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t\n",
+			cc.Class,
+			cc.Superblocks[atomicx.StateActive], cc.Superblocks[atomicx.StateFull],
+			cc.Superblocks[atomicx.StatePartial], cc.Superblocks[atomicx.StateEmpty],
+			cc.BlocksUsed, cc.BlocksFree, cc.BlocksReserved,
+			cc.MagazineCached, cc.PartialList, frag)
+	}
+	w.Flush()
+	fmt.Printf("totals: %d superblocks, blocks used=%d free=%d resv=%d mag=%d, carve waste %d words\n",
+		c.Totals.Superblocks, c.Totals.BlocksUsed, c.Totals.BlocksFree,
+		c.Totals.BlocksReserved, c.Totals.MagazineCached, c.Totals.CarveWasteWords)
+
+	fmt.Println("\nArena census (bump occupancy and external fragmentation):")
+	w = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "arena\treserved\tfree regions\tfree words\toccupancy\text frag\t")
+	for _, ac := range c.Arenas {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.1f%%\t%.1f%%\t\n",
+			ac.Arena, ac.ReservedWords, ac.FreeRegions, ac.FreeWords,
+			100*ac.BumpOccupancy, 100*ac.ExternalFragRatio)
+	}
+	w.Flush()
+
+	if !c.Sampler.Enabled {
+		fmt.Println("\nAllocation sampler off (-samplerate 0): no age or call-site census")
+		return
+	}
+	fmt.Printf("\nLive-block ages (%d samples at rate 1/%d): p50=%v p99=%v oldest=%v\n",
+		c.Ages.Count(), c.Sampler.Rate,
+		time.Duration(c.AgeP50NS), time.Duration(c.AgeP99NS), time.Duration(c.OldestNS))
+	if c.Totals.InternalFragRatio >= 0 {
+		fmt.Printf("sampled internal fragmentation: %.1f%% (external %.1f%%)\n",
+			100*c.Totals.InternalFragRatio, 100*c.Totals.ExternalFragRatio)
+	}
+	if len(c.Sites) > 0 {
+		fmt.Println("\nTop call sites by live sampled bytes:")
+		w = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "live\tbytes\toldest\tsite\t")
+		for i, sc := range c.Sites {
+			if i == 5 {
+				break
+			}
+			site := sc.Func
+			if site == "" {
+				site = fmt.Sprintf("pc=%#x", sc.PC)
+			} else {
+				site = fmt.Sprintf("%s (%s:%d)", sc.Func, sc.File, sc.Line)
+			}
+			fmt.Fprintf(w, "%d\t%d\t%v\t%s\t\n",
+				sc.Live, sc.LiveBytes, time.Duration(sc.OldestNS), site)
+		}
+		w.Flush()
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/alloc"
+	"repro/internal/census"
 	"repro/internal/telemetry"
 )
 
@@ -34,6 +35,11 @@ type Result struct {
 	// telemetry layer (CAS retries, latency quantiles); nil when the
 	// allocator has no recorder attached.
 	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
+
+	// Census digests a heap census taken right after the run —
+	// fragmentation and live-block ages; nil unless the allocator has a
+	// recorder with the allocation sampler enabled.
+	Census *census.Summary `json:"census,omitempty"`
 }
 
 // TelemetrySummary is the per-run digest of a telemetry snapshot
@@ -120,6 +126,9 @@ func (r Result) String() string {
 		}
 		s += "]"
 	}
+	if c := r.Census; c != nil && c.InternalFragPct >= 0 {
+		s += fmt.Sprintf(" [frag int %.1f%% ext %.1f%%]", c.InternalFragPct, c.ExternalFragPct)
+	}
 	return s
 }
 
@@ -198,6 +207,12 @@ func measure(w Workload, a alloc.Allocator, threads int, fn func(id int, th allo
 	}
 	if rec != nil {
 		r.Telemetry = SummarizeTelemetry(rec.Snapshot().Sub(base))
+		if rec.Sampler() != nil {
+			if ca, ok := a.(alloc.CoreAccessor); ok {
+				s := census.Take(ca.Core()).Summary()
+				r.Census = &s
+			}
+		}
 	}
 	return r
 }

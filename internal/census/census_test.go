@@ -1,0 +1,257 @@
+package census
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/shadow"
+	"repro/internal/telemetry"
+)
+
+func testConfig(sampleRate int) core.Config {
+	cfg := core.Config{
+		Processors:   4,
+		MagazineSize: 16,
+		HeapConfig:   mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 28},
+	}
+	if sampleRate > 0 {
+		cfg.Telemetry = core.NewRecorder(telemetry.Config{SampleRate: sampleRate})
+	}
+	return cfg
+}
+
+// TestCensusQuiescent checks the exact-at-quiescence identities: with
+// no operation in flight, used blocks equal what the caller holds plus
+// magazine-cached blocks, every sampled allocation is visible, and the
+// fragmentation ratios are well-formed.
+func TestCensusQuiescent(t *testing.T) {
+	a := core.New(testConfig(1)) // sample every malloc
+	th := a.Thread()
+
+	sizes := []uint64{8, 100, 100, 300, 1024, 2000}
+	ptrs := make([]mem.Ptr, 0, len(sizes))
+	for _, sz := range sizes {
+		p, err := th.Malloc(sz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	// Free two into the magazine: they stay BlocksUsed but show up as
+	// MagazineCached.
+	th.Free(ptrs[1])
+	th.Free(ptrs[2])
+	held := uint64(len(sizes) - 2)
+
+	c := Take(a)
+
+	if got := c.Totals.BlocksUsed; got != held+c.Totals.MagazineCached {
+		t.Errorf("BlocksUsed = %d, want held %d + magazine %d",
+			got, held, c.Totals.MagazineCached)
+	}
+	// At least the two frees are cached; refill batches may add more.
+	if c.Totals.MagazineCached < 2 {
+		t.Errorf("MagazineCached = %d, want >= 2", c.Totals.MagazineCached)
+	}
+	if c.Totals.Superblocks == 0 {
+		t.Error("no live superblocks counted")
+	}
+	if !c.Sampler.Enabled {
+		t.Fatal("sampler not reported enabled")
+	}
+	// Rate 1 with no evictions: every live block is a live sample.
+	if got := c.Ages.Count(); got != held {
+		t.Errorf("live samples = %d, want %d (held blocks)", got, held)
+	}
+	if len(c.Sites) == 0 {
+		t.Error("no call sites attributed")
+	}
+	var siteLive uint64
+	for _, sc := range c.Sites {
+		siteLive += sc.Live
+		if sc.Func == "" {
+			t.Errorf("site pc=%#x unresolved", sc.PC)
+		}
+	}
+	if siteLive != held {
+		t.Errorf("site live sum = %d, want %d", siteLive, held)
+	}
+	if c.Totals.InternalFragRatio < 0 || c.Totals.InternalFragRatio > 1 {
+		t.Errorf("InternalFragRatio = %v, want [0,1]", c.Totals.InternalFragRatio)
+	}
+	// 300 B in a larger class guarantees some waste was sampled.
+	if c.Totals.InternalFragRatio == 0 {
+		t.Error("InternalFragRatio = 0 with known-wasteful requests")
+	}
+	for _, cc := range c.Classes {
+		if cc.SampledLive > 0 && (cc.InternalFragRatio < 0 || cc.InternalFragRatio > 1) {
+			t.Errorf("class %d InternalFragRatio = %v", cc.Class, cc.InternalFragRatio)
+		}
+		if cc.SampledLive == 0 && cc.InternalFragRatio != -1 {
+			t.Errorf("class %d unsampled frag = %v, want -1", cc.Class, cc.InternalFragRatio)
+		}
+	}
+	if len(c.Arenas) == 0 {
+		t.Fatal("no arenas in census")
+	}
+	var reserved uint64
+	for _, ac := range c.Arenas {
+		if ac.BumpOccupancy < 0 || ac.BumpOccupancy > 1 {
+			t.Errorf("arena %d BumpOccupancy = %v", ac.Arena, ac.BumpOccupancy)
+		}
+		if ac.ExternalFragRatio < 0 || ac.ExternalFragRatio > 1 {
+			t.Errorf("arena %d ExternalFragRatio = %v", ac.Arena, ac.ExternalFragRatio)
+		}
+		reserved += ac.ReservedWords
+	}
+	if reserved == 0 {
+		t.Error("no arena reserved any words despite live superblocks")
+	}
+	if len(c.DescStripeFree) == 0 {
+		t.Error("no descriptor stripes in census")
+	}
+	if c.AgeP99NS < c.AgeP50NS {
+		t.Errorf("age p99 %d < p50 %d", c.AgeP99NS, c.AgeP50NS)
+	}
+	if c.OldestNS <= 0 {
+		t.Errorf("OldestNS = %d, want > 0", c.OldestNS)
+	}
+
+	s := c.Summary()
+	if s.BlocksUsed != c.Totals.BlocksUsed || s.LiveSamples != held {
+		t.Errorf("Summary mismatch: %+v", s)
+	}
+
+	for _, p := range ptrs[3:] {
+		th.Free(p)
+	}
+	th.Free(ptrs[0])
+	th.Unregister()
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCensusNoSampler: without telemetry the walk still works and the
+// sampled sections are absent.
+func TestCensusNoSampler(t *testing.T) {
+	a := core.New(testConfig(0))
+	th := a.Thread()
+	p, err := th.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Take(a)
+	if c.Sampler.Enabled {
+		t.Error("sampler reported enabled without telemetry")
+	}
+	if c.Totals.InternalFragRatio != -1 {
+		t.Errorf("InternalFragRatio = %v, want -1 unsampled", c.Totals.InternalFragRatio)
+	}
+	if c.Totals.BlocksUsed != 1+c.Totals.MagazineCached {
+		t.Errorf("BlocksUsed = %d with one live block", c.Totals.BlocksUsed)
+	}
+	if s := c.Summary(); s.InternalFragPct != -1 {
+		t.Errorf("Summary.InternalFragPct = %v, want -1", s.InternalFragPct)
+	}
+	th.Free(p)
+	th.Unregister()
+}
+
+// TestCensusUnderChurn runs walkers against concurrent malloc/free
+// churn. The walk must be race-detector-clean, never panic, and always
+// produce internally well-formed numbers even while every identity is
+// in flight. With -tags shadowheap the differential oracle also audits
+// the churn itself.
+func TestCensusUnderChurn(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.Shadow = shadow.New(shadow.Config{Name: "census-churn", VerifyOnReuse: true})
+	a := core.New(cfg)
+
+	const (
+		workers = 4
+		ops     = 4000
+		walks   = 50
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := a.Thread()
+			defer th.Unregister()
+			rng := rand.New(rand.NewSource(seed))
+			live := make([]mem.Ptr, 0, 64)
+			for i := 0; i < ops; i++ {
+				if len(live) > 0 && rng.Intn(2) == 0 {
+					j := rng.Intn(len(live))
+					th.Free(live[j])
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+				} else {
+					p, err := th.Malloc(uint64(8 + rng.Intn(2000)))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					live = append(live, p)
+				}
+			}
+			for _, p := range live {
+				th.Free(p)
+			}
+		}(int64(w) + 1)
+	}
+
+	walkerDone := make(chan struct{})
+	go func() {
+		defer close(walkerDone)
+		for i := 0; i < walks; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := Take(a)
+			// Racy but well-formed: totals are sums of per-class
+			// non-negative values, ratios stay in range.
+			var used, freeB uint64
+			for _, cc := range c.Classes {
+				used += cc.BlocksUsed
+				freeB += cc.BlocksFree
+				if cc.SampledLive > 0 && (cc.InternalFragRatio < 0 || cc.InternalFragRatio > 1) {
+					t.Errorf("walk %d: class %d frag %v", i, cc.Class, cc.InternalFragRatio)
+				}
+			}
+			if used != c.Totals.BlocksUsed || freeB != c.Totals.BlocksFree {
+				t.Errorf("walk %d: totals disagree with class sums", i)
+			}
+			for _, ac := range c.Arenas {
+				if ac.ExternalFragRatio < 0 || ac.ExternalFragRatio > 1 {
+					t.Errorf("walk %d: arena %d ext frag %v", i, ac.Arena, ac.ExternalFragRatio)
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	<-walkerDone
+
+	if err := cfg.Shadow.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Quiescent now: a final walk plus the invariant checker must agree
+	// nothing is live.
+	c := Take(a)
+	if c.Totals.BlocksUsed != 0 {
+		t.Errorf("quiescent BlocksUsed = %d, want 0", c.Totals.BlocksUsed)
+	}
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -44,6 +44,10 @@ func (t *Thread) Free(ptr mem.Ptr) {
 	if !prefixIsLarge(prefix) {
 		cls = t.a.desc(prefix >> 1).ClassIndex()
 	}
+	// Match against the allocation sampler before the block can be
+	// recycled (and outside the timed window, so sampling never skews
+	// the free latency histogram).
+	t.rec.SampleFree(uint64(ptr))
 	t.rec.BeginOp()
 	start := time.Now()
 	t.free(ptr, prefix)

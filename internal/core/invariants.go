@@ -133,6 +133,9 @@ func (a *Allocator) magazineScan() (magBlocks map[uint64]map[uint64]bool, totalM
 	defer a.mu.Unlock()
 	for _, t := range a.threads {
 		for cls := range t.mags {
+			if got, want := t.mags[cls].n.Load(), uint64(len(t.mags[cls].blocks)); got != want {
+				return nil, 0, fmt.Errorf("thread %d magazine class %d: census count %d, slice holds %d", t.id, cls, got, want)
+			}
 			for _, p := range t.mags[cls].blocks {
 				prefix := a.heap.Load(p - 1)
 				if prefixIsLarge(prefix) {

@@ -35,6 +35,7 @@ package core
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
@@ -46,6 +47,12 @@ import (
 // shared structures' point of view, simply allocated.
 type magazine struct {
 	blocks []mem.Ptr // LIFO: the most recently freed block is reused first
+
+	// n mirrors len(blocks) for concurrent readers (the heap census).
+	// Single-writer: only the owning thread stores it, immediately
+	// after every mutation of blocks, so at any hook point n matches
+	// the slice exactly (CheckInvariants cross-checks).
+	n atomic.Uint64
 }
 
 // magPop takes the hottest cached block, or 0.
@@ -56,6 +63,7 @@ func (m *magazine) pop() mem.Ptr {
 	}
 	p := m.blocks[n-1]
 	m.blocks = m.blocks[:n-1]
+	m.n.Store(uint64(n - 1))
 	return p
 }
 
@@ -67,6 +75,7 @@ func (t *Thread) magazinePut(cls int, ptr mem.Ptr) {
 		mag.blocks = make([]mem.Ptr, 0, t.magCap)
 	}
 	mag.blocks = append(mag.blocks, ptr)
+	mag.n.Store(uint64(len(mag.blocks)))
 	if len(mag.blocks) >= t.magCap {
 		t.flushMagazine(cls, t.magCap/2)
 	}
@@ -172,6 +181,7 @@ func (t *Thread) refillFromActive(h *ProcHeap, mag *magazine, want uint64) mem.P
 			mag.blocks = append(mag.blocks, addr.Add(1))
 		}
 	}
+	mag.n.Store(uint64(len(mag.blocks)))
 	// One user-visible malloc was satisfied from the active superblock;
 	// the cached remainder surfaces later as magazine hits.
 	t.ops.fromActive.Add(1)
@@ -204,6 +214,10 @@ func (t *Thread) flushMagazine(cls, keep int) {
 			}
 		}
 		mag.blocks = rest
+		// Count updated before the splice: a thread killed inside
+		// spliceGroup leaves n == len(blocks), so a concurrent census
+		// never double-counts the in-flight group.
+		mag.n.Store(uint64(len(mag.blocks)))
 		t.magScratch = group[:0] // retain scratch capacity across flushes
 		t.spliceGroup(descIdx, group)
 	}

@@ -32,6 +32,7 @@ func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
 	p, cls, err := t.malloc(size)
 	if err == nil {
 		t.rec.EndMalloc(cls, time.Since(start), uint64(p))
+		t.rec.SampleMalloc(uint64(p), size, cls)
 		t.shadowNoteMalloc(p, size)
 	}
 	return p, err

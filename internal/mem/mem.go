@@ -151,6 +151,16 @@ type arenaShard struct {
 	bins     [exactBins]atomic.Uint64
 	log2Bins [maxLog2Bins]atomic.Uint64
 
+	// binRegions/log2BinRegions mirror the bins' populations with plain
+	// counters so a live census (BinCensus) never has to walk freelist
+	// links that concurrent pops may be unlinking. A push increments
+	// *before* its head CAS and a pop decrements *after* its head CAS
+	// succeeds; since a pop can only observe a region after the push's
+	// CAS (which follows the increment), a counter is never negative —
+	// at worst transiently high by in-flight pushes.
+	binRegions     [exactBins]atomic.Uint64
+	log2BinRegions [maxLog2Bins]atomic.Uint64
+
 	stats arenaCounters
 	_     [64]byte
 }
@@ -395,6 +405,15 @@ func (a *arenaShard) binFor(words uint64) *atomic.Uint64 {
 	return &a.log2Bins[bits.Len64(pages)-1]
 }
 
+// countFor returns the census counter paired with binFor(words).
+func (a *arenaShard) countFor(words uint64) *atomic.Uint64 {
+	pages := words / PageWords
+	if pages <= exactBins {
+		return &a.binRegions[pages-1]
+	}
+	return &a.log2BinRegions[bits.Len64(pages)-1]
+}
+
 // Arena is a handle on one shard of the region allocator. Allocations
 // through an Arena prefer that arena's free bins and address-space
 // partition, falling back to lock-free stealing from sibling arenas;
@@ -567,6 +586,7 @@ func (h *Heap) popRegion(ai, words uint64) Ptr {
 		next := h.Load(Ptr(t.Idx))
 		newHead := atomicx.Tagged{Idx: next, Tag: t.Tag + 1}.Pack()
 		if bin.CompareAndSwap(oldHead, newHead) {
+			h.arenas[ai].countFor(words).Add(^uint64(0)) // census counter: see arenaShard
 			return Ptr(t.Idx)
 		}
 		if st := h.tele.Load(); st != nil {
@@ -579,6 +599,10 @@ func (h *Heap) popRegion(ai, words uint64) Ptr {
 // size. ai must be the arena owning p's address.
 func (h *Heap) pushRegion(ai uint64, p Ptr, words uint64) {
 	bin := h.arenas[ai].binFor(words)
+	// Incremented before the CAS so the paired pop's decrement (which
+	// can only follow a successful push) never drives the counter
+	// negative; see arenaShard.
+	h.arenas[ai].countFor(words).Add(1)
 	for {
 		oldHead := bin.Load()
 		t := atomicx.UnpackTagged(oldHead)
@@ -697,6 +721,58 @@ func (h *Heap) RegionBins() []BinStat {
 				out = append(out, BinStat{Arena: i, RegionWords: PageWords << k, Regions: n})
 			}
 		}
+	}
+	return out
+}
+
+// ArenaBins is a live census of one arena's free-region bins, built
+// from the push/pop-maintained counters (never from freelist links, so
+// it is safe — and race-detector-clean — during churn).
+type ArenaBins struct {
+	Arena int
+	// PartitionWords is the arena's address-space partition capacity:
+	// the total words of the segments it owns.
+	PartitionWords uint64
+	// FreeRegions/FreeWords total the regions parked in the arena's
+	// bins awaiting reuse (the external-fragmentation inventory).
+	FreeRegions uint64
+	FreeWords   uint64
+	// Bins lists the non-empty bins, ordered by size.
+	Bins []BinStat
+}
+
+// PartitionWords returns the address-space capacity of arena i's
+// partition (segment index ≡ i mod the arena count).
+func (h *Heap) PartitionWords(i int) uint64 {
+	numSegs := h.maxWords >> h.segLog
+	ai := uint64(i) % h.numArenas
+	return (numSegs - ai + h.numArenas - 1) / h.numArenas * h.segWords
+}
+
+// BinCensus reports every arena's free-region bin occupancy from the
+// census counters. Unlike RegionBins it is safe to call during churn:
+// each bin's count is one atomic load, transiently high by at most the
+// in-flight pushes (see arenaShard). Counts are exact at quiescence.
+func (h *Heap) BinCensus() []ArenaBins {
+	out := make([]ArenaBins, len(h.arenas))
+	for i := range h.arenas {
+		a := &h.arenas[i]
+		ab := ArenaBins{Arena: i, PartitionWords: h.PartitionWords(i)}
+		note := func(regions, regionWords uint64) {
+			if regions == 0 {
+				return
+			}
+			ab.FreeRegions += regions
+			ab.FreeWords += regions * regionWords
+			ab.Bins = append(ab.Bins, BinStat{Arena: i, RegionWords: regionWords, Regions: int(regions)})
+		}
+		for b := range a.binRegions {
+			note(a.binRegions[b].Load(), uint64(b+1)*PageWords)
+		}
+		for k := range a.log2BinRegions {
+			note(a.log2BinRegions[k].Load(), PageWords<<k)
+		}
+		out[i] = ab
 	}
 	return out
 }

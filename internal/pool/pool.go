@@ -135,6 +135,20 @@ func (p *Pool[T, PT]) Get(idx uint64) PT {
 	return PT(&(*cp)[idx&p.chunkMask])
 }
 
+// TryGet returns the node with the given index, or nil if the chunk
+// holding it has not been published yet. grow advances the bump
+// counter (and therefore Limit) by CAS before it builds and publishes
+// the chunk, so a concurrent walker iterating [First, Limit) can
+// observe an index whose chunk pointer is still nil; no node of such a
+// chunk has ever been handed out, so skipping it is sound.
+func (p *Pool[T, PT]) TryGet(idx uint64) PT {
+	cp := p.chunks[idx>>p.cfg.ChunkLog2].Load()
+	if cp == nil {
+		return nil
+	}
+	return PT(&(*cp)[idx&p.chunkMask])
+}
+
 func (p *Pool[T, PT]) link(idx uint64) *atomic.Uint64 {
 	return p.Get(idx).PoolNext()
 }

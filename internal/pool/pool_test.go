@@ -319,3 +319,23 @@ func BenchmarkAllocRetire(b *testing.B) {
 		})
 	}
 }
+
+// TestTryGetUnpublishedChunk: indices whose chunk has never been
+// carved must return nil from TryGet (the walker-safe accessor), while
+// allocated indices resolve to the same node as Get.
+func TestTryGetUnpublishedChunk(t *testing.T) {
+	p := newTestPool(Config{ChunkLog2: 3, MaxChunks: 16})
+	idx := mustAlloc(t, p, 0)
+	if p.TryGet(idx) == nil {
+		t.Fatal("TryGet returned nil for an allocated index")
+	}
+	if p.TryGet(idx) != p.Get(idx) {
+		t.Error("TryGet and Get disagree on an allocated index")
+	}
+	// An index two chunks past the bump counter lives in a chunk that
+	// was never carved: Get would dereference a nil chunk pointer,
+	// TryGet reports it as absent.
+	if got := p.TryGet(p.Limit() + 2*8); got != nil {
+		t.Errorf("TryGet(uncarved chunk) = %v, want nil", got)
+	}
+}

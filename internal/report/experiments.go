@@ -8,6 +8,7 @@ import (
 
 	"repro/alloc"
 	"repro/internal/bench"
+	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/telemetry"
 )
@@ -43,6 +44,10 @@ type RunConfig struct {
 	// stripe per processor, the default; 1 = the paper's single
 	// DescAvail list).
 	DescStripes int
+	// SampleRate sets the allocation sampler's period (one sample per
+	// SampleRate mallocs) on every telemetry recorder constructed for
+	// an experiment; 0 leaves the sampler off. Requires Telemetry.
+	SampleRate int
 	// Record, when non-nil, receives every individual measurement as
 	// it is taken (used for machine-readable output, e.g. benchmal
 	// -json).
@@ -60,7 +65,7 @@ func (c RunConfig) note(r bench.Result) {
 // attaching a fresh recorder when cfg.Telemetry is set.
 func (c RunConfig) lockFreeOptions(lf core.Config) alloc.Options {
 	if c.Telemetry {
-		lf.Telemetry = core.NewRecorder(telemetry.Config{})
+		lf.Telemetry = core.NewRecorder(telemetry.Config{SampleRate: c.SampleRate})
 	}
 	if lf.MagazineSize == 0 {
 		lf.MagazineSize = c.Magazine
@@ -114,7 +119,7 @@ func (c RunConfig) newAlloc(name string) (alloc.Allocator, error) {
 	opt.HeapConfig.Arenas = c.Arenas
 	if name == "lockfree" || name == "new" {
 		if c.Telemetry {
-			opt.LockFree.Telemetry = core.NewRecorder(telemetry.Config{})
+			opt.LockFree.Telemetry = core.NewRecorder(telemetry.Config{SampleRate: c.SampleRate})
 		}
 		opt.LockFree.MagazineSize = c.Magazine
 		opt.LockFree.DescStripes = c.DescStripes
@@ -272,6 +277,12 @@ func Experiments() []Experiment {
 			Title: "Descriptor-pool stripes: sharded freelist heads with batched chain migration",
 			Paper: "beyond the paper — stripes the paper's single DescAvail list; compare desc-alloc/desc-retire retries and chain migrations against the unstriped layout",
 			Run:   runPoolStripes,
+		},
+		{
+			ID:    "census",
+			Title: "Heap census: walker + allocation-sampler overhead under Larson",
+			Paper: "beyond the paper — quantifies the observability tax: sampler off vs on with a concurrent census walker; acceptance is <= 3% ops/s at the default sample rate",
+			Run:   runCensus,
 		},
 	}
 }
@@ -702,6 +713,104 @@ func runPoolStripes(cfg RunConfig, out io.Writer) error {
 		fmt.Fprint(out, t.Render())
 		fmt.Fprintln(out)
 	}
+	return nil
+}
+
+// runCensus measures the observability tax: the lock-free allocator
+// under Larson at the maximum thread count with the sampler off and no
+// walker, against sampler on (default rate) with a census walker
+// looping concurrently. Telemetry itself is on in both variants so the
+// delta isolates the census machinery, not the recorder.
+func runCensus(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	cfg.Telemetry = true
+	maxT := cfg.Threads[len(cfg.Threads)-1]
+	rate := cfg.SampleRate
+	if rate == 0 {
+		rate = 1024
+	}
+	variants := []struct {
+		name   string
+		rate   int
+		walker bool
+	}{
+		{"census off (no sampler, no walker)", 0, false},
+		{fmt.Sprintf("census on (rate=1/%d + concurrent walker)", rate), rate, true},
+	}
+	w := cfg.larson()
+	t := Table{
+		Title:   fmt.Sprintf("Heap census overhead: %s at %d threads", w.Name(), maxT),
+		Columns: []string{"variant", "ops/s", "vs off", "walks", "live samples", "int frag", "ext frag", "age p50"},
+		Notes: []string{
+			"both variants run with telemetry attached; the delta isolates the sampler and walker",
+			"acceptance: census on within 3% ops/s of census off at the default rate",
+		},
+	}
+	var offOps float64
+	for _, v := range variants {
+		vcfg := cfg
+		vcfg.SampleRate = v.rate
+		var best bench.Result
+		var bestWalks int
+		for i := 0; i < scalarReps; i++ {
+			a := alloc.NewLockFree(vcfg.lockFreeOptions(core.Config{}))
+			runtime.GC()
+			walks := 0
+			stop := make(chan struct{})
+			var walkerDone chan struct{}
+			if v.walker {
+				walkerDone = make(chan struct{})
+				ca := a.(alloc.CoreAccessor)
+				go func() {
+					defer close(walkerDone)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						census.Take(ca.Core())
+						walks++
+						time.Sleep(2 * time.Millisecond)
+					}
+				}()
+			}
+			r := w.Run(a, maxT)
+			close(stop)
+			if walkerDone != nil {
+				<-walkerDone
+			}
+			cfg.note(r)
+			if r.OpsPerSec() > best.OpsPerSec() {
+				best = r
+				bestWalks = walks
+			}
+		}
+		rel := "1.00"
+		if v.rate == 0 {
+			offOps = best.OpsPerSec()
+		} else if offOps > 0 {
+			rel = fmt.Sprintf("%.3f", best.OpsPerSec()/offOps)
+		}
+		walksCell, samples, intFrag, extFrag, ageP50 := "-", "-", "-", "-", "-"
+		if v.walker {
+			walksCell = fmt.Sprintf("%d", bestWalks)
+		}
+		if c := best.Census; c != nil {
+			samples = fmt.Sprintf("%d", c.LiveSamples)
+			if c.InternalFragPct >= 0 {
+				intFrag = fmt.Sprintf("%.1f%%", c.InternalFragPct)
+			}
+			extFrag = fmt.Sprintf("%.1f%%", c.ExternalFragPct)
+			ageP50 = time.Duration(c.AgeP50NS).String()
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			fmt.Sprintf("%.0f", best.OpsPerSec()),
+			rel, walksCell, samples, intFrag, extFrag, ageP50,
+		})
+	}
+	fmt.Fprint(out, t.Render())
 	return nil
 }
 

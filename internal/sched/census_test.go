@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TestCensusSurvivesKillAtEveryPoint pins victims to each hook point in
+// turn while a census walker loops concurrently: a thread killed
+// between any two atomic steps of the allocator must leave structures
+// the lock-free walk still reads consistently — the walker never
+// panics, never blocks, and keeps completing walks.
+func TestCensusSurvivesKillAtEveryPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill sweep is slow")
+	}
+	for p := core.HookPoint(0); p < core.NumHookPoints; p++ {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			res, err := Run(Plan{
+				Victims:        2,
+				Survivors:      2,
+				OpsPerSurvivor: 3000,
+				OpsBeforeKill:  50,
+				Seed:           int64(p) + 1,
+				Point:          p,
+				Processors:     2,
+				Magazine:       8,
+				Census:         true,
+				Telemetry:      core.NewRecorder(telemetry.Config{SampleRate: 64}),
+			})
+			if err != nil {
+				t.Fatalf("survivors blocked: %v", err)
+			}
+			if res.CensusErr != nil {
+				t.Fatalf("census walker died: %v", res.CensusErr)
+			}
+			if res.CensusWalks == 0 {
+				t.Error("no census walks completed during the run")
+			}
+			if res.InvariantErr != nil {
+				t.Fatalf("post-mortem corruption: %v", res.InvariantErr)
+			}
+		})
+	}
+}
+
+// TestCensusWalkerRandomKills drives the randomized sweep (a fresh
+// random point per victim) with the walker and sampler on — the
+// configuration CI runs under -race.
+func TestCensusWalkerRandomKills(t *testing.T) {
+	res, err := Run(Plan{
+		Victims:        4,
+		Survivors:      4,
+		OpsPerSurvivor: 4000,
+		OpsBeforeKill:  100,
+		Seed:           7,
+		Point:          -1,
+		Processors:     2,
+		Magazine:       8,
+		Census:         true,
+		Shadow:         true,
+		Telemetry:      core.NewRecorder(telemetry.Config{SampleRate: 64}),
+	})
+	if err != nil {
+		t.Fatalf("survivors blocked: %v", err)
+	}
+	if res.CensusErr != nil {
+		t.Fatalf("census walker died: %v", res.CensusErr)
+	}
+	if res.CensusWalks == 0 {
+		t.Error("no census walks completed")
+	}
+	if res.InvariantErr != nil {
+		t.Fatalf("post-mortem corruption: %v", res.InvariantErr)
+	}
+	if res.ShadowErr != nil {
+		t.Fatalf("shadow oracle: %v", res.ShadowErr)
+	}
+}

@@ -15,9 +15,11 @@ package sched
 import (
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/shadow"
@@ -70,6 +72,13 @@ type Plan struct {
 	// blocks but must never make the allocator hand out overlapping or
 	// stale memory — the oracle's verdict lands in Result.ShadowErr.
 	Shadow bool
+	// Census runs a heap-census walker concurrently with the victims
+	// and survivors: the walk must tolerate kills at every hook point —
+	// a thread dead mid-operation leaves structures the walker still
+	// reads consistently — and must itself never panic or block. Walk
+	// count and any walker failure land in Result.CensusWalks /
+	// CensusErr.
+	Census bool
 }
 
 // Result reports what happened.
@@ -89,6 +98,11 @@ type Result struct {
 	// ShadowErr is the shadow oracle's verdict (nil when Plan.Shadow is
 	// off or the shadowheap build tag is absent).
 	ShadowErr error
+	// CensusWalks counts completed census walks (Plan.Census);
+	// CensusErr is non-nil if a walk panicked — a walker must survive
+	// kills anywhere in the allocator.
+	CensusWalks int
+	CensusErr   error
 }
 
 func (r Result) String() string {
@@ -127,6 +141,34 @@ func Run(plan Plan) (Result, error) {
 
 	res := Result{Kills: map[core.HookPoint]int{}}
 	var killMu sync.Mutex
+
+	// The census walker starts before the victims so walks overlap the
+	// kills. Plain writes to res.CensusWalks/CensusErr are safe: the
+	// goroutine exits before the close(censusStop)+Wait below, which
+	// happens-before the reads.
+	var censusStop chan struct{}
+	var censusDone chan struct{}
+	if plan.Census {
+		censusStop = make(chan struct{})
+		censusDone = make(chan struct{})
+		go func() {
+			defer close(censusDone)
+			defer func() {
+				if rec := recover(); rec != nil {
+					res.CensusErr = fmt.Errorf("census walk panicked: %v\n%s", rec, debug.Stack())
+				}
+			}()
+			for {
+				select {
+				case <-censusStop:
+					return
+				default:
+				}
+				census.Take(a)
+				res.CensusWalks++
+			}
+		}()
+	}
 
 	var victims sync.WaitGroup
 	for v := 0; v < plan.Victims; v++ {
@@ -234,6 +276,10 @@ func Run(plan Plan) (Result, error) {
 
 	victims.Wait()
 	survivors.Wait()
+	if plan.Census {
+		close(censusStop)
+		<-censusDone
+	}
 	close(survivorErrs)
 	for err := range survivorErrs {
 		return res, err

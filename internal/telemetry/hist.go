@@ -46,6 +46,13 @@ func (h *Histogram) Load() HistBuckets {
 // match Histogram.
 type HistBuckets [NumBuckets]uint64
 
+// Observe adds one observation directly to the snapshot vector (same
+// bucket mapping as Histogram.Record). For single-goroutine
+// accumulation, e.g. the census's live-age buckets.
+func (b *HistBuckets) Observe(d time.Duration) {
+	b[bucketFor(d)]++
+}
+
 // Add accumulates o into b.
 func (b *HistBuckets) Add(o HistBuckets) {
 	for i := range b {

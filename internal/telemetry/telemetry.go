@@ -158,6 +158,16 @@ type Config struct {
 	// recorded). 0 selects 64; 1 records every operation. Sampling
 	// keeps the ring's shared bump counter off the per-op hot path.
 	RingSample int
+	// SampleRate enables the allocation sampler behind the heap
+	// census's fragmentation, call-site, and live-age reporting: every
+	// Nth malloc per thread is sampled (1 samples every allocation).
+	// 0 disables the sampler entirely, reducing its malloc-path cost
+	// to one plain field check.
+	SampleRate int
+	// SampleSlots is the sampler's live-sample table capacity, rounded
+	// up to a power of two. 0 selects 2048. Ignored when SampleRate is
+	// 0.
+	SampleSlots int
 }
 
 func (c Config) withDefaults() Config {
@@ -169,6 +179,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RingSample <= 0 {
 		c.RingSample = 64
+	}
+	if c.SampleRate < 0 {
+		c.SampleRate = 0
 	}
 	return c
 }
@@ -189,6 +202,10 @@ type Recorder struct {
 	shards atomic.Pointer[[]*ThreadShard]
 	mu     sync.Mutex
 
+	// smp is the optional allocation sampler (nil unless
+	// Config.SampleRate > 0), shared by all shards.
+	smp *Sampler
+
 	started time.Time
 }
 
@@ -197,6 +214,9 @@ func New(cfg Config) *Recorder {
 	cfg = cfg.withDefaults()
 	r := &Recorder{cfg: cfg, started: time.Now()}
 	r.ring.init(cfg.RingSize)
+	if cfg.SampleRate > 0 {
+		r.smp = newSampler(cfg.SampleRate, cfg.SampleSlots)
+	}
 	empty := []*ThreadShard{}
 	r.shards.Store(&empty)
 	return r
@@ -212,6 +232,10 @@ func (r *Recorder) Stripes() *Stripes { return &r.stripes }
 // Ring returns the flight recorder.
 func (r *Recorder) Ring() *Ring { return &r.ring }
 
+// Sampler returns the allocation sampler, or nil when Config.SampleRate
+// is 0.
+func (r *Recorder) Sampler() *Sampler { return r.smp }
+
 // NewShard registers and returns a per-thread shard. id labels the
 // shard's flight-recorder events (the allocator passes its thread id).
 func (r *Recorder) NewShard(id uint64) *ThreadShard {
@@ -221,6 +245,10 @@ func (r *Recorder) NewShard(id uint64) *ThreadShard {
 		hist:    make([]Histogram, 2*(r.cfg.Classes+1)),
 		ring:    &r.ring,
 		sample:  uint64(r.cfg.RingSample),
+		smp:     r.smp,
+	}
+	if r.smp != nil {
+		s.smpEvery = uint64(r.cfg.SampleRate)
 	}
 	r.mu.Lock()
 	old := *r.shards.Load()
@@ -267,6 +295,13 @@ type ThreadShard struct {
 	// sampling. Plain fields: single-writer, never read by Snapshot.
 	opRetries uint64
 	opSeq     uint64
+
+	// smp is the recorder's allocation sampler (nil when disabled);
+	// smpEvery/smpSeq drive the per-thread sampling countdown. Plain
+	// fields: single-writer.
+	smp      *Sampler
+	smpEvery uint64
+	smpSeq   uint64
 
 	_ pad
 }
