@@ -284,8 +284,8 @@ func printHeapStats(w interface{ Write([]byte) (int, error) }, a *core.Allocator
 	fmt.Fprintf(w, "heap: live %d KiB, max-live %d KiB, descriptors %d (+%d free)\n",
 		s.Heap.LiveWords*8/1024, s.Heap.MaxLiveWords*8/1024,
 		s.DescsAllocated, s.DescsOnFreelist)
-	fmt.Fprintf(w, "desc pool: %d stripes, free per stripe %v\n",
-		a.DescStripes(), a.DescStripeFree())
+	fmt.Fprintf(w, "desc pool: %s backend, %d stripes, free per stripe %v\n",
+		a.DescAlgo(), a.DescStripes(), a.DescStripeFree())
 }
 
 func printCensusSummary(w interface{ Write([]byte) (int, error) }, c *census.Census) {

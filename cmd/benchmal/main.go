@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas|poolstripes|census]
+//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas|poolstripes|poolalgo|census]
 //	         [-threads 1,2,4,8,16] [-scale 0.01] [-allocs lockfree,hoard,...]
 //	         [-procs N] [-telemetry] [-magazine N] [-arenas N] [-descstripes N]
-//	         [-samplerate N] [-json] [-list] [-v]
+//	         [-descalgo freelist|consttime] [-samplerate N] [-json] [-list] [-v]
 //
 // -scale 1.0 runs the paper's full parameters (10M malloc/free pairs
 // per thread, 30-second timed phases); the default 0.01 finishes each
@@ -25,7 +25,10 @@
 // descriptor-pool freelist stripe count on every lock-free allocator
 // (0 = one per processor, 1 = the paper's single DescAvail list); the
 // poolstripes experiment compares 1 vs per-processor regardless of
-// this flag. -samplerate N enables the allocation sampler (one sample
+// this flag. -descalgo selects the descriptor pool's recycling backend
+// (freelist = the paper's Figure-7 tagged freelist, consttime = the
+// Blelloch-Wei constant-time batch scheme); the poolalgo experiment
+// compares the two regardless of this flag. -samplerate N enables the allocation sampler (one sample
 // per N mallocs) on every telemetry recorder, adding a census digest —
 // fragmentation and live-block ages — to each measurement (0 = off,
 // the default, preserving the bare telemetry cost); the census
@@ -47,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/pool"
 	"repro/internal/report"
 )
 
@@ -63,6 +67,7 @@ type jsonReport struct {
 	Magazine      int            `json:"magazine,omitempty"`
 	Arenas        int            `json:"arenas,omitempty"`
 	DescStripes   int            `json:"descStripes,omitempty"`
+	DescAlgo      string         `json:"descAlgo,omitempty"`
 	SampleRate    int            `json:"sampleRate,omitempty"`
 	Results       []bench.Result `json:"results"`
 }
@@ -78,12 +83,18 @@ func main() {
 		magFlag     = flag.Int("magazine", 0, "thread-local magazine size for lock-free allocators (0 = off)")
 		arenasFlag  = flag.Int("arenas", 0, "region arenas per heap (0 = one per processor, 1 = unsharded)")
 		stripesFlag = flag.Int("descstripes", 0, "descriptor-pool freelist stripes (0 = one per processor, 1 = single DescAvail)")
+		algoFlag    = flag.String("descalgo", "", "descriptor-pool backend: freelist (default) or consttime (Blelloch-Wei)")
 		rateFlag    = flag.Int("samplerate", 0, "allocation sampling period for census columns (0 = sampler off)")
 		jsonFlag    = flag.Bool("json", false, "write all measurements to a BENCH_<unixtime>.json file")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
 		verboseFlag = flag.Bool("v", false, "print every individual measurement")
 	)
 	flag.Parse()
+
+	descAlgo, err := pool.ParseAlgo(*algoFlag)
+	if err != nil {
+		fatal("%v", err)
+	}
 
 	if *listFlag {
 		for _, e := range report.Experiments() {
@@ -104,6 +115,7 @@ func main() {
 		Magazine:    *magFlag,
 		Arenas:      *arenasFlag,
 		DescStripes: *stripesFlag,
+		DescAlgo:    descAlgo,
 		SampleRate:  *rateFlag,
 	}
 	if *allocsFlag != "" {
@@ -158,6 +170,7 @@ func main() {
 			Magazine:      *magFlag,
 			Arenas:        *arenasFlag,
 			DescStripes:   *stripesFlag,
+			DescAlgo:      descAlgo.String(),
 			SampleRate:    *rateFlag,
 			Results:       results,
 		}

@@ -134,8 +134,8 @@ func runLive(threads, ops, arenas, rate int) {
 		s.Ops.EmptySBFreed, s.Ops.EmptyPartialSkips)
 	fmt.Printf("  descriptors: %d allocated, %d on freelist\n",
 		s.DescsAllocated, s.DescsOnFreelist)
-	fmt.Printf("  desc pool: %d stripes, free per stripe %v\n",
-		a.DescStripes(), a.DescStripeFree())
+	fmt.Printf("  desc pool: %s backend, %d stripes, free per stripe %v\n",
+		a.DescAlgo(), a.DescStripes(), a.DescStripeFree())
 	fmt.Printf("  heap: %d words live, max-live %d KiB, %d region allocs / %d frees\n",
 		s.Heap.LiveWords, s.Heap.MaxLiveWords*8/1024, s.Heap.RegionAllocs, s.Heap.RegionFrees)
 	hs := a.HyperStats()

@@ -6,7 +6,8 @@
 //
 //	mlfstress [-threads 8] [-ops 200000] [-kills 0] [-hyper] [-lifo]
 //	          [-credits 64] [-seed 1] [-telemetry] [-events 16]
-//	          [-magazine 0] [-arenas 0] [-shadow]
+//	          [-magazine 0] [-arenas 0] [-descalgo freelist|consttime]
+//	          [-shadow]
 //
 // With -telemetry, the lock-free observability layer is attached: the
 // run ends with a contention/latency summary, and in fault-injection
@@ -32,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/shadow"
 	"repro/internal/sizeclass"
@@ -51,9 +53,15 @@ func main() {
 		events  = flag.Int("events", 16, "flight-recorder events to dump (telemetry mode)")
 		magSize = flag.Int("magazine", 0, "thread-local magazine capacity (0 = magazines off)")
 		arenas  = flag.Int("arenas", 0, "region-arena count (0 = one per processor)")
+		dalgo   = flag.String("descalgo", "", "descriptor-pool backend: freelist (default) or consttime (Blelloch-Wei)")
 		shadowF = flag.Bool("shadow", false, "attach the shadow-heap oracle (needs -tags shadowheap); first violation aborts the run")
 	)
 	flag.Parse()
+
+	descAlgo, err := pool.ParseAlgo(*dalgo)
+	if err != nil {
+		fail("%v", err)
+	}
 
 	if *threads > runtime.GOMAXPROCS(0) {
 		runtime.GOMAXPROCS(*threads)
@@ -63,7 +71,7 @@ func main() {
 	}
 
 	if *kills > 0 {
-		runKillStress(*kills, *threads, *ops, *seed, *tele, *events, *magSize, *arenas, *shadowF)
+		runKillStress(*kills, *threads, *ops, *seed, *tele, *events, *magSize, *arenas, descAlgo, *shadowF)
 		return
 	}
 
@@ -73,6 +81,7 @@ func main() {
 		PartialLIFO:  *lifo,
 		Hyperblocks:  *hyper,
 		MagazineSize: *magSize,
+		DescAlgo:     descAlgo,
 		HeapConfig:   mem.Config{Arenas: *arenas},
 	}
 	if *tele {
@@ -89,9 +98,9 @@ func main() {
 		})
 	}
 	a := core.New(cfg)
-	fmt.Printf("mlfstress: %d threads x %d ops (hyper=%v lifo=%v credits=%d magazine=%d arenas=%d shadow=%v)\n",
+	fmt.Printf("mlfstress: %d threads x %d ops (hyper=%v lifo=%v credits=%d magazine=%d arenas=%d descalgo=%s shadow=%v)\n",
 		*threads, *ops, *hyper, *lifo, cfg.MaxCredits, *magSize, *arenas,
-		*shadowF && shadow.Enabled)
+		descAlgo, *shadowF && shadow.Enabled)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -180,9 +189,9 @@ func main() {
 		live*8/1024, bound*8/1024)
 }
 
-func runKillStress(kills, threads, ops int, seed int64, tele bool, events, magSize, arenas int, useShadow bool) {
-	fmt.Printf("mlfstress: fault injection — %d kills, %d survivors x %d ops (magazine=%d arenas=%d shadow=%v)\n",
-		kills, threads, ops, magSize, arenas, useShadow && shadow.Enabled)
+func runKillStress(kills, threads, ops int, seed int64, tele bool, events, magSize, arenas int, descAlgo pool.Algo, useShadow bool) {
+	fmt.Printf("mlfstress: fault injection — %d kills, %d survivors x %d ops (magazine=%d arenas=%d descalgo=%s shadow=%v)\n",
+		kills, threads, ops, magSize, arenas, descAlgo, useShadow && shadow.Enabled)
 	var rec *telemetry.Recorder
 	if tele {
 		rec = core.NewRecorder(telemetry.Config{})
@@ -196,6 +205,7 @@ func runKillStress(kills, threads, ops int, seed int64, tele bool, events, magSi
 		Point:          -1,
 		Magazine:       magSize,
 		Arenas:         arenas,
+		DescAlgo:       descAlgo,
 		Telemetry:      rec,
 		Shadow:         useShadow,
 	})

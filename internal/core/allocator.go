@@ -25,6 +25,7 @@ import (
 	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/partial"
+	"repro/internal/pool"
 	"repro/internal/shadow"
 	"repro/internal/sizeclass"
 	"repro/internal/telemetry"
@@ -45,6 +46,12 @@ type Config struct {
 	// chains from siblings. 0 selects one stripe per processor; 1
 	// reproduces the paper's single DescAvail word.
 	DescStripes int
+
+	// DescAlgo selects the descriptor pool's recycling backend: the
+	// Figure-7 tagged freelist (pool.AlgoFreelist, the zero value) or
+	// the Blelloch–Wei constant-time batch scheme (pool.AlgoConstTime)
+	// — see internal/pool and DESIGN.md.
+	DescAlgo pool.Algo
 
 	// MaxCredits caps blocks reserved through the Active word at once
 	// (the paper's MAXCREDITS, default and maximum 64). Setting 1
@@ -165,7 +172,7 @@ type Allocator struct {
 	// on the same cache lines in every process, rather than at whatever
 	// phase a 208- or 224-byte slot happens to start at. Growing the
 	// struct within the padding budget cannot change the layout.
-	_ [256 - 224]byte
+	_ [256 - 232]byte
 }
 
 // scState is the per-size-class state (paper's sizeclass structure).
@@ -230,7 +237,7 @@ func New(cfg Config) *Allocator {
 		procs:      uint64(cfg.Processors),
 		maxCredits: uint64(cfg.MaxCredits),
 		classes:    make([]scState, sizeclass.NumClasses()),
-		descs:      newDescPool(cfg.DescStripes),
+		descs:      newDescPool(cfg.DescStripes, cfg.DescAlgo),
 	}
 	if a.shadow != nil {
 		// Bind the oracle to this allocator's address space and install
@@ -545,6 +552,9 @@ func (a *Allocator) Stats() Stats {
 
 // DescStripes returns the number of descriptor-pool freelist stripes.
 func (a *Allocator) DescStripes() int { return a.descs.Stripes() }
+
+// DescAlgo returns the descriptor pool's recycling backend.
+func (a *Allocator) DescAlgo() pool.Algo { return a.descs.Algo() }
 
 // DescStripeFree returns the retired-descriptor count on each
 // descriptor-pool stripe (racy; exact at quiescence). Operators use it

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/mem"
+	"repro/internal/pool"
 	"repro/internal/telemetry"
 )
 
@@ -97,37 +98,40 @@ func BenchmarkMallocFreeParallel(b *testing.B) {
 // variant should show desc-alloc/desc-retire retries per op collapse.
 func BenchmarkDescChurnParallel(b *testing.B) {
 	cfg := benchConfig()
-	for _, stripes := range []int{1, cfg.Processors} {
-		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
-			cfg := benchConfig()
-			cfg.DescStripes = stripes
-			rec := NewRecorder(telemetry.Config{})
-			cfg.Telemetry = rec
-			a := New(cfg)
-			// 2048-byte blocks: 7 per superblock, so a 64-block batch
-			// churns ~10 superblocks (descriptors) per iteration.
-			const batch, size = 64, 2048
-			b.RunParallel(func(pb *testing.PB) {
-				th := a.Thread()
-				var ptrs [batch]mem.Ptr
-				for pb.Next() {
-					for j := range ptrs {
-						p, err := th.Malloc(size)
-						if err != nil {
-							b.Fatal(err)
+	for _, algo := range []pool.Algo{pool.AlgoFreelist, pool.AlgoConstTime} {
+		for _, stripes := range []int{1, cfg.Processors} {
+			b.Run(fmt.Sprintf("algo=%s/stripes=%d", algo, stripes), func(b *testing.B) {
+				cfg := benchConfig()
+				cfg.DescAlgo = algo
+				cfg.DescStripes = stripes
+				rec := NewRecorder(telemetry.Config{})
+				cfg.Telemetry = rec
+				a := New(cfg)
+				// 2048-byte blocks: 7 per superblock, so a 64-block batch
+				// churns ~10 superblocks (descriptors) per iteration.
+				const batch, size = 64, 2048
+				b.RunParallel(func(pb *testing.PB) {
+					th := a.Thread()
+					var ptrs [batch]mem.Ptr
+					for pb.Next() {
+						for j := range ptrs {
+							p, err := th.Malloc(size)
+							if err != nil {
+								b.Fatal(err)
+							}
+							ptrs[j] = p
 						}
-						ptrs[j] = p
+						for j := range ptrs {
+							th.Free(ptrs[j])
+						}
 					}
-					for j := range ptrs {
-						th.Free(ptrs[j])
-					}
-				}
+				})
+				retries := rec.Snapshot().Retries
+				descRetries := retries[telemetry.SiteDescAlloc.String()] +
+					retries[telemetry.SiteDescRetire.String()]
+				b.ReportMetric(float64(descRetries)/float64(b.N), "desc-retries/op")
+				b.ReportMetric(float64(retries[telemetry.SitePoolMigrate.String()])/float64(b.N), "migrations/op")
 			})
-			retries := rec.Snapshot().Retries
-			descRetries := retries[telemetry.SiteDescAlloc.String()] +
-				retries[telemetry.SiteDescRetire.String()]
-			b.ReportMetric(float64(descRetries)/float64(b.N), "desc-retries/op")
-			b.ReportMetric(float64(retries[telemetry.SitePoolMigrate.String()])/float64(b.N), "migrations/op")
-		})
+		}
 	}
 }

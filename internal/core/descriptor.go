@@ -103,11 +103,12 @@ const (
 // with one freelist stripe per processor.
 type descPool = pool.Pool[Descriptor, *Descriptor]
 
-func newDescPool(stripes int) *descPool {
+func newDescPool(stripes int, algo pool.Algo) *descPool {
 	return pool.New[Descriptor, *Descriptor](pool.Config{
 		ChunkLog2:   descChunkLog2,
 		MaxChunks:   maxDescChunks,
 		Stripes:     stripes,
+		Algo:        algo,
 		AllocSite:   telemetry.SiteDescAlloc,
 		RetireSite:  telemetry.SiteDescRetire,
 		MigrateSite: telemetry.SitePoolMigrate,

@@ -72,8 +72,8 @@ func (a *Allocator) DumpState(w io.Writer) {
 	fmt.Fprintf(w, "descriptors: %d live superblocks; states ACTIVE=%d FULL=%d PARTIAL=%d EMPTY(retired)=%d\n",
 		live, counts[atomicx.StateActive], counts[atomicx.StateFull],
 		counts[atomicx.StatePartial], counts[atomicx.StateEmpty])
-	fmt.Fprintf(w, "desc pool: %d stripes, free per stripe %v\n",
-		a.descs.Stripes(), a.descs.StripeFree())
+	fmt.Fprintf(w, "desc pool: %s backend, %d stripes, free per stripe %v\n",
+		a.descs.Algo(), a.descs.Stripes(), a.descs.StripeFree())
 	hs := a.heap.Stats()
 	fmt.Fprintf(w, "heap: reserved=%d KiB live=%d KiB max-live=%d KiB regions %d/%d alloc/free\n",
 		hs.ReservedWords*8/1024, hs.LiveWords*8/1024, hs.MaxLiveWords*8/1024,

@@ -6,12 +6,24 @@
 // generic implementation replaces all four hand-rolled copies.
 //
 // Nodes live at stable dense indices in a chunked table that only
-// grows; index 0 is reserved as NULL. Retired nodes are recycled
-// through lock-free Treiber freelists whose heads are packed
-// (index:40, tag:24) words (atomicx.Tagged). The paper prevents ABA on
-// DescAvail with hazard pointers (SafeCAS, Figure 7 line 4); because
-// pool nodes live at stable indices and are never unmapped, a wide
-// version tag is an equally safe and simpler choice — see DESIGN.md.
+// grows; index 0 is reserved as NULL. Two recycling backends share
+// that table:
+//
+//   - AlgoFreelist (default): retired nodes are recycled through
+//     lock-free Treiber freelists whose heads are packed (index:40,
+//     tag:24) words (atomicx.Tagged). The paper prevents ABA on
+//     DescAvail with hazard pointers (SafeCAS, Figure 7 line 4);
+//     because pool nodes live at stable indices and are never
+//     unmapped, a wide version tag is an equally safe and simpler
+//     choice — see DESIGN.md.
+//
+//   - AlgoConstTime: the Blelloch–Wei constant-time scheme (PAPERS.md,
+//     "Concurrent Fixed-Size Allocation and Free in Constant Time").
+//     Retired indices are grouped into fixed-size batches; each slot
+//     (stripe) privatizes up to two batches with a single wait-free
+//     Swap, so the per-node hot path has no CAS retry loop at all.
+//     Full/partial/empty batches are exchanged through shared tagged
+//     stacks touched once per batchSize operations. See consttime.go.
 //
 // Beyond the paper, the freelist head can be striped: each stripe is a
 // cache-padded independent head, callers pick a stripe by thread id,
@@ -40,26 +52,73 @@ var ErrExhausted = errors.New("node pool exhausted")
 // atomicx.Tagged while the node is on a freelist; clients may reuse it
 // for their own tagged links while the node is live, as long as every
 // store bumps the word's high (tag) bits — tag monotonicity at each
-// word is what makes recycling ABA-safe.
+// word is what makes recycling ABA-safe. The constant-time backend
+// parks retired indices in batches without touching the link word, so
+// the same discipline covers both backends.
 type Node interface {
 	PoolNext() *atomic.Uint64
+}
+
+// Algo selects the recycling backend behind a Pool. The zero value is
+// the Figure-7 tagged freelist.
+type Algo int
+
+const (
+	// AlgoFreelist is the paper's Figure-7 tagged Treiber freelist
+	// (striped, with whole-chain migration).
+	AlgoFreelist Algo = iota
+	// AlgoConstTime is the Blelloch–Wei batch/stack scheme: O(1)
+	// shared-memory touches per op, no per-node CAS retry loop.
+	AlgoConstTime
+)
+
+// String returns the flag-friendly name ("freelist", "consttime").
+func (a Algo) String() string {
+	switch a {
+	case AlgoFreelist:
+		return "freelist"
+	case AlgoConstTime:
+		return "consttime"
+	default:
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// ParseAlgo maps a flag string to an Algo. The empty string selects
+// the default freelist backend.
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "", "freelist":
+		return AlgoFreelist, nil
+	case "consttime":
+		return AlgoConstTime, nil
+	default:
+		return 0, fmt.Errorf("pool: unknown algo %q (want freelist or consttime)", s)
+	}
 }
 
 // Config parameterizes a Pool.
 type Config struct {
 	// ChunkLog2 is the log2 of nodes per table chunk; a chunk is also
-	// the unit of growth (the paper's DESCSBSIZE).
+	// the unit of growth (the paper's DESCSBSIZE) and, for the
+	// constant-time backend, the batch size.
 	ChunkLog2 uint
 	// MaxChunks bounds the table; Alloc returns ErrExhausted beyond it.
 	MaxChunks uint64
-	// Stripes is the number of independent freelist heads. 0 or 1
-	// selects the paper's single DescAvail word.
+	// Stripes is the number of independent freelist heads (freelist
+	// backend) or batch slots (constant-time backend). 0 or 1 selects
+	// the paper's single DescAvail word.
 	Stripes int
+	// Algo selects the recycling backend; the zero value is the
+	// Figure-7 tagged freelist.
+	Algo Algo
 	// AllocSite/RetireSite, when telemetry is attached via
 	// SetTelemetry, receive CAS-retry counts for freelist pops and
-	// pushes; MigrateSite counts cross-stripe chain migrations
-	// (events, not retries). All three are ignored until SetTelemetry
-	// is called.
+	// pushes (shared-stack pops and pushes for the constant-time
+	// backend); MigrateSite counts cross-stripe chain migrations
+	// (batch handoffs through the shared stacks for the constant-time
+	// backend) — events, not retries. All three are ignored until
+	// SetTelemetry is called.
 	AllocSite   telemetry.Site
 	RetireSite  telemetry.Site
 	MigrateSite telemetry.Site
@@ -77,6 +136,18 @@ type stripe struct {
 // only be set while the pool is quiescent.
 var migrateTestHook func(local, victim int)
 
+// algoBackend is the recycling strategy behind a Pool: everything
+// except the chunk table, bump growth, and accounting, which are
+// shared. (The exported Backend interface in queue.go is unrelated: it
+// abstracts a whole pool for the FIFO queue.)
+type algoBackend interface {
+	alloc(stripe int) (uint64, error)
+	retireChain(stripe int, first, last, n uint64)
+	nstripes() int
+	stripeFree() []uint64
+	freeIndices() map[uint64]bool
+}
+
 // Pool is a generic chunked tagged-index pool. T is the node type; PT
 // is *T constrained to expose the link word.
 type Pool[T any, PT interface {
@@ -89,15 +160,15 @@ type Pool[T any, PT interface {
 	// in whole chunks via CAS (so exhaustion is stable, not a counter
 	// overflow). It starts at one chunk so the chunk containing
 	// reserved index 0 is never handed out and batches stay
-	// chunk-aligned.
+	// chunk-aligned. Allocated() is derived from this word — see the
+	// comment there.
 	nextIdx atomic.Uint64
 
-	stripes []stripe
-
-	allocated atomic.Uint64 // nodes ever created (for stats)
-	retired   atomic.Uint64 // nodes currently on freelists
+	retired atomic.Uint64 // nodes currently on freelists/batches
 
 	tele atomic.Pointer[telemetry.Stripes]
+
+	be algoBackend
 
 	cfg       Config
 	chunkSize uint64
@@ -114,12 +185,17 @@ func New[T any, PT interface {
 	}
 	p := &Pool[T, PT]{
 		chunks:    make([]atomic.Pointer[[]T], cfg.MaxChunks),
-		stripes:   make([]stripe, cfg.Stripes),
 		cfg:       cfg,
 		chunkSize: 1 << cfg.ChunkLog2,
 		chunkMask: 1<<cfg.ChunkLog2 - 1,
 	}
 	p.nextIdx.Store(p.chunkSize)
+	switch cfg.Algo {
+	case AlgoConstTime:
+		p.be = newBackendConstTime[T, PT](p)
+	default:
+		p.be = newBackendFreelist[T, PT](p)
+	}
 	return p
 }
 
@@ -127,6 +203,9 @@ func New[T any, PT interface {
 // counters recording at the sites named in Config. Safe to call while
 // the pool is in use.
 func (p *Pool[T, PT]) SetTelemetry(st *telemetry.Stripes) { p.tele.Store(st) }
+
+// Algo returns the recycling backend this pool was built with.
+func (p *Pool[T, PT]) Algo() Algo { return p.cfg.Algo }
 
 // Get returns the node with the given index, which must have been
 // produced by Alloc.
@@ -159,117 +238,35 @@ func (p *Pool[T, PT]) retry(site telemetry.Site, key uint64) {
 	}
 }
 
-func (p *Pool[T, PT]) stripeFor(id int) int {
-	return int(uint64(id) % uint64(len(p.stripes)))
-}
-
-// Alloc pops a retired node from the caller's stripe, migrates a chain
-// from a sibling stripe if the local one is dry, or carves a fresh
+// Alloc pops a retired node from the caller's stripe (backend
+// dependent: freelist pop + migration, or batch pop) or carves a fresh
 // chunk (DescAlloc, Figure 7). stripe is any non-negative caller
 // identity (typically a thread id); it is reduced modulo the stripe
-// count. Lock-free.
+// count. Lock-free; wait-free per-node for the constant-time backend.
 func (p *Pool[T, PT]) Alloc(stripe int) (uint64, error) {
-	si := p.stripeFor(stripe)
-	s := &p.stripes[si]
-	for {
-		oldHead := s.head.Load()
-		h := atomicx.UnpackTagged(oldHead)
-		if h.Idx != 0 {
-			next := atomicx.UnpackTagged(p.link(h.Idx).Load()).Idx
-			newHead := atomicx.Tagged{Idx: next, Tag: h.Tag + 1}.Pack()
-			// The paper uses SafeCAS (hazard-pointer protected); the
-			// tagged head provides the same ABA safety for
-			// index-addressed nodes.
-			if s.head.CompareAndSwap(oldHead, newHead) {
-				p.retired.Add(^uint64(0))
-				return h.Idx, nil
-			}
-			p.retry(p.cfg.AllocSite, h.Idx)
-			continue
-		}
-		if len(p.stripes) > 1 {
-			if idx, ok := p.migrate(si); ok {
-				return idx, nil
-			}
-		}
-		// All stripes dry: allocate a node superblock (a chunk), take
-		// its first node, and install the rest. The paper frees the
-		// chunk if another thread repopulated the freelist first
-		// (Figure 7 lines 8-9); table chunks cannot be unmapped, so on
-		// that race the loser pushes its whole chain instead — a
-		// bounded over-allocation noted in DESIGN.md.
-		first, err := p.grow()
-		if err != nil {
-			return 0, err
-		}
-		rest := atomicx.UnpackTagged(p.link(first).Load()).Idx
-		atomicx.Fence() // Figure 7 line 7
-		newHead := atomicx.Tagged{Idx: rest, Tag: h.Tag + 1}.Pack()
-		if s.head.CompareAndSwap(oldHead, newHead) {
-			p.retired.Add(p.chunkSize - 1) // the rest of the chunk is now available
-			return first, nil
-		}
-		p.retry(p.cfg.AllocSite, first)
-		p.pushChain(s, first, first+p.chunkSize-1, p.chunkSize)
-	}
+	return p.be.alloc(stripe)
 }
 
-// migrate serves a dry stripe by detaching a sibling's entire chain
-// with one CAS — the pool-layer analogue of the region arenas'
-// cross-arena steal. The CAS to (NULL, tag+1) makes the chain
-// exclusively ours, so the walk to find its tail races with nothing;
-// the first node is returned to the caller and the remainder spliced
-// into the local stripe.
-func (p *Pool[T, PT]) migrate(local int) (uint64, bool) {
-	n := len(p.stripes)
-	for off := 1; off < n; off++ {
-		v := local + off
-		if v >= n {
-			v -= n
-		}
-		vs := &p.stripes[v]
-		oldHead := vs.head.Load()
-		h := atomicx.UnpackTagged(oldHead)
-		if h.Idx == 0 {
-			continue
-		}
-		if !vs.head.CompareAndSwap(oldHead, atomicx.Tagged{Idx: 0, Tag: h.Tag + 1}.Pack()) {
-			// Contended victim: move on rather than spin on it.
-			p.retry(p.cfg.AllocSite, h.Idx)
-			continue
-		}
-		if migrateTestHook != nil {
-			migrateTestHook(local, v)
-		}
-		if st := p.tele.Load(); st != nil {
-			// An event count, like region steals, not a CAS retry.
-			st.Retry(p.cfg.MigrateSite, uint64(v))
-		}
-		first := h.Idx
-		rest := atomicx.UnpackTagged(p.link(first).Load()).Idx
-		if rest != 0 {
-			last := rest
-			for {
-				nx := atomicx.UnpackTagged(p.link(last).Load()).Idx
-				if nx == 0 {
-					break
-				}
-				last = nx
-			}
-			// The migrated nodes stay retired; only the node handed to
-			// the caller leaves the freelists, accounted below.
-			p.spliceChain(&p.stripes[local], rest, last)
-		}
-		p.retired.Add(^uint64(0))
-		return first, true
-	}
-	return 0, false
+// Retire pushes a node onto the caller's stripe (DescRetire, Figure 7).
+// Lock-free; never fails.
+func (p *Pool[T, PT]) Retire(stripe int, idx uint64) {
+	p.be.retireChain(stripe, idx, idx, 1)
+}
+
+// RetireChain pushes the chain first..last (already linked node to
+// node via packed link words, except last) of n nodes onto the
+// caller's stripe. Lock-free.
+func (p *Pool[T, PT]) RetireChain(stripe int, first, last, n uint64) {
+	p.be.retireChain(stripe, first, last, n)
 }
 
 // grow materializes one chunk of fresh nodes linked first→first+1→…→0
 // and returns the first index. The bump is CAS-guarded so exhaustion
 // is stable: a full table keeps returning ErrExhausted instead of
-// advancing the counter.
+// advancing the counter. The CAS also advances Allocated (which is
+// derived from the same word), so Allocated() == Limit()-First() holds
+// unconditionally — including between the bump and the chunk's
+// publication, and after ErrExhausted.
 func (p *Pool[T, PT]) grow() (uint64, error) {
 	for {
 		base := p.nextIdx.Load()
@@ -292,32 +289,35 @@ func (p *Pool[T, PT]) grow() (uint64, error) {
 		if !p.chunks[ci].CompareAndSwap(nil, &s) {
 			panic("pool: chunk slot already populated")
 		}
-		p.allocated.Add(p.chunkSize)
 		return base, nil
 	}
 }
 
-// Retire pushes a node onto the caller's stripe (DescRetire, Figure 7).
-// Lock-free.
-func (p *Pool[T, PT]) Retire(stripe int, idx uint64) {
-	p.RetireChain(stripe, idx, idx, 1)
+// popNode pops one node off a tagged freelist head, or reports the
+// list empty. Shared by the freelist backend's stripes and the
+// constant-time backend's overflow list.
+func (p *Pool[T, PT]) popNode(s *stripe, site telemetry.Site) (uint64, bool) {
+	for {
+		oldHead := s.head.Load()
+		h := atomicx.UnpackTagged(oldHead)
+		if h.Idx == 0 {
+			return 0, false
+		}
+		next := atomicx.UnpackTagged(p.link(h.Idx).Load()).Idx
+		newHead := atomicx.Tagged{Idx: next, Tag: h.Tag + 1}.Pack()
+		// The paper uses SafeCAS (hazard-pointer protected); the
+		// tagged head provides the same ABA safety for index-addressed
+		// nodes.
+		if s.head.CompareAndSwap(oldHead, newHead) {
+			return h.Idx, true
+		}
+		p.retry(site, h.Idx)
+	}
 }
 
-// RetireChain pushes the chain first..last (already linked node to
-// node via packed link words, except last) of n nodes onto the
-// caller's stripe. Lock-free.
-func (p *Pool[T, PT]) RetireChain(stripe int, first, last, n uint64) {
-	p.pushChain(&p.stripes[p.stripeFor(stripe)], first, last, n)
-}
-
-func (p *Pool[T, PT]) pushChain(s *stripe, first, last, n uint64) {
-	p.spliceChain(s, first, last)
-	p.retired.Add(n)
-}
-
-// spliceChain links last to the stripe's head and installs first as
-// the new head, bumping both tags; it does not touch the retired
-// counter (migration moves chains that are already retired).
+// spliceChain links last to the head's current chain and installs
+// first as the new head, bumping both tags; it does not touch the
+// retired counter (migration moves chains that are already retired).
 func (p *Pool[T, PT]) spliceChain(s *stripe, first, last uint64) {
 	ln := p.link(last)
 	for {
@@ -334,10 +334,27 @@ func (p *Pool[T, PT]) spliceChain(s *stripe, first, last uint64) {
 	}
 }
 
-// Allocated returns how many nodes have ever been created.
-func (p *Pool[T, PT]) Allocated() uint64 { return p.allocated.Load() }
+// chainWalk calls visit for each index of the chain starting at first,
+// following packed link words, for at most n nodes.
+func (p *Pool[T, PT]) chainWalk(first, n uint64, visit func(idx uint64)) {
+	idx := first
+	for i := uint64(0); i < n && idx != 0; i++ {
+		next := atomicx.UnpackTagged(p.link(idx).Load()).Idx
+		visit(idx)
+		idx = next
+	}
+}
 
-// Retired returns how many nodes are currently on freelists.
+// Allocated returns how many nodes have ever been created. It is
+// derived from the bump counter, so Allocated() == Limit()-First()
+// holds at every instant — there is no window where a grown chunk is
+// counted by one accessor and not the other (the old separate counter
+// lagged chunk publication, so an exhausted or racing pool could
+// briefly report Allocated < Limit-First).
+func (p *Pool[T, PT]) Allocated() uint64 { return p.nextIdx.Load() - p.chunkSize }
+
+// Retired returns how many nodes are currently on freelists (or, for
+// the constant-time backend, parked in batches).
 func (p *Pool[T, PT]) Retired() uint64 { return p.retired.Load() }
 
 // First returns the lowest valid node index (one chunk, since the
@@ -348,39 +365,18 @@ func (p *Pool[T, PT]) First() uint64 { return p.chunkSize }
 // in [First, Limit) are exactly the nodes counted by Allocated.
 func (p *Pool[T, PT]) Limit() uint64 { return p.nextIdx.Load() }
 
-// Stripes returns the number of freelist stripes.
-func (p *Pool[T, PT]) Stripes() int { return len(p.stripes) }
+// Stripes returns the number of freelist stripes (batch slots for the
+// constant-time backend).
+func (p *Pool[T, PT]) Stripes() int { return p.be.nstripes() }
 
-// StripeFree returns the number of retired nodes on each stripe's
-// freelist by walking the chains. The walk races with concurrent
-// Alloc/Retire (each step is bounded, so a torn snapshot can only
-// mis-count, not loop); exact results need a quiescent pool.
-func (p *Pool[T, PT]) StripeFree() []uint64 {
-	out := make([]uint64, len(p.stripes))
-	bound := p.allocated.Load()
-	for i := range p.stripes {
-		idx := atomicx.UnpackTagged(p.stripes[i].head.Load()).Idx
-		var n uint64
-		for idx != 0 && n < bound {
-			n++
-			idx = atomicx.UnpackTagged(p.link(idx).Load()).Idx
-		}
-		out[i] = n
-	}
-	return out
-}
+// StripeFree returns the number of retired nodes per stripe. The walk
+// races with concurrent Alloc/Retire (each step is bounded, so a torn
+// snapshot can only mis-count, not loop); exact results need a
+// quiescent pool. The constant-time backend reports nodes parked in
+// each slot's private batches per stripe and attributes the shared
+// full/partial stacks and the overflow list to stripe 0.
+func (p *Pool[T, PT]) StripeFree() []uint64 { return p.be.stripeFree() }
 
 // FreeIndices returns the set of node indices currently on freelists.
 // Quiescent callers only (invariant checkers, tests).
-func (p *Pool[T, PT]) FreeIndices() map[uint64]bool {
-	out := make(map[uint64]bool)
-	bound := p.allocated.Load()
-	for i := range p.stripes {
-		idx := atomicx.UnpackTagged(p.stripes[i].head.Load()).Idx
-		for idx != 0 && uint64(len(out)) <= bound {
-			out[idx] = true
-			idx = atomicx.UnpackTagged(p.link(idx).Load()).Idx
-		}
-	}
-	return out
-}
+func (p *Pool[T, PT]) FreeIndices() map[uint64]bool { return p.be.freeIndices() }

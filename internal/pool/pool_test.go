@@ -2,6 +2,7 @@ package pool
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -31,128 +32,181 @@ func mustAlloc(t *testing.T, p *tpool, stripe int) uint64 {
 	return idx
 }
 
+// forEachAlgo runs a subtest per recycling backend; behaviour-shared
+// tests go through it, backend-specific ones (LIFO order, migration)
+// pin their algo.
+func forEachAlgo(t *testing.T, f func(t *testing.T, algo Algo)) {
+	for _, algo := range []Algo{AlgoFreelist, AlgoConstTime} {
+		t.Run(algo.String(), func(t *testing.T) { f(t, algo) })
+	}
+}
+
+func TestParseAlgo(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Algo
+	}{{"", AlgoFreelist}, {"freelist", AlgoFreelist}, {"consttime", AlgoConstTime}} {
+		got, err := ParseAlgo(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseAlgo(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseAlgo("bogus"); err == nil {
+		t.Error("ParseAlgo(bogus) succeeded")
+	}
+	if AlgoFreelist.String() != "freelist" || AlgoConstTime.String() != "consttime" {
+		t.Error("Algo.String round-trip broken")
+	}
+}
+
 func TestAllocDistinctAndRecycled(t *testing.T) {
-	p := newTestPool(Config{ChunkLog2: 3, MaxChunks: 16})
-	const n = 20 // crosses chunk boundaries (chunk = 8)
-	seen := map[uint64]bool{}
-	idxs := make([]uint64, 0, n)
-	for i := 0; i < n; i++ {
-		idx := mustAlloc(t, p, 0)
-		if idx == 0 {
-			t.Fatal("Alloc returned reserved index 0")
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		p := newTestPool(Config{ChunkLog2: 3, MaxChunks: 16, Algo: algo})
+		const n = 20 // crosses chunk boundaries (chunk = 8)
+		seen := map[uint64]bool{}
+		idxs := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			idx := mustAlloc(t, p, 0)
+			if idx == 0 {
+				t.Fatal("Alloc returned reserved index 0")
+			}
+			if idx < p.First() || idx >= p.Limit() {
+				t.Fatalf("index %d outside [%d, %d)", idx, p.First(), p.Limit())
+			}
+			if seen[idx] {
+				t.Fatalf("index %d allocated twice", idx)
+			}
+			seen[idx] = true
+			idxs = append(idxs, idx)
 		}
-		if idx < p.First() || idx >= p.Limit() {
-			t.Fatalf("index %d outside [%d, %d)", idx, p.First(), p.Limit())
+		if got := p.Allocated() - p.Retired(); got != n {
+			t.Fatalf("live = %d, want %d", got, n)
 		}
-		if seen[idx] {
-			t.Fatalf("index %d allocated twice", idx)
+		for _, idx := range idxs {
+			p.Retire(0, idx)
 		}
-		seen[idx] = true
-		idxs = append(idxs, idx)
-	}
-	if got := p.Allocated() - p.Retired(); got != n {
-		t.Fatalf("live = %d, want %d", got, n)
-	}
-	for _, idx := range idxs {
-		p.Retire(0, idx)
-	}
-	limit := p.Limit()
-	// Steady-state churn must recycle, not grow.
-	for i := 0; i < 10*n; i++ {
-		p.Retire(0, mustAlloc(t, p, 0))
-	}
-	if p.Limit() != limit {
-		t.Fatalf("pool grew %d -> %d under steady churn", limit, p.Limit())
-	}
+		limit := p.Limit()
+		// Steady-state churn must recycle, not grow.
+		for i := 0; i < 10*n; i++ {
+			p.Retire(0, mustAlloc(t, p, 0))
+		}
+		if p.Limit() != limit {
+			t.Fatalf("pool grew %d -> %d under steady churn", limit, p.Limit())
+		}
+	})
 }
 
 func TestErrExhaustedTypedAndStable(t *testing.T) {
-	// MaxChunks=2 with the first chunk reserved leaves exactly one
-	// usable chunk of 4 nodes.
-	p := newTestPool(Config{ChunkLog2: 2, MaxChunks: 2})
-	for i := 0; i < 4; i++ {
-		mustAlloc(t, p, 0)
-	}
-	for i := 0; i < 3; i++ {
-		if _, err := p.Alloc(0); !errors.Is(err, ErrExhausted) {
-			t.Fatalf("attempt %d: err = %v, want wrapped ErrExhausted", i, err)
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		// MaxChunks=2 with the first chunk reserved leaves exactly one
+		// usable chunk of 4 nodes.
+		p := newTestPool(Config{ChunkLog2: 2, MaxChunks: 2, Algo: algo})
+		for i := 0; i < 4; i++ {
+			mustAlloc(t, p, 0)
 		}
-	}
-	if got := p.Limit(); got != 8 {
-		t.Fatalf("exhaustion advanced the bump counter: Limit = %d, want 8", got)
-	}
-	// Retiring a node makes the pool usable again.
-	p.Retire(0, 4)
-	if idx := mustAlloc(t, p, 0); idx != 4 {
-		t.Fatalf("recycled index = %d, want 4", idx)
-	}
+		for i := 0; i < 3; i++ {
+			if _, err := p.Alloc(0); !errors.Is(err, ErrExhausted) {
+				t.Fatalf("attempt %d: err = %v, want wrapped ErrExhausted", i, err)
+			}
+		}
+		if got := p.Limit(); got != 8 {
+			t.Fatalf("exhaustion advanced the bump counter: Limit = %d, want 8", got)
+		}
+		if got, want := p.Allocated(), p.Limit()-p.First(); got != want {
+			t.Fatalf("after exhaustion Allocated = %d, Limit-First = %d", got, want)
+		}
+		// Retiring a node makes the pool usable again.
+		p.Retire(0, 4)
+		if idx := mustAlloc(t, p, 0); idx != 4 {
+			t.Fatalf("recycled index = %d, want 4", idx)
+		}
+	})
 }
 
 func TestRetireChain(t *testing.T) {
-	p := newTestPool(Config{ChunkLog2: 4, MaxChunks: 4})
-	a, b, c := mustAlloc(t, p, 0), mustAlloc(t, p, 0), mustAlloc(t, p, 0)
-	// Build the chain a -> b -> c by hand, preserving each link's tag.
-	link := func(from, to uint64) {
-		w := p.Get(from).PoolNext()
-		old := atomicx.UnpackTagged(w.Load())
-		w.Store(atomicx.Tagged{Idx: to, Tag: old.Tag + 1}.Pack())
-	}
-	link(a, b)
-	link(b, c)
-	before := p.Retired()
-	p.RetireChain(0, a, c, 3)
-	if got := p.Retired(); got != before+3 {
-		t.Fatalf("retired %d -> %d, want +3", before, got)
-	}
-	// LIFO: the chain head comes back first.
-	for _, want := range []uint64{a, b, c} {
-		if got := mustAlloc(t, p, 0); got != want {
-			t.Fatalf("got %d, want %d", got, want)
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		p := newTestPool(Config{ChunkLog2: 4, MaxChunks: 4, Algo: algo})
+		a, b, c := mustAlloc(t, p, 0), mustAlloc(t, p, 0), mustAlloc(t, p, 0)
+		// Build the chain a -> b -> c by hand, preserving each link's tag.
+		link := func(from, to uint64) {
+			w := p.Get(from).PoolNext()
+			old := atomicx.UnpackTagged(w.Load())
+			w.Store(atomicx.Tagged{Idx: to, Tag: old.Tag + 1}.Pack())
 		}
-	}
+		link(a, b)
+		link(b, c)
+		before := p.Retired()
+		p.RetireChain(0, a, c, 3)
+		if got := p.Retired(); got != before+3 {
+			t.Fatalf("retired %d -> %d, want +3", before, got)
+		}
+		// All three come back exactly once (the freelist backend
+		// additionally guarantees LIFO, checked below).
+		got := []uint64{mustAlloc(t, p, 0), mustAlloc(t, p, 0), mustAlloc(t, p, 0)}
+		seen := map[uint64]bool{}
+		for _, idx := range got {
+			if seen[idx] {
+				t.Fatalf("index %d served twice after RetireChain", idx)
+			}
+			seen[idx] = true
+		}
+		if !seen[a] || !seen[b] || !seen[c] {
+			t.Fatalf("RetireChain lost nodes: got %v, want {%d %d %d}", got, a, b, c)
+		}
+		if algo == AlgoFreelist {
+			// LIFO: the chain head comes back first.
+			for i, want := range []uint64{a, b, c} {
+				if got[i] != want {
+					t.Fatalf("got %v, want LIFO [%d %d %d]", got, a, b, c)
+				}
+			}
+		}
+	})
 }
 
 func TestAccountingInvariant(t *testing.T) {
-	// allocated == live + retired at every quiescent point, across all
-	// stripes, with FreeIndices agreeing exactly.
-	p := newTestPool(Config{ChunkLog2: 3, MaxChunks: 1 << 10, Stripes: 4})
-	live := map[uint64]bool{}
-	rng := uint64(1)
-	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
-	for step := 0; step < 5000; step++ {
-		if next()%2 == 0 || len(live) == 0 {
-			idx := mustAlloc(t, p, int(next()%7))
-			if live[idx] {
-				t.Fatalf("step %d: index %d double-allocated", step, idx)
-			}
-			live[idx] = true
-		} else {
-			for idx := range live {
-				delete(live, idx)
-				p.Retire(int(next()%7), idx)
-				break
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		// allocated == live + retired at every quiescent point, across all
+		// stripes, with FreeIndices agreeing exactly.
+		p := newTestPool(Config{ChunkLog2: 3, MaxChunks: 1 << 10, Stripes: 4, Algo: algo})
+		live := map[uint64]bool{}
+		rng := uint64(1)
+		next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
+		for step := 0; step < 5000; step++ {
+			if next()%2 == 0 || len(live) == 0 {
+				idx := mustAlloc(t, p, int(next()%7))
+				if live[idx] {
+					t.Fatalf("step %d: index %d double-allocated", step, idx)
+				}
+				live[idx] = true
+			} else {
+				for idx := range live {
+					delete(live, idx)
+					p.Retire(int(next()%7), idx)
+					break
+				}
 			}
 		}
-	}
-	if got, want := p.Allocated(), uint64(len(live))+p.Retired(); got != want {
-		t.Fatalf("allocated %d != live %d + retired %d", got, len(live), p.Retired())
-	}
-	free := p.FreeIndices()
-	if uint64(len(free)) != p.Retired() {
-		t.Fatalf("freelists hold %d, retired counter %d", len(free), p.Retired())
-	}
-	for idx := range live {
-		if free[idx] {
-			t.Fatalf("live index %d found on a freelist", idx)
+		if got, want := p.Allocated(), uint64(len(live))+p.Retired(); got != want {
+			t.Fatalf("allocated %d != live %d + retired %d", got, len(live), p.Retired())
 		}
-	}
-	var stripeSum uint64
-	for _, n := range p.StripeFree() {
-		stripeSum += n
-	}
-	if stripeSum != p.Retired() {
-		t.Fatalf("stripe walk sums to %d, retired counter %d", stripeSum, p.Retired())
-	}
+		free := p.FreeIndices()
+		if uint64(len(free)) != p.Retired() {
+			t.Fatalf("freelists hold %d, retired counter %d", len(free), p.Retired())
+		}
+		for idx := range live {
+			if free[idx] {
+				t.Fatalf("live index %d found on a freelist", idx)
+			}
+		}
+		var stripeSum uint64
+		for _, n := range p.StripeFree() {
+			stripeSum += n
+		}
+		if stripeSum != p.Retired() {
+			t.Fatalf("stripe walk sums to %d, retired counter %d", stripeSum, p.Retired())
+		}
+	})
 }
 
 func TestStripeMigration(t *testing.T) {
@@ -241,101 +295,205 @@ func TestMigrationInterleave(t *testing.T) {
 
 // TestABARecyclingFuzz hammers Alloc/Retire from many goroutines across
 // stripes, stamping each node at allocation with a CAS from zero: if
-// tagged recycling ever handed one index to two owners, the loser's
-// stamp CAS fails. Run with -race in CI.
+// recycling ever handed one index to two owners, the loser's stamp CAS
+// fails. Run with -race in CI; covers both backends (for the
+// constant-time one this doubles as the batch claim/park/displacement
+// race test — Stripes=4 with 8 goroutines keeps slots contended).
 func TestABARecyclingFuzz(t *testing.T) {
-	p := newTestPool(Config{ChunkLog2: 4, MaxChunks: 1 << 10, Stripes: 4})
-	const goroutines = 8
-	iters := 20000
-	if testing.Short() {
-		iters = 2000
-	}
-	var wg sync.WaitGroup
-	var doubles atomic.Int64
-	for g := 0; g < goroutines; g++ {
-		wg.Add(1)
-		go func(g uint64) {
-			defer wg.Done()
-			held := make([]uint64, 0, 16)
-			for i := 0; i < iters; i++ {
-				idx, err := p.Alloc(int(g))
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				tag := g<<32 | uint64(i) | 1
-				if !p.Get(idx).stamp.CompareAndSwap(0, tag) {
-					doubles.Add(1)
-					continue
-				}
-				held = append(held, idx)
-				if len(held) == cap(held) || i%3 == 0 {
-					// Release in bursts, sometimes to a sibling stripe,
-					// to keep migration in play.
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		for _, stripes := range []int{1, 4} {
+			p := newTestPool(Config{ChunkLog2: 4, MaxChunks: 1 << 10, Stripes: stripes, Algo: algo})
+			const goroutines = 8
+			iters := 20000
+			if testing.Short() {
+				iters = 2000
+			}
+			var wg sync.WaitGroup
+			var doubles atomic.Int64
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g uint64) {
+					defer wg.Done()
+					held := make([]uint64, 0, 16)
+					for i := 0; i < iters; i++ {
+						idx, err := p.Alloc(int(g))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						tag := g<<32 | uint64(i) | 1
+						if !p.Get(idx).stamp.CompareAndSwap(0, tag) {
+							doubles.Add(1)
+							continue
+						}
+						held = append(held, idx)
+						if len(held) == cap(held) || i%3 == 0 {
+							// Release in bursts, sometimes to a sibling stripe,
+							// to keep migration in play.
+							for _, h := range held {
+								p.Get(h).stamp.Store(0)
+								p.Retire(int(g+uint64(len(held)))%4, h)
+							}
+							held = held[:0]
+						}
+					}
 					for _, h := range held {
 						p.Get(h).stamp.Store(0)
-						p.Retire(int(g+uint64(len(held)))%4, h)
+						p.Retire(int(g), h)
 					}
-					held = held[:0]
+				}(uint64(g))
+			}
+			wg.Wait()
+			if n := doubles.Load(); n != 0 {
+				t.Fatalf("stripes=%d: %d double allocations detected", stripes, n)
+			}
+			if got, want := p.Allocated(), p.Retired(); got != want {
+				t.Fatalf("stripes=%d quiescent: allocated %d != retired %d (all nodes released)", stripes, got, want)
+			}
+			if free := p.FreeIndices(); uint64(len(free)) != p.Retired() {
+				t.Fatalf("stripes=%d: freelists hold %d, retired counter %d", stripes, len(free), p.Retired())
+			}
+		}
+	})
+}
+
+// TestExhaustionAccountingReconciliation is the regression test for
+// the exhaustion-path accounting asymmetry: Allocated used to be a
+// separate counter bumped after chunk publication, so a walker racing
+// grow (or probing after ErrExhausted) could observe
+// Allocated() < Limit()-First(), and StripeFree's walk bound could be
+// one chunk short. Allocated is now derived from the bump counter;
+// this churns both backends to exhaustion and back under -race while
+// a walker asserts the identity continuously.
+func TestExhaustionAccountingReconciliation(t *testing.T) {
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		p := newTestPool(Config{ChunkLog2: 2, MaxChunks: 8, Stripes: 2, Algo: algo})
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		// Churners: drive to exhaustion, then release everything.
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				held := make([]uint64, 0, 32)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						for _, idx := range held {
+							p.Retire(g, idx)
+						}
+						return
+					default:
+					}
+					idx, err := p.Alloc(g)
+					if err != nil {
+						if !errors.Is(err, ErrExhausted) {
+							t.Error(err)
+							return
+						}
+						for _, h := range held {
+							p.Retire(g+i, h)
+						}
+						held = held[:0]
+						continue
+					}
+					held = append(held, idx)
 				}
+			}(g)
+		}
+		// Walker: the identity must hold at every instant, TryGet must
+		// stay nil-or-valid across [First, Limit), and the stripe walk
+		// must never loop past its bound.
+		for i := 0; i < 2000; i++ {
+			if got, want := p.Allocated(), p.Limit()-p.First(); got != want {
+				t.Errorf("iteration %d: Allocated %d != Limit-First %d", i, got, want)
+				break
 			}
-			for _, h := range held {
-				p.Get(h).stamp.Store(0)
-				p.Retire(int(g), h)
+			limit := p.Limit()
+			for idx := p.First(); idx < limit; idx++ {
+				p.TryGet(idx) // must not panic, nil is fine mid-publication
 			}
-		}(uint64(g))
-	}
-	wg.Wait()
-	if n := doubles.Load(); n != 0 {
-		t.Fatalf("%d double allocations detected", n)
-	}
-	if got, want := p.Allocated(), p.Retired(); got != want {
-		t.Fatalf("quiescent: allocated %d != retired %d (all nodes released)", got, want)
-	}
-	if free := p.FreeIndices(); uint64(len(free)) != p.Retired() {
-		t.Fatalf("freelists hold %d, retired counter %d", len(free), p.Retired())
+			var sum uint64
+			for _, n := range p.StripeFree() {
+				sum += n
+			}
+			if sum > p.Allocated()*2 {
+				t.Errorf("iteration %d: stripe walk unbounded: %d", i, sum)
+				break
+			}
+		}
+		close(stop)
+		wg.Wait()
+		// Quiescent: exact reconciliation, including after the pool hit
+		// ErrExhausted many times.
+		if got, want := p.Allocated(), p.Limit()-p.First(); got != want {
+			t.Fatalf("quiescent: Allocated %d != Limit-First %d", got, want)
+		}
+		if got, want := p.Allocated(), p.Retired(); got != want {
+			t.Fatalf("quiescent: allocated %d != retired %d", got, want)
+		}
+		if free := p.FreeIndices(); uint64(len(free)) != p.Retired() {
+			t.Fatalf("quiescent: freelists hold %d, retired %d", len(free), p.Retired())
+		}
+	})
+}
+
+// BenchmarkPoolAllocRetire pins backend regressions without the full
+// harness: per backend × stripes {1, P}.
+func BenchmarkPoolAllocRetire(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	for _, algo := range []Algo{AlgoFreelist, AlgoConstTime} {
+		for _, stripes := range []int{1, procs} {
+			b.Run("algo="+algo.String()+"/stripes="+itoa(stripes), func(b *testing.B) {
+				p := newTestPool(Config{ChunkLog2: 6, MaxChunks: 1 << 12, Stripes: stripes, Algo: algo})
+				var id atomic.Int64
+				b.RunParallel(func(pb *testing.PB) {
+					g := int(id.Add(1))
+					for pb.Next() {
+						idx, err := p.Alloc(g)
+						if err != nil {
+							b.Fatal(err)
+						}
+						p.Retire(g, idx)
+					}
+				})
+			})
+		}
 	}
 }
 
-func BenchmarkAllocRetire(b *testing.B) {
-	for _, stripes := range []int{1, 4} {
-		name := "stripes=1"
-		if stripes != 1 {
-			name = "stripes=4"
-		}
-		b.Run(name, func(b *testing.B) {
-			p := newTestPool(Config{ChunkLog2: 6, MaxChunks: 1 << 12, Stripes: stripes})
-			var id atomic.Int64
-			b.RunParallel(func(pb *testing.PB) {
-				g := int(id.Add(1))
-				for pb.Next() {
-					idx, err := p.Alloc(g)
-					if err != nil {
-						b.Fatal(err)
-					}
-					p.Retire(g, idx)
-				}
-			})
-		})
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
 	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
 }
 
 // TestTryGetUnpublishedChunk: indices whose chunk has never been
 // carved must return nil from TryGet (the walker-safe accessor), while
 // allocated indices resolve to the same node as Get.
 func TestTryGetUnpublishedChunk(t *testing.T) {
-	p := newTestPool(Config{ChunkLog2: 3, MaxChunks: 16})
-	idx := mustAlloc(t, p, 0)
-	if p.TryGet(idx) == nil {
-		t.Fatal("TryGet returned nil for an allocated index")
-	}
-	if p.TryGet(idx) != p.Get(idx) {
-		t.Error("TryGet and Get disagree on an allocated index")
-	}
-	// An index two chunks past the bump counter lives in a chunk that
-	// was never carved: Get would dereference a nil chunk pointer,
-	// TryGet reports it as absent.
-	if got := p.TryGet(p.Limit() + 2*8); got != nil {
-		t.Errorf("TryGet(uncarved chunk) = %v, want nil", got)
-	}
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		p := newTestPool(Config{ChunkLog2: 3, MaxChunks: 16, Algo: algo})
+		idx := mustAlloc(t, p, 0)
+		if p.TryGet(idx) == nil {
+			t.Fatal("TryGet returned nil for an allocated index")
+		}
+		if p.TryGet(idx) != p.Get(idx) {
+			t.Error("TryGet and Get disagree on an allocated index")
+		}
+		// An index two chunks past the bump counter lives in a chunk that
+		// was never carved: Get would dereference a nil chunk pointer,
+		// TryGet reports it as absent.
+		if got := p.TryGet(p.Limit() + 2*8); got != nil {
+			t.Errorf("TryGet(uncarved chunk) = %v, want nil", got)
+		}
+	})
 }

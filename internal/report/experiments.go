@@ -10,6 +10,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/census"
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/telemetry"
 )
 
@@ -44,6 +45,10 @@ type RunConfig struct {
 	// stripe per processor, the default; 1 = the paper's single
 	// DescAvail list).
 	DescStripes int
+	// DescAlgo selects the descriptor pool's recycling backend on
+	// every lock-free allocator constructed for an experiment
+	// (pool.AlgoFreelist, the default, or pool.AlgoConstTime).
+	DescAlgo pool.Algo
 	// SampleRate sets the allocation sampler's period (one sample per
 	// SampleRate mallocs) on every telemetry recorder constructed for
 	// an experiment; 0 leaves the sampler off. Requires Telemetry.
@@ -72,6 +77,9 @@ func (c RunConfig) lockFreeOptions(lf core.Config) alloc.Options {
 	}
 	if lf.DescStripes == 0 {
 		lf.DescStripes = c.DescStripes
+	}
+	if lf.DescAlgo == pool.AlgoFreelist {
+		lf.DescAlgo = c.DescAlgo
 	}
 	opt := alloc.Options{Processors: c.Processors, LockFree: lf}
 	opt.HeapConfig.Arenas = c.Arenas
@@ -123,6 +131,7 @@ func (c RunConfig) newAlloc(name string) (alloc.Allocator, error) {
 		}
 		opt.LockFree.MagazineSize = c.Magazine
 		opt.LockFree.DescStripes = c.DescStripes
+		opt.LockFree.DescAlgo = c.DescAlgo
 	}
 	return alloc.New(name, opt)
 }
@@ -161,6 +170,13 @@ func (c RunConfig) larson() bench.Workload {
 		MinSize:         16,
 		MaxSize:         80,
 	}
+}
+
+func (c RunConfig) descChurn() bench.Workload {
+	// 2048-byte blocks put 7 blocks in each 16 KiB superblock, so every
+	// batch of 64 creates and empties ~10 superblocks: the descriptor
+	// pool is the bottleneck, not block carving.
+	return bench.DescChurn{Rounds: c.scaleInt(2000), Batch: 64, Size: 2048}
 }
 
 func (c RunConfig) producerConsumer(work int) bench.Workload {
@@ -277,6 +293,12 @@ func Experiments() []Experiment {
 			Title: "Descriptor-pool stripes: sharded freelist heads with batched chain migration",
 			Paper: "beyond the paper — stripes the paper's single DescAvail list; compare desc-alloc/desc-retire retries and chain migrations against the unstriped layout",
 			Run:   runPoolStripes,
+		},
+		{
+			ID:    "poolalgo",
+			Title: "Descriptor-pool backend: Figure-7 tagged freelist vs Blelloch-Wei constant-time batches",
+			Paper: "beyond the paper — swaps the DescAvail freelist for the constant-time batch scheme (Blelloch & Wei); compare desc retries/op, malloc p50/p99, and batch handoffs under DescChurn and Larson",
+			Run:   runPoolAlgo,
 		},
 		{
 			ID:    "census",
@@ -707,6 +729,74 @@ func runPoolStripes(cfg RunConfig, out io.Writer) error {
 				v.name,
 				fmt.Sprintf("%.0f", best.OpsPerSec()),
 				raw, perOp, migs,
+				fmt.Sprintf("%d", best.MaxLiveBytes),
+			})
+		}
+		fmt.Fprint(out, t.Render())
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runPoolAlgo pits the descriptor pool's two recycling backends
+// against each other at the maximum thread count: the Figure-7 tagged
+// freelist (per-processor stripes, chain migration) and the
+// Blelloch-Wei constant-time batch scheme. DescChurn bottlenecks on
+// descriptor recycling itself; Larson shows the backend's cost inside
+// a realistic mixed workload. Telemetry is forced on so every row
+// carries desc-site CAS retries, malloc latency percentiles, and
+// migration/handoff counts from the same run. The acceptance claim:
+// the constant-time backend's desc retries/op is ~0 (its per-node
+// paths have no CAS loop to retry) with Larson ops/s within noise of
+// the freelist.
+func runPoolAlgo(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	cfg.Telemetry = true
+	maxT := cfg.Threads[len(cfg.Threads)-1]
+	variants := []struct {
+		name string
+		algo pool.Algo
+	}{
+		{"freelist (Figure 7, striped)", pool.AlgoFreelist},
+		{"consttime (Blelloch-Wei batches)", pool.AlgoConstTime},
+	}
+	workloads := []bench.Workload{cfg.descChurn(), cfg.larson()}
+	for _, w := range workloads {
+		t := Table{
+			Title:   fmt.Sprintf("Descriptor-pool backend: %s at %d threads", w.Name(), maxT),
+			Columns: []string{"variant", "ops/s", "desc retries", "desc retries/op", "malloc p50", "malloc p99", "migrations", "maxlive B"},
+			Notes: []string{
+				"desc retries = failed CASes at the desc-alloc and desc-retire sites (shared-stack CASes for consttime)",
+				"migrations = chain migrations (freelist) or batch handoffs via the shared stacks (consttime)",
+			},
+		}
+		for _, v := range variants {
+			var best bench.Result
+			for i := 0; i < scalarReps; i++ {
+				a := alloc.NewLockFree(cfg.lockFreeOptions(core.Config{DescAlgo: v.algo}))
+				runtime.GC()
+				r := w.Run(a, maxT)
+				cfg.note(r)
+				if r.OpsPerSec() > best.OpsPerSec() {
+					best = r
+				}
+			}
+			raw, perOp, p50, p99, migs := "-", "-", "-", "-", "-"
+			if tel := best.Telemetry; tel != nil && best.Ops > 0 {
+				var rr uint64
+				for _, site := range descSites {
+					rr += tel.RetriesBySite[site]
+				}
+				raw = fmt.Sprintf("%d", rr)
+				perOp = fmt.Sprintf("%.6f", float64(rr)/float64(best.Ops))
+				p50 = time.Duration(tel.MallocP50NS).String()
+				p99 = time.Duration(tel.MallocP99NS).String()
+				migs = fmt.Sprintf("%d", tel.RetriesBySite[telemetry.SitePoolMigrate.String()])
+			}
+			t.Rows = append(t.Rows, []string{
+				v.name,
+				fmt.Sprintf("%.0f", best.OpsPerSec()),
+				raw, perOp, p50, p99, migs,
 				fmt.Sprintf("%d", best.MaxLiveBytes),
 			})
 		}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/pool"
 	"repro/internal/shadow"
 	"repro/internal/telemetry"
 )
@@ -62,6 +63,10 @@ type Plan struct {
 	// single DescAvail list), so kill tolerance can be verified with
 	// cross-stripe chain migration in play.
 	DescStripes int
+	// DescAlgo selects the descriptor pool's recycling backend
+	// (pool.AlgoFreelist or pool.AlgoConstTime), so kill tolerance can
+	// be verified with the Blelloch-Wei batch machinery in play.
+	DescAlgo pool.Algo
 	// Telemetry, when non-nil, is attached to the allocator; after the
 	// run its flight recorder holds the events leading up to each kill
 	// (every hook firing is recorded, so the ring's tail shows exactly
@@ -136,6 +141,7 @@ func Run(plan Plan) (Result, error) {
 		Telemetry:    plan.Telemetry,
 		MagazineSize: plan.Magazine,
 		DescStripes:  plan.DescStripes,
+		DescAlgo:     plan.DescAlgo,
 		Shadow:       sh,
 	})
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 )
 
 // TestKillAtEveryPoint kills one victim at each instrumented point in
@@ -147,29 +148,32 @@ func TestKillAtEveryPointArenas(t *testing.T) {
 // layouts. A thread killed between a migration's detach CAS and its
 // splice must never strand the chain where peers can't reach it.
 func TestKillAtEveryPointDescStripes(t *testing.T) {
-	for _, stripes := range []int{1, 6} {
-		for p := core.HookPoint(0); p < core.NumHookPoints; p++ {
-			p := p
-			t.Run(fmt.Sprintf("stripes=%d/%v", stripes, p), func(t *testing.T) {
-				res, err := Run(Plan{
-					Victims:        2,
-					Survivors:      2,
-					OpsPerSurvivor: 10000,
-					OpsBeforeKill:  50,
-					Seed:           int64(p) + 1000*int64(stripes),
-					Point:          p,
-					DescStripes:    stripes,
+	for _, algo := range []pool.Algo{pool.AlgoFreelist, pool.AlgoConstTime} {
+		for _, stripes := range []int{1, 6} {
+			for p := core.HookPoint(0); p < core.NumHookPoints; p++ {
+				p := p
+				t.Run(fmt.Sprintf("algo=%s/stripes=%d/%v", algo, stripes, p), func(t *testing.T) {
+					res, err := Run(Plan{
+						Victims:        2,
+						Survivors:      2,
+						OpsPerSurvivor: 10000,
+						OpsBeforeKill:  50,
+						Seed:           int64(p) + 1000*int64(stripes),
+						Point:          p,
+						DescStripes:    stripes,
+						DescAlgo:       algo,
+					})
+					if err != nil {
+						t.Fatalf("survivors blocked: %v", err)
+					}
+					if res.SurvivorOps != 2*10000 {
+						t.Errorf("survivor ops = %d", res.SurvivorOps)
+					}
+					if res.InvariantErr != nil {
+						t.Errorf("structure corrupted: %v", res.InvariantErr)
+					}
 				})
-				if err != nil {
-					t.Fatalf("survivors blocked: %v", err)
-				}
-				if res.SurvivorOps != 2*10000 {
-					t.Errorf("survivor ops = %d", res.SurvivorOps)
-				}
-				if res.InvariantErr != nil {
-					t.Errorf("structure corrupted: %v", res.InvariantErr)
-				}
-			})
+			}
 		}
 	}
 }
