@@ -6,20 +6,29 @@
 // of periodic samples.
 //
 //	allocmon [-addr :8723] [-threads 4] [-hyper] [-pause 50us]
-//	         [-interval 1s] [-samplerate 1024] [-history 120]
+//	         [-interval 1s] [-samplerate 1024] [-history 120] [-adapt]
 //	allocmon -once [-warmup 2s]
 //
 // Endpoints:
 //
-//	/            text dashboard (telemetry snapshot + census summary)
+//	/            text dashboard (telemetry snapshot + census summary,
+//	             plus the adaptive controller's knobs and recent
+//	             decisions under -adapt)
 //	/stats.json  full telemetry snapshot as JSON; ?base=<seq|last>
 //	             subtracts an earlier series point (interval delta)
 //	/events      flight-recorder events only, as JSON
 //	/heap        allocator + heap + hyperblock statistics as JSON
 //	/census.json latest full heap census as JSON
 //	/series.json the sampled census+snapshot ring, oldest first
+//	/adapt.json  adaptive controller state: live knob values and the
+//	             decision log ({"enabled":false} without -adapt)
 //	/metrics     Prometheus text format (version 0.0.4)
 //	/stream      server-sent events: one series point per sample tick
+//
+// -adapt builds the allocator with the runtime-mutable policy surface
+// and runs an internal/adapt controller (default hysteresis policy) on
+// the sampling interval; its decision log and live knob values appear
+// on the dashboard, /adapt.json, and /metrics.
 //
 // -once skips the server: it warms up, prints the text dashboard to
 // stdout, and exits (useful for smoke tests).
@@ -36,6 +45,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -48,7 +58,8 @@ type monitor struct {
 	rec    *telemetry.Recorder
 	a      *core.Allocator
 	series *telemetry.Series
-	events int // flight-recorder events on the text dashboard
+	events int               // flight-recorder events on the text dashboard
+	ctrl   *adapt.Controller // nil unless -adapt
 
 	mu   sync.Mutex
 	subs map[chan telemetry.SeriesPoint]struct{}
@@ -121,6 +132,7 @@ func (m *monitor) mux() *http.ServeMux {
 		fmt.Fprint(w, m.rec.Snapshot().Text(m.events))
 		printHeapStats(w, m.a)
 		printCensusSummary(w, census.Take(m.a))
+		printAdaptSummary(w, m.ctrl)
 	})
 	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
 		snap := m.rec.Snapshot()
@@ -162,11 +174,30 @@ func (m *monitor) mux() *http.ServeMux {
 	mux.HandleFunc("/series.json", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, m.series.Points())
 	})
+	mux.HandleFunc("/adapt.json", func(w http.ResponseWriter, r *http.Request) {
+		if m.ctrl == nil {
+			writeJSON(w, map[string]any{"enabled": false})
+			return
+		}
+		writeJSON(w, map[string]any{
+			"enabled":      true,
+			"intervalNS":   m.ctrl.Interval().Nanoseconds(),
+			"steps":        m.ctrl.Steps(),
+			"decisions":    m.ctrl.DecisionCount(),
+			"magazineCaps": m.a.MagazineCaps(),
+			"bindings":     m.a.ThreadBindings(),
+			"log":          m.ctrl.Decisions(32),
+		})
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", census.ContentType)
 		snap := m.rec.Snapshot()
 		if err := census.WriteMetrics(w, snap, census.Take(m.a)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if m.ctrl != nil {
+			writeAdaptMetrics(w, m.ctrl)
 		}
 	})
 	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) {
@@ -237,6 +268,7 @@ func main() {
 		interval   = flag.Duration("interval", time.Second, "census sampling interval for /series.json and /stream")
 		sampleRate = flag.Int("samplerate", 1024, "allocation sampling period (mallocs per sample, 0 = off)")
 		history    = flag.Int("history", 120, "series points retained")
+		adaptF     = flag.Bool("adapt", false, "runtime-mutable policy surface + adaptive controller (hysteresis) on the sampling interval")
 	)
 	flag.Parse()
 
@@ -245,25 +277,36 @@ func main() {
 		Processors:  *threads,
 		Hyperblocks: *hyper,
 		Telemetry:   rec,
+		Adapt:       *adaptF,
 	})
 	for g := 0; g < *threads; g++ {
 		go churn(a, int64(g), *pause)
 	}
 
 	m := newMonitor(rec, a, *history, *events)
+	if *adaptF {
+		ctrl, err := adapt.New(a, adapt.Config{Interval: *interval})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "allocmon: %v\n", err)
+			os.Exit(1)
+		}
+		ctrl.Start()
+		m.ctrl = ctrl
+	}
 
 	if *once {
 		time.Sleep(*warmup)
 		fmt.Print(rec.Snapshot().Text(*events))
 		printHeapStats(os.Stdout, a)
 		printCensusSummary(os.Stdout, census.Take(a))
+		printAdaptSummary(os.Stdout, m.ctrl)
 		return
 	}
 
 	go m.run(*interval, make(chan struct{}))
 
-	fmt.Printf("allocmon: %d workload threads (hyper=%v pause=%v samplerate=%d), serving on %s\n",
-		*threads, *hyper, *pause, *sampleRate, *addr)
+	fmt.Printf("allocmon: %d workload threads (hyper=%v pause=%v samplerate=%d adapt=%v), serving on %s\n",
+		*threads, *hyper, *pause, *sampleRate, *adaptF, *addr)
 	if err := http.ListenAndServe(*addr, m.mux()); err != nil {
 		fmt.Fprintf(os.Stderr, "allocmon: %v\n", err)
 		os.Exit(1)
@@ -298,6 +341,41 @@ func printCensusSummary(w interface{ Write([]byte) (int, error) }, c *census.Cen
 			time.Duration(s.AgeP50NS), time.Duration(s.AgeP99NS), time.Duration(s.OldestNS))
 	} else {
 		fmt.Fprintf(w, "frag: external %.1f%% (sampler off)\n", s.ExternalFragPct)
+	}
+}
+
+// printAdaptSummary appends the adaptive controller's live knob values
+// and most recent decisions to the text dashboard; no-op without
+// -adapt.
+func printAdaptSummary(w interface{ Write([]byte) (int, error) }, ctrl *adapt.Controller) {
+	if ctrl == nil {
+		return
+	}
+	a := ctrl.Allocator()
+	fmt.Fprintf(w, "adapt: interval=%v steps=%d decisions=%d; magazine caps %v\n",
+		ctrl.Interval(), ctrl.Steps(), ctrl.DecisionCount(), a.MagazineCaps())
+	for _, b := range a.ThreadBindings() {
+		fmt.Fprintf(w, "adapt: thread %d -> stripe=%d arena=%d\n", b.ID, b.Stripe, b.Arena)
+	}
+	for _, d := range ctrl.Decisions(8) {
+		fmt.Fprintf(w, "adapt: %v\n", d)
+	}
+}
+
+// writeAdaptMetrics appends the controller's Prometheus families after
+// the census exposition (same text format; validated by the endpoint
+// test with census.ValidateMetrics).
+func writeAdaptMetrics(w interface{ Write([]byte) (int, error) }, ctrl *adapt.Controller) {
+	fmt.Fprintf(w, "# HELP adapt_controller_steps_total Control steps executed by the adaptive controller.\n")
+	fmt.Fprintf(w, "# TYPE adapt_controller_steps_total counter\n")
+	fmt.Fprintf(w, "adapt_controller_steps_total %d\n", ctrl.Steps())
+	fmt.Fprintf(w, "# HELP adapt_decisions_total Knob movements recorded in the decision log (applied or rejected).\n")
+	fmt.Fprintf(w, "# TYPE adapt_decisions_total counter\n")
+	fmt.Fprintf(w, "adapt_decisions_total %d\n", ctrl.DecisionCount())
+	fmt.Fprintf(w, "# HELP adapt_magazine_cap Current per-class magazine capacity target.\n")
+	fmt.Fprintf(w, "# TYPE adapt_magazine_cap gauge\n")
+	for cls, cap := range ctrl.Allocator().MagazineCaps() {
+		fmt.Fprintf(w, "adapt_magazine_cap{class=\"%d\"} %d\n", cls, cap)
 	}
 }
 

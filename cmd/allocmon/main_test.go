@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -75,6 +76,7 @@ func TestEndpointsContentTypes(t *testing.T) {
 		"/heap":        "application/json",
 		"/census.json": "application/json",
 		"/series.json": "application/json",
+		"/adapt.json":  "application/json",
 		"/metrics":     census.ContentType,
 	} {
 		_, ct := get(t, srv, path)
@@ -231,6 +233,110 @@ func TestSeriesEndpoint(t *testing.T) {
 	if pts[1].Delta.Malloc.Count != 1 || pts[1].Delta.Free.Count != 1 {
 		t.Errorf("second point delta = %d mallocs / %d frees, want 1/1",
 			pts[1].Delta.Malloc.Count, pts[1].Delta.Free.Count)
+	}
+}
+
+// TestAdaptDisabled: without -adapt, /adapt.json reports enabled=false
+// and the dashboard carries no adapt section.
+func TestAdaptDisabled(t *testing.T) {
+	m, _ := newTestMonitor(t, 50)
+	srv := httptest.NewServer(m.mux())
+	defer srv.Close()
+	body, _ := get(t, srv, "/adapt.json")
+	var st struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Enabled {
+		t.Error("adapt reported enabled on a static monitor")
+	}
+	dash, _ := get(t, srv, "/")
+	if strings.Contains(dash, "adapt:") {
+		t.Error("dashboard shows an adapt section without a controller")
+	}
+}
+
+// newAdaptMonitor builds a monitor whose allocator has the mutable
+// policy surface and a controller with a few deterministic decisions
+// already applied (driven via Step, never started).
+func newAdaptMonitor(t *testing.T) *monitor {
+	t.Helper()
+	rec := core.NewRecorder(telemetry.Config{SampleRate: 1})
+	a := core.New(core.Config{
+		Processors:   2,
+		MagazineSize: 8,
+		Telemetry:    rec,
+		Adapt:        true,
+		HeapConfig:   mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 28},
+	})
+	th := a.Thread()
+	for i := 0; i < 200; i++ {
+		p, err := th.Malloc(uint64(8 + 16*(i%50)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		th.Free(p)
+	}
+	ctrl, err := adapt.New(a, adapt.Config{Policy: &adapt.Exerciser{Caps: []int{16, 32}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Step()
+	ctrl.Step()
+	m := newMonitor(rec, a, 16, 4)
+	m.ctrl = ctrl
+	return m
+}
+
+// TestAdaptEndpoints: with a controller attached, /adapt.json exposes
+// the knob state and decision log, /metrics appends valid adapt
+// families, and the dashboard gains the adapt section.
+func TestAdaptEndpoints(t *testing.T) {
+	m := newAdaptMonitor(t)
+	srv := httptest.NewServer(m.mux())
+	defer srv.Close()
+
+	body, _ := get(t, srv, "/adapt.json")
+	var st struct {
+		Enabled      bool             `json:"enabled"`
+		Steps        uint64           `json:"steps"`
+		Decisions    uint64           `json:"decisions"`
+		MagazineCaps []int            `json:"magazineCaps"`
+		Log          []adapt.Decision `json:"log"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled || st.Steps != 2 || st.Decisions == 0 {
+		t.Errorf("adapt state = %+v", st)
+	}
+	if len(st.MagazineCaps) == 0 || st.MagazineCaps[0] != 32 {
+		t.Errorf("magazineCaps = %v, want exerciser's second cap 32", st.MagazineCaps)
+	}
+	if len(st.Log) == 0 || st.Log[len(st.Log)-1].To != 32 {
+		t.Errorf("decision log = %+v", st.Log)
+	}
+
+	metrics, _ := get(t, srv, "/metrics")
+	if err := census.ValidateMetrics([]byte(metrics)); err != nil {
+		t.Fatalf("/metrics with adapt families invalid: %v", err)
+	}
+	for _, want := range []string{
+		"adapt_controller_steps_total 2", "adapt_decisions_total",
+		`adapt_magazine_cap{class="0"} 32`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	dash, _ := get(t, srv, "/")
+	for _, want := range []string{"adapt: interval=", "magazine caps", "adapt: thread"} {
+		if !strings.Contains(dash, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
 	}
 }
 

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas|poolstripes|poolalgo|census]
+//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas|poolstripes|poolalgo|census|adapt]
 //	         [-threads 1,2,4,8,16] [-scale 0.01] [-allocs lockfree,hoard,...]
 //	         [-procs N] [-telemetry] [-magazine N] [-arenas N] [-descstripes N]
-//	         [-descalgo freelist|consttime] [-samplerate N] [-json] [-list] [-v]
+//	         [-descalgo freelist|consttime] [-adapt] [-samplerate N]
+//	         [-json] [-list] [-v]
 //
 // -scale 1.0 runs the paper's full parameters (10M malloc/free pairs
 // per thread, 30-second timed phases); the default 0.01 finishes each
@@ -28,7 +29,11 @@
 // this flag. -descalgo selects the descriptor pool's recycling backend
 // (freelist = the paper's Figure-7 tagged freelist, consttime = the
 // Blelloch-Wei constant-time batch scheme); the poolalgo experiment
-// compares the two regardless of this flag. -samplerate N enables the allocation sampler (one sample
+// compares the two regardless of this flag. -adapt builds every
+// lock-free allocator with the runtime-mutable policy surface and runs
+// an adaptive controller (internal/adapt) beside each measurement; the
+// adapt experiment compares static vs adaptive regardless of this
+// flag. -samplerate N enables the allocation sampler (one sample
 // per N mallocs) on every telemetry recorder, adding a census digest —
 // fragmentation and live-block ages — to each measurement (0 = off,
 // the default, preserving the bare telemetry cost); the census
@@ -50,7 +55,6 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/pool"
 	"repro/internal/report"
 )
 
@@ -68,6 +72,7 @@ type jsonReport struct {
 	Arenas        int            `json:"arenas,omitempty"`
 	DescStripes   int            `json:"descStripes,omitempty"`
 	DescAlgo      string         `json:"descAlgo,omitempty"`
+	Adapt         bool           `json:"adapt,omitempty"`
 	SampleRate    int            `json:"sampleRate,omitempty"`
 	Results       []bench.Result `json:"results"`
 }
@@ -80,10 +85,7 @@ func main() {
 		allocsFlag  = flag.String("allocs", "", "comma-separated allocators (default: all)")
 		procsFlag   = flag.Int("procs", 0, "processor heaps per allocator (default: max threads)")
 		teleFlag    = flag.Bool("telemetry", true, "attach the telemetry layer to lock-free allocators (retries/op and latency per row)")
-		magFlag     = flag.Int("magazine", 0, "thread-local magazine size for lock-free allocators (0 = off)")
-		arenasFlag  = flag.Int("arenas", 0, "region arenas per heap (0 = one per processor, 1 = unsharded)")
-		stripesFlag = flag.Int("descstripes", 0, "descriptor-pool freelist stripes (0 = one per processor, 1 = single DescAvail)")
-		algoFlag    = flag.String("descalgo", "", "descriptor-pool backend: freelist (default) or consttime (Blelloch-Wei)")
+		allocFlags  = bench.RegisterAllocFlags(flag.CommandLine)
 		rateFlag    = flag.Int("samplerate", 0, "allocation sampling period for census columns (0 = sampler off)")
 		jsonFlag    = flag.Bool("json", false, "write all measurements to a BENCH_<unixtime>.json file")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
@@ -91,7 +93,7 @@ func main() {
 	)
 	flag.Parse()
 
-	descAlgo, err := pool.ParseAlgo(*algoFlag)
+	descAlgo, err := allocFlags.DescAlgo()
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -112,10 +114,11 @@ func main() {
 		Scale:       *scaleFlag,
 		Processors:  *procsFlag,
 		Telemetry:   *teleFlag,
-		Magazine:    *magFlag,
-		Arenas:      *arenasFlag,
-		DescStripes: *stripesFlag,
+		Magazine:    *allocFlags.Magazine,
+		Arenas:      *allocFlags.Arenas,
+		DescStripes: *allocFlags.DescStripes,
 		DescAlgo:    descAlgo,
+		Adapt:       *allocFlags.Adapt,
 		SampleRate:  *rateFlag,
 	}
 	if *allocsFlag != "" {
@@ -167,10 +170,11 @@ func main() {
 			Threads:       threads,
 			Experiments:   ids,
 			Telemetry:     *teleFlag,
-			Magazine:      *magFlag,
-			Arenas:        *arenasFlag,
-			DescStripes:   *stripesFlag,
+			Magazine:      *allocFlags.Magazine,
+			Arenas:        *allocFlags.Arenas,
+			DescStripes:   *allocFlags.DescStripes,
 			DescAlgo:      descAlgo.String(),
+			Adapt:         *allocFlags.Adapt,
 			SampleRate:    *rateFlag,
 			Results:       results,
 		}

@@ -6,13 +6,22 @@
 //
 //	mlfstress [-threads 8] [-ops 200000] [-kills 0] [-hyper] [-lifo]
 //	          [-credits 64] [-seed 1] [-telemetry] [-events 16]
-//	          [-magazine 0] [-arenas 0] [-descalgo freelist|consttime]
-//	          [-shadow]
+//	          [-magazine 0] [-arenas 0] [-descstripes 0]
+//	          [-descalgo freelist|consttime] [-adapt] [-shadow]
 //
 // With -telemetry, the lock-free observability layer is attached: the
 // run ends with a contention/latency summary, and in fault-injection
 // mode (-kills) the flight recorder's tail is dumped, showing the
 // events leading up to each kill.
+//
+// With -adapt, the allocator is built with the runtime-mutable policy
+// surface and an adaptive controller (internal/adapt) runs beside the
+// stress traffic: in fault-injection mode the deterministic Exerciser
+// policy churns magazine caps and stripe/arena bindings while victims
+// die; otherwise the default hysteresis policy tunes the live run and
+// its decision log is printed at the end. -adapt implies a (quiet)
+// telemetry recorder even under -telemetry=false, since the controller
+// needs sensors.
 //
 // With -shadow (requires building with -tags shadowheap), every
 // malloc/free is mirrored into a shadow-heap oracle that detects
@@ -31,6 +40,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adapt"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/pool"
@@ -51,14 +62,12 @@ func main() {
 		seed    = flag.Int64("seed", 1, "PRNG seed")
 		tele    = flag.Bool("telemetry", true, "attach the telemetry layer (contention/latency summary, flight recorder)")
 		events  = flag.Int("events", 16, "flight-recorder events to dump (telemetry mode)")
-		magSize = flag.Int("magazine", 0, "thread-local magazine capacity (0 = magazines off)")
-		arenas  = flag.Int("arenas", 0, "region-arena count (0 = one per processor)")
-		dalgo   = flag.String("descalgo", "", "descriptor-pool backend: freelist (default) or consttime (Blelloch-Wei)")
+		af      = bench.RegisterAllocFlags(flag.CommandLine)
 		shadowF = flag.Bool("shadow", false, "attach the shadow-heap oracle (needs -tags shadowheap); first violation aborts the run")
 	)
 	flag.Parse()
 
-	descAlgo, err := pool.ParseAlgo(*dalgo)
+	descAlgo, err := af.DescAlgo()
 	if err != nil {
 		fail("%v", err)
 	}
@@ -71,20 +80,22 @@ func main() {
 	}
 
 	if *kills > 0 {
-		runKillStress(*kills, *threads, *ops, *seed, *tele, *events, *magSize, *arenas, descAlgo, *shadowF)
+		runKillStress(*kills, *threads, *ops, *seed, *tele, *events, af, descAlgo, *shadowF)
 		return
 	}
 
-	cfg := core.Config{
-		Processors:   *threads,
-		MaxCredits:   *credits,
-		PartialLIFO:  *lifo,
-		Hyperblocks:  *hyper,
-		MagazineSize: *magSize,
-		DescAlgo:     descAlgo,
-		HeapConfig:   mem.Config{Arenas: *arenas},
+	cfg, err := af.Apply(core.Config{
+		Processors:  *threads,
+		MaxCredits:  *credits,
+		PartialLIFO: *lifo,
+		Hyperblocks: *hyper,
+	})
+	if err != nil {
+		fail("%v", err)
 	}
-	if *tele {
+	if *tele || cfg.Adapt {
+		// -adapt needs the recorder as the controller's sensors even when
+		// the summary is suppressed.
 		cfg.Telemetry = core.NewRecorder(telemetry.Config{})
 	}
 	if *shadowF {
@@ -98,9 +109,20 @@ func main() {
 		})
 	}
 	a := core.New(cfg)
-	fmt.Printf("mlfstress: %d threads x %d ops (hyper=%v lifo=%v credits=%d magazine=%d arenas=%d descalgo=%s shadow=%v)\n",
-		*threads, *ops, *hyper, *lifo, cfg.MaxCredits, *magSize, *arenas,
-		descAlgo, *shadowF && shadow.Enabled)
+	fmt.Printf("mlfstress: %d threads x %d ops (hyper=%v lifo=%v credits=%d magazine=%d arenas=%d descstripes=%d descalgo=%s adapt=%v shadow=%v)\n",
+		*threads, *ops, *hyper, *lifo, cfg.MaxCredits, *af.Magazine, *af.Arenas,
+		*af.DescStripes, descAlgo, cfg.Adapt, *shadowF && shadow.Enabled)
+
+	var ctrl *adapt.Controller
+	if cfg.Adapt {
+		// Default hysteresis policy on a tight interval so a short stress
+		// run still gives it several control steps.
+		ctrl, err = adapt.New(a, adapt.Config{Interval: 5 * time.Millisecond})
+		if err != nil {
+			fail("adapt controller: %v", err)
+		}
+		ctrl.Start()
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -140,6 +162,11 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// Quiesce the controller before the post-run structural checks.
+	if ctrl != nil {
+		ctrl.Stop()
+	}
+
 	s := a.Stats()
 	fmt.Printf("done in %v: %d mallocs (%.0f ops/s), %d frees\n",
 		elapsed.Round(time.Millisecond), s.Ops.Mallocs,
@@ -154,9 +181,16 @@ func main() {
 		fmt.Printf("hyperblocks: %d allocated, %d released, scavenged %d now\n",
 			hs.HyperAllocs, hs.HyperReleases, a.Scavenge())
 	}
-	if rec := a.Telemetry(); rec != nil {
+	if rec := a.Telemetry(); rec != nil && *tele {
 		fmt.Println()
 		fmt.Print(rec.Snapshot().Text(0))
+	}
+	if ctrl != nil {
+		fmt.Printf("adapt: %d control steps, %d decisions; magazine caps now %v\n",
+			ctrl.Steps(), ctrl.DecisionCount(), a.MagazineCaps())
+		for _, d := range ctrl.Decisions(8) {
+			fmt.Printf("  %v\n", d)
+		}
 	}
 
 	if o := a.ShadowOracle(); o != nil {
@@ -189,9 +223,10 @@ func main() {
 		live*8/1024, bound*8/1024)
 }
 
-func runKillStress(kills, threads, ops int, seed int64, tele bool, events, magSize, arenas int, descAlgo pool.Algo, useShadow bool) {
-	fmt.Printf("mlfstress: fault injection — %d kills, %d survivors x %d ops (magazine=%d arenas=%d descalgo=%s shadow=%v)\n",
-		kills, threads, ops, magSize, arenas, descAlgo, useShadow && shadow.Enabled)
+func runKillStress(kills, threads, ops int, seed int64, tele bool, events int, af *bench.AllocFlags, descAlgo pool.Algo, useShadow bool) {
+	fmt.Printf("mlfstress: fault injection — %d kills, %d survivors x %d ops (magazine=%d arenas=%d descstripes=%d descalgo=%s adapt=%v shadow=%v)\n",
+		kills, threads, ops, *af.Magazine, *af.Arenas, *af.DescStripes,
+		descAlgo, *af.Adapt, useShadow && shadow.Enabled)
 	var rec *telemetry.Recorder
 	if tele {
 		rec = core.NewRecorder(telemetry.Config{})
@@ -203,9 +238,11 @@ func runKillStress(kills, threads, ops int, seed int64, tele bool, events, magSi
 		OpsBeforeKill:  200,
 		Seed:           seed,
 		Point:          -1,
-		Magazine:       magSize,
-		Arenas:         arenas,
+		Magazine:       *af.Magazine,
+		Arenas:         *af.Arenas,
+		DescStripes:    *af.DescStripes,
 		DescAlgo:       descAlgo,
+		Adapt:          *af.Adapt,
 		Telemetry:      rec,
 		Shadow:         useShadow,
 	})
@@ -219,6 +256,10 @@ func runKillStress(kills, threads, ops int, seed int64, tele bool, events, magSi
 		fail("survivors blocked: %v", err)
 	}
 	fmt.Printf("%v\n", res)
+	if *af.Adapt {
+		fmt.Printf("adapt: %d control steps, %d decisions while victims died\n",
+			res.AdaptSteps, res.AdaptDecisions)
+	}
 	if res.InvariantErr != nil {
 		fail("invariant violation after kills: %v", res.InvariantErr)
 	}

@@ -1,0 +1,249 @@
+// Package adapt closes the loop between the allocator's telemetry and
+// its runtime-mutable policy surface (core.Config.Adapt): a controller
+// goroutine samples interval deltas of the telemetry snapshot plus a
+// heap-census digest, hands them to a pluggable Policy, and applies the
+// policy's decisions through core's SetMagazineCap / RebindStripe /
+// RebindArena. Every decision — applied or rejected — lands in a
+// seqlock decision log that dashboards can scrape without blocking the
+// controller.
+//
+// The controller is an ordinary observer: it takes the same lock-free
+// snapshot and census walks allocmon takes, and the policy surface it
+// writes through is read by worker threads with one epoch comparison
+// per malloc (see core/policy.go). Workers are never blocked, and a
+// controller killed or stopped at any point leaves the allocator in a
+// valid configuration — every intermediate policy state is a legal
+// static configuration.
+package adapt
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes a Controller. The zero value selects defaults.
+type Config struct {
+	// Interval between control steps (default 250ms).
+	Interval time.Duration
+	// Policy decides; nil selects NewHysteresis().
+	Policy Policy
+	// LogSize is the decision ring's capacity, rounded up to a power of
+	// two (default 128).
+	LogSize int
+}
+
+// Sample is what a Policy sees each step: the telemetry delta since the
+// previous step, a fresh census, and the current knob values.
+type Sample struct {
+	// Interval is the nominal time the Delta covers.
+	Interval time.Duration
+	// Delta is the telemetry snapshot minus the previous step's.
+	Delta telemetry.Snapshot
+	// Census is a fresh heap census (never nil from the controller).
+	Census *census.Census
+	// Knobs is the policy surface's current state.
+	Knobs Knobs
+}
+
+// Knobs is the current value of every runtime-mutable knob.
+type Knobs struct {
+	MagCaps    []int                // per-class magazine cap targets
+	Stripes    int                  // descriptor-pool stripe count (fixed)
+	Arenas     int                  // region-arena count (fixed)
+	StripeFree []uint64             // retired descriptors per stripe (racy)
+	Bindings   []core.ThreadBinding // per-thread stripe/arena targets
+}
+
+// Action is one knob movement a Policy requests.
+type Action struct {
+	Kind   Kind
+	Reason Reason
+	// Class is the size class for KindMagCap (-1 = all classes).
+	Class int
+	// Cap is the magazine capacity target for KindMagCap.
+	Cap int
+	// Thread and Target are the rebind pair for KindStripe/KindArena.
+	Thread uint64
+	Target int
+	// MetricPermille is the triggering metric ×1000, recorded in the
+	// decision log.
+	MetricPermille int64
+}
+
+// Policy turns samples into actions. Decide is called from the
+// controller goroutine only; policies may keep unsynchronized state.
+type Policy interface {
+	Decide(s Sample) []Action
+}
+
+// Controller runs the control loop over one allocator.
+type Controller struct {
+	a    *core.Allocator
+	cfg  Config
+	log  *Log
+	prev telemetry.Snapshot
+
+	steps atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a controller. The allocator must have been constructed
+// with core.Config.Adapt (the mutable policy surface) and a telemetry
+// recorder (the controller's sensors).
+func New(a *core.Allocator, cfg Config) (*Controller, error) {
+	if !a.Adaptive() {
+		return nil, errors.New("adapt: allocator built without core.Config.Adapt")
+	}
+	if a.Telemetry() == nil {
+		return nil, errors.New("adapt: allocator has no telemetry recorder (the controller's sensors)")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewHysteresis()
+	}
+	if cfg.LogSize <= 0 {
+		cfg.LogSize = 128
+	}
+	return &Controller{a: a, cfg: cfg, log: newLog(cfg.LogSize), prev: a.Telemetry().Snapshot()}, nil
+}
+
+// Allocator returns the controlled allocator.
+func (c *Controller) Allocator() *core.Allocator { return c.a }
+
+// Interval returns the configured step interval.
+func (c *Controller) Interval() time.Duration { return c.cfg.Interval }
+
+// Start launches the control loop. Not safe to call concurrently with
+// itself or Stop; a started controller must be Stopped before the
+// allocator is torn down or checked quiescently.
+func (c *Controller) Start() {
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.run()
+}
+
+// Stop halts the control loop and waits for the goroutine to exit.
+// Idempotent; a never-started controller stops trivially.
+func (c *Controller) Stop() {
+	if c.stop == nil {
+		return
+	}
+	close(c.stop)
+	<-c.done
+	c.stop = nil
+	c.done = nil
+}
+
+func (c *Controller) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.Step()
+		}
+	}
+}
+
+// Step executes one control step — sample, decide, apply — and returns
+// the number of actions applied. Exported so tests (and sched's kill
+// harness) can drive the loop deterministically; call only from the
+// controller goroutine or while the loop is stopped.
+func (c *Controller) Step() int {
+	snap := c.a.Telemetry().Snapshot()
+	delta := snap.Sub(c.prev)
+	c.prev = snap
+	s := Sample{
+		Interval: c.cfg.Interval,
+		Delta:    delta,
+		Census:   census.Take(c.a),
+		Knobs:    c.Knobs(),
+	}
+	applied := 0
+	for _, act := range c.cfg.Policy.Decide(s) {
+		c.apply(act)
+		applied++
+	}
+	c.steps.Add(1)
+	return applied
+}
+
+// Knobs reads the current knob values (safe from any goroutine).
+func (c *Controller) Knobs() Knobs {
+	return Knobs{
+		MagCaps:    c.a.MagazineCaps(),
+		Stripes:    c.a.DescStripes(),
+		Arenas:     c.a.Heap().Arenas(),
+		StripeFree: c.a.DescStripeFree(),
+		Bindings:   c.a.ThreadBindings(),
+	}
+}
+
+func (c *Controller) apply(act Action) {
+	d := Decision{
+		UnixNano:       time.Now().UnixNano(),
+		Kind:           act.Kind,
+		Reason:         act.Reason,
+		Class:          act.Class,
+		Thread:         act.Thread,
+		From:           -1,
+		MetricPermille: act.MetricPermille,
+	}
+	var err error
+	switch act.Kind {
+	case KindMagCap:
+		if act.Class >= 0 {
+			d.From = int64(c.a.MagazineCap(act.Class))
+		} else {
+			d.From = int64(c.a.MagazineCap(0)) // representative for "all"
+		}
+		d.To = int64(act.Cap)
+		err = c.a.SetMagazineCap(act.Class, act.Cap)
+	case KindStripe:
+		for _, b := range c.a.ThreadBindings() {
+			if b.ID == act.Thread {
+				d.From = int64(b.Stripe)
+			}
+		}
+		d.To = int64(act.Target)
+		err = c.a.RebindStripe(act.Thread, act.Target)
+	case KindArena:
+		for _, b := range c.a.ThreadBindings() {
+			if b.ID == act.Thread {
+				d.From = int64(b.Arena)
+			}
+		}
+		d.To = int64(act.Target)
+		err = c.a.RebindArena(act.Thread, act.Target)
+	default:
+		err = errors.New("adapt: unknown action kind")
+	}
+	d.Err = err != nil
+	c.log.record(d)
+}
+
+// Steps returns the number of control steps executed.
+func (c *Controller) Steps() uint64 { return c.steps.Load() }
+
+// DecisionCount returns the number of decisions recorded (applied or
+// rejected).
+func (c *Controller) DecisionCount() uint64 { return c.log.Count() }
+
+// Decisions returns up to max of the most recent decisions, oldest
+// first. Safe from any goroutine while the controller runs.
+func (c *Controller) Decisions(max int) []Decision { return c.log.Tail(max) }

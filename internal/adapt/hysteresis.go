@@ -1,0 +1,258 @@
+package adapt
+
+// Hysteresis is the default policy: a small-signal controller that
+// moves one knob at a time and only after the same signal has held for
+// Confirm consecutive samples, then holds off for Cooldown samples so
+// the system settles before it is measured again. Conflicting grow and
+// shrink signals in the same sample cancel — the workload is ambiguous
+// and the cheapest correct action is none.
+//
+// Rules (each rate is over one sample's delta):
+//
+//   - grow magazines (cap ×2, toward MaxCap) when the magazine miss
+//     rate exceeds GrowMissRate, or CAS retries per op exceed
+//     GrowRetryRate — both say threads are contending on the shared
+//     words the magazines exist to absorb;
+//   - shrink magazines (cap ÷2, toward MinCap) when the cached fraction
+//     of used blocks exceeds ShrinkCachedFrac, or the hit rate falls
+//     under ShrinkHitRate while retries are quiet — caching is costing
+//     memory without paying in contention;
+//   - rebalance stripe bindings when descriptor retries per op exceed
+//     GrowRetryRate and the richest stripe's retired-descriptor count
+//     exceeds SkewRatio × the driest's: threads bound to the driest
+//     stripe are rebound to the richest. Skew claims the retry
+//     evidence for its sample, so the targeted rebind is not shadowed
+//     by a retry-driven magazine grow.
+type Hysteresis struct {
+	GrowMissRate     float64 // magazine miss rate that triggers growth
+	GrowRetryRate    float64 // CAS retries/op that trigger growth or rebalance
+	ShrinkHitRate    float64 // hit rate below which caps shrink
+	ShrinkCachedFrac float64 // cached/used block fraction above which caps shrink
+	SkewRatio        float64 // richest/driest stripe free-count ratio that triggers rebalance
+
+	MinOps   uint64 // samples with fewer ops are ignored (idle decay)
+	Confirm  int    // consecutive confirming samples before acting
+	Cooldown int    // samples to hold off after acting
+	MinCap   int    // shrink floor / grow start
+	MaxCap   int    // grow ceiling
+
+	grow, shrink, skew int // consecutive-signal votes
+	cool               int
+}
+
+// NewHysteresis returns the policy with default thresholds.
+func NewHysteresis() *Hysteresis {
+	return &Hysteresis{
+		GrowMissRate:     0.05,
+		GrowRetryRate:    0.05,
+		ShrinkHitRate:    0.5,
+		ShrinkCachedFrac: 0.25,
+		SkewRatio:        4,
+		MinOps:           2000,
+		Confirm:          2,
+		Cooldown:         2,
+		MinCap:           8,
+		MaxCap:           256,
+	}
+}
+
+// init backfills defaults into zero fields, so a literal with a few
+// overrides behaves sensibly.
+func (h *Hysteresis) init() {
+	d := NewHysteresis()
+	if h.GrowMissRate == 0 {
+		h.GrowMissRate = d.GrowMissRate
+	}
+	if h.GrowRetryRate == 0 {
+		h.GrowRetryRate = d.GrowRetryRate
+	}
+	if h.ShrinkHitRate == 0 {
+		h.ShrinkHitRate = d.ShrinkHitRate
+	}
+	if h.ShrinkCachedFrac == 0 {
+		h.ShrinkCachedFrac = d.ShrinkCachedFrac
+	}
+	if h.SkewRatio == 0 {
+		h.SkewRatio = d.SkewRatio
+	}
+	if h.MinOps == 0 {
+		h.MinOps = d.MinOps
+	}
+	if h.Confirm == 0 {
+		h.Confirm = d.Confirm
+	}
+	if h.Cooldown == 0 {
+		h.Cooldown = d.Cooldown
+	}
+	if h.MinCap == 0 {
+		h.MinCap = d.MinCap
+	}
+	if h.MaxCap == 0 {
+		h.MaxCap = d.MaxCap
+	}
+}
+
+func permille(f float64) int64 { return int64(f * 1000) }
+
+// Decide implements Policy.
+func (h *Hysteresis) Decide(s Sample) []Action {
+	h.init()
+	d := s.Delta
+	ops := d.Ops()
+	if ops < h.MinOps {
+		// Idle: decay votes rather than carrying stale evidence into
+		// the next busy period.
+		h.grow, h.shrink, h.skew = 0, 0, 0
+		return nil
+	}
+	if h.cool > 0 {
+		h.cool--
+		return nil
+	}
+
+	cap := 0
+	for _, c := range s.Knobs.MagCaps {
+		if c > cap {
+			cap = c
+		}
+	}
+	eligible := d.MagHits + d.MagMisses
+	missRate, hitRate := 0.0, 1.0
+	if eligible > 0 {
+		missRate = float64(d.MagMisses) / float64(eligible)
+		hitRate = float64(d.MagHits) / float64(eligible)
+	}
+	retryRate := float64(d.TotalRetries) / float64(ops)
+	var cachedFrac float64
+	if s.Census != nil && s.Census.Totals.BlocksUsed > 0 {
+		cachedFrac = float64(s.Census.Totals.MagazineCached) / float64(s.Census.Totals.BlocksUsed)
+	}
+
+	// Stripe skew first: descriptor-pool contention plus an imbalanced
+	// freelist — the driest stripe's threads are fighting over scraps
+	// while retired descriptors pile up elsewhere. Desc-site retries
+	// are part of TotalRetries, so when skew explains the contention it
+	// claims the retry evidence: rebinding is the targeted fix, and a
+	// retry-driven magazine grow would shadow it every time.
+	skewSig := false
+	dry, rich := -1, -1
+	if free := s.Knobs.StripeFree; len(free) > 1 {
+		descRetries := d.Retries["desc-alloc"] + d.Retries["desc-retire"]
+		var sum, maxF, minF uint64
+		minF = ^uint64(0)
+		for i, f := range free {
+			sum += f
+			if f > maxF {
+				maxF, rich = f, i
+			}
+			if f < minF {
+				minF, dry = f, i
+			}
+		}
+		skewSig = sum > 0 && dry != rich &&
+			float64(descRetries)/float64(ops) > h.GrowRetryRate &&
+			float64(maxF) > h.SkewRatio*float64(minF+1)
+	}
+	h.skew = vote(h.skew, skewSig)
+
+	// A disabled cache (cap 0) produces no misses — contention shows up
+	// as retries alone, which is still a grow signal.
+	growSig := cap < h.MaxCap &&
+		(missRate > h.GrowMissRate || (retryRate > h.GrowRetryRate && !skewSig))
+	shrinkSig := cap > h.MinCap && (cachedFrac > h.ShrinkCachedFrac ||
+		(eligible > 0 && hitRate < h.ShrinkHitRate && retryRate <= h.GrowRetryRate))
+	if growSig && shrinkSig {
+		growSig, shrinkSig = false, false
+	}
+	h.grow = vote(h.grow, growSig)
+	h.shrink = vote(h.shrink, shrinkSig)
+
+	var acts []Action
+	switch {
+	case h.grow >= h.Confirm:
+		to := cap * 2
+		if to < h.MinCap {
+			to = h.MinCap
+		}
+		if to > h.MaxCap {
+			to = h.MaxCap
+		}
+		reason, metric := ReasonHighMissRate, permille(missRate)
+		if missRate <= h.GrowMissRate {
+			reason, metric = ReasonHighRetryRate, permille(retryRate)
+		}
+		acts = append(acts, Action{Kind: KindMagCap, Reason: reason, Class: -1, Cap: to, MetricPermille: metric})
+		h.grow, h.cool = 0, h.Cooldown
+	case h.shrink >= h.Confirm:
+		to := cap / 2
+		if to < h.MinCap {
+			to = h.MinCap
+		}
+		reason, metric := ReasonHighCached, permille(cachedFrac)
+		if cachedFrac <= h.ShrinkCachedFrac {
+			reason, metric = ReasonLowHitRate, permille(hitRate)
+		}
+		acts = append(acts, Action{Kind: KindMagCap, Reason: reason, Class: -1, Cap: to, MetricPermille: metric})
+		h.shrink, h.cool = 0, h.Cooldown
+	case h.skew >= h.Confirm:
+		for _, b := range s.Knobs.Bindings {
+			if b.Stripe%s.Knobs.Stripes == dry {
+				acts = append(acts, Action{
+					Kind: KindStripe, Reason: ReasonStripeSkew,
+					Thread: b.ID, Target: rich,
+					MetricPermille: permille(h.SkewRatio),
+				})
+			}
+		}
+		h.skew, h.cool = 0, h.Cooldown
+	}
+	return acts
+}
+
+func vote(v int, sig bool) int {
+	if sig {
+		return v + 1
+	}
+	return 0
+}
+
+// Exerciser is a deterministic churn policy for fault-injection tests:
+// every step it cycles the all-classes magazine cap through Caps and
+// (optionally) advances every thread's stripe and arena binding by one.
+// It exists to drive the policy-application machinery through the kill
+// sweep, not to tune anything.
+type Exerciser struct {
+	Caps   []int // cycled; default {4, 32}
+	Rebind bool  // also round-robin stripe and arena bindings
+	step   int
+}
+
+// Decide implements Policy.
+func (e *Exerciser) Decide(s Sample) []Action {
+	caps := e.Caps
+	if len(caps) == 0 {
+		caps = []int{4, 32}
+	}
+	acts := []Action{{
+		Kind: KindMagCap, Reason: ReasonExercise,
+		Class: -1, Cap: caps[e.step%len(caps)],
+	}}
+	if e.Rebind {
+		for _, b := range s.Knobs.Bindings {
+			if s.Knobs.Stripes > 0 {
+				acts = append(acts, Action{
+					Kind: KindStripe, Reason: ReasonExercise,
+					Thread: b.ID, Target: (b.Stripe + 1) % s.Knobs.Stripes,
+				})
+			}
+			if s.Knobs.Arenas > 0 {
+				acts = append(acts, Action{
+					Kind: KindArena, Reason: ReasonExercise,
+					Thread: b.ID, Target: (b.Arena + 1) % s.Knobs.Arenas,
+				})
+			}
+		}
+	}
+	e.step++
+	return acts
+}

@@ -1,0 +1,188 @@
+package adapt
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// The decision log is a seqlock ring, the same construction as the
+// telemetry flight recorder: the writer (the controller goroutine)
+// invalidates a slot (seq 0), stores the packed payload, then publishes
+// the slot's global sequence number; readers copy the payload between
+// two seq loads and drop the record if the slot changed under them.
+// Readers never block the writer and the writer never blocks — the log
+// is safe to scrape from allocmon while the controller acts.
+//
+// The payload is six packed words of plain numerics — no strings, no
+// pointers — so a torn read can at worst be detected, never chased.
+
+// Kind says which knob a decision moved.
+type Kind uint8
+
+const (
+	KindMagCap Kind = iota + 1 // magazine capacity (class -1 = all)
+	KindStripe                 // a thread's descriptor-pool stripe
+	KindArena                  // a thread's region arena
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMagCap:
+		return "magcap"
+	case KindStripe:
+		return "stripe"
+	case KindArena:
+		return "arena"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Reason says why the policy moved it.
+type Reason uint8
+
+const (
+	ReasonManual        Reason = iota + 1 // operator/test issued
+	ReasonHighMissRate                    // magazine miss rate above threshold
+	ReasonHighRetryRate                   // CAS retries per op above threshold
+	ReasonHighCached                      // magazine-cached fraction above threshold
+	ReasonLowHitRate                      // hit rate below threshold at stable retries
+	ReasonStripeSkew                      // per-stripe free-count imbalance
+	ReasonExercise                        // deterministic churn (kill tests)
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonManual:
+		return "manual"
+	case ReasonHighMissRate:
+		return "high-miss-rate"
+	case ReasonHighRetryRate:
+		return "high-retry-rate"
+	case ReasonHighCached:
+		return "high-cached"
+	case ReasonLowHitRate:
+		return "low-hit-rate"
+	case ReasonStripeSkew:
+		return "stripe-skew"
+	case ReasonExercise:
+		return "exercise"
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Decision is one applied (or attempted) policy change.
+type Decision struct {
+	Seq      uint64 `json:"seq"` // global decision number, 1-based
+	UnixNano int64  `json:"unixNano"`
+	Kind     Kind   `json:"kind"`
+	Reason   Reason `json:"reason"`
+	Class    int    `json:"class"`  // KindMagCap: size class, -1 = all
+	Thread   uint64 `json:"thread"` // KindStripe/KindArena: thread id
+	From     int64  `json:"from"`   // knob value before (-1 unknown)
+	To       int64  `json:"to"`
+	// MetricPermille is the triggering metric scaled ×1000 (e.g. a miss
+	// rate of 0.073 records 73), so the log stays all-numeric.
+	MetricPermille int64 `json:"metricPermille"`
+	Err            bool  `json:"err"` // the allocator rejected the change
+}
+
+func (d Decision) String() string {
+	target := fmt.Sprintf("class %d", d.Class)
+	if d.Kind != KindMagCap {
+		target = fmt.Sprintf("thread %d", d.Thread)
+	}
+	s := fmt.Sprintf("#%d %s %s: %d -> %d (%s, metric %d‰)",
+		d.Seq, d.Kind, target, d.From, d.To, d.Reason, d.MetricPermille)
+	if d.Err {
+		s += " [rejected]"
+	}
+	return s
+}
+
+type logSlot struct {
+	seq atomic.Uint64 // global decision number; 0 = invalid/in-flight
+	w   [6]atomic.Uint64
+}
+
+// Log is the fixed-size seqlock decision ring. One writer (the
+// controller); any number of concurrent readers.
+type Log struct {
+	slots  []logSlot
+	mask   uint64
+	cursor atomic.Uint64 // last decision number issued
+}
+
+func newLog(size int) *Log {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Log{slots: make([]logSlot, n), mask: uint64(n - 1)}
+}
+
+func (l *Log) record(d Decision) uint64 {
+	idx := l.cursor.Add(1)
+	s := &l.slots[idx&l.mask]
+	s.seq.Store(0) // invalidate for readers
+	s.w[0].Store(uint64(d.UnixNano))
+	var errBit uint64
+	if d.Err {
+		errBit = 1
+	}
+	// class is stored +1 in the high bits so -1 (= all classes) packs.
+	s.w[1].Store(uint64(d.Kind) | uint64(d.Reason)<<8 | errBit<<16 |
+		uint64(uint32(d.Class+1))<<24)
+	s.w[2].Store(d.Thread)
+	s.w[3].Store(uint64(d.From))
+	s.w[4].Store(uint64(d.To))
+	s.w[5].Store(uint64(d.MetricPermille))
+	s.seq.Store(idx) // publish
+	return idx
+}
+
+// Count returns the number of decisions recorded so far.
+func (l *Log) Count() uint64 { return l.cursor.Load() }
+
+// Tail returns up to max of the most recent decisions, oldest first.
+// Records overwritten or in flight while reading are dropped, never
+// returned torn.
+func (l *Log) Tail(max int) []Decision {
+	newest := l.cursor.Load()
+	if max <= 0 || newest == 0 {
+		return nil
+	}
+	n := uint64(max)
+	if n > newest {
+		n = newest
+	}
+	if n > uint64(len(l.slots)) {
+		n = uint64(len(l.slots))
+	}
+	out := make([]Decision, 0, n)
+	for idx := newest - n + 1; idx <= newest; idx++ {
+		s := &l.slots[idx&l.mask]
+		if s.seq.Load() != idx {
+			continue // overwritten or mid-write
+		}
+		var w [6]uint64
+		for i := range w {
+			w[i] = s.w[i].Load()
+		}
+		if s.seq.Load() != idx {
+			continue // changed under us: torn, drop
+		}
+		out = append(out, Decision{
+			Seq:            idx,
+			UnixNano:       int64(w[0]),
+			Kind:           Kind(w[1] & 0xff),
+			Reason:         Reason(w[1] >> 8 & 0xff),
+			Err:            w[1]>>16&1 != 0,
+			Class:          int(uint32(w[1]>>24)) - 1,
+			Thread:         w[2],
+			From:           int64(w[3]),
+			To:             int64(w[4]),
+			MetricPermille: int64(w[5]),
+		})
+	}
+	return out
+}

@@ -92,6 +92,17 @@ type Config struct {
 	// returns them.
 	MagazineSize int
 
+	// Adapt makes the tuning knobs runtime-mutable: magazine capacities
+	// (per size class, seeded from MagazineSize) and per-thread
+	// descriptor-stripe and arena bindings can be changed while the
+	// allocator runs, via SetMagazineCap / RebindStripe / RebindArena —
+	// the surface internal/adapt's controller drives. Threads notice a
+	// policy change with one epoch comparison at the top of malloc and
+	// apply it between operations, never mid-CAS (see policy.go). When
+	// false (the default) the policy layer is absent and the hot paths
+	// carry only a single never-taken nil-check branch.
+	Adapt bool
+
 	// Hyperblocks enables the §3.2.5 extension: superblocks are
 	// allocated in 1 MiB hyperblock batches (reducing OS calls and
 	// leaving unused superblocks unwritten) and fully-free hyperblocks
@@ -156,6 +167,11 @@ type Allocator struct {
 
 	cfg Config
 
+	// pol is the runtime-mutable policy table; non-nil only when
+	// cfg.Adapt. Cold: threads read it through their own threadPolicy
+	// epoch, not on the hit paths.
+	pol *policyTable
+
 	mu      sync.Mutex
 	threads []*Thread
 
@@ -171,8 +187,9 @@ type Allocator struct {
 	// objects are always 64-byte aligned, so the hot fields above land
 	// on the same cache lines in every process, rather than at whatever
 	// phase a 208- or 224-byte slot happens to start at. Growing the
-	// struct within the padding budget cannot change the layout.
-	_ [256 - 232]byte
+	// struct within the padding budget cannot change the layout
+	// (policy.go pins the total with compile-time assertions).
+	_ [256 - 240]byte
 }
 
 // scState is the per-size-class state (paper's sizeclass structure).
@@ -239,6 +256,9 @@ func New(cfg Config) *Allocator {
 		classes:    make([]scState, sizeclass.NumClasses()),
 		descs:      newDescPool(cfg.DescStripes, cfg.DescAlgo),
 	}
+	if cfg.Adapt {
+		a.pol = newPolicyTable(cfg.MagazineSize, sizeclass.NumClasses())
+	}
 	if a.shadow != nil {
 		// Bind the oracle to this allocator's address space and install
 		// the region-recycle hook that invalidates stale poison.
@@ -301,9 +321,12 @@ func (a *Allocator) procHeap(id uint64) *ProcHeap {
 func (a *Allocator) desc(idx uint64) *Descriptor { return a.descs.Get(idx) }
 
 // stripe is the descriptor-pool stripe this thread allocates from and
-// retires to; like processor-heap selection it is a pure function of
-// the thread id.
-func (t *Thread) stripe() int { return int(t.id) }
+// retires to. It defaults to the thread id (a pure function, like
+// processor-heap selection) but is rebindable through the policy layer;
+// the pool reduces any non-negative id modulo its stripe count, and
+// cross-stripe alloc/retire mixing is harmless, so a rebind needs no
+// synchronization beyond happening between operations.
+func (t *Thread) stripe() int { return t.stripeID }
 
 // allocSB obtains a superblock region through the calling thread's
 // region arena, or through the hyperblock layer when enabled (paper
@@ -360,19 +383,42 @@ func (a *Allocator) ShadowOracle() *shadow.Oracle { return a.shadow }
 // paper's pthread environment.
 func (a *Allocator) Thread() *Thread {
 	t := &Thread{a: a, id: a.nextThread.Add(1) - 1, shadow: a.shadow}
+	t.stripeID = int(t.id)
 	// The thread's region arena, like its processor heaps below: a pure
-	// function of the thread id, resolved once.
+	// function of the thread id, resolved once (rebindable through the
+	// policy layer on adaptive allocators).
 	t.arena = a.heap.Arena(int(t.id))
 	if a.tele != nil {
 		t.rec = a.tele.NewShard(t.id)
 	}
-	if a.cfg.MagazineSize > 0 {
-		t.magCap = a.cfg.MagazineSize
-		// A refill takes the block being allocated plus half a
-		// magazine, leaving room for subsequent frees before the next
-		// flush; one Active CAS can reserve at most MaxCredits blocks.
-		t.magWant = min(uint64(t.magCap/2)+1, a.maxCredits)
+	if a.pol != nil {
+		// Record the applied epoch before reading any policy values:
+		// updates published after the epoch load trigger a (harmlessly
+		// idempotent) re-apply at the first malloc; updates published
+		// before it are visible to the capFor reads below.
+		t.pol = &threadPolicy{table: a.pol}
+		t.pol.stripeTarget.Store(-1)
+		t.pol.arenaTarget.Store(-1)
+		t.pol.applied = a.pol.seq.Load()
+	}
+	if a.cfg.MagazineSize > 0 || a.pol != nil {
 		t.mags = make([]magazine, len(a.classes))
+		for cls := range t.mags {
+			c := a.cfg.MagazineSize
+			if a.pol != nil {
+				c = a.pol.capFor(cls)
+			}
+			mag := &t.mags[cls]
+			mag.cap = c
+			// A refill takes the block being allocated plus half a
+			// magazine, leaving room for subsequent frees before the
+			// next flush; one Active CAS can reserve at most MaxCredits
+			// blocks.
+			mag.want = min(uint64(c/2)+1, a.maxCredits)
+			if c > t.magCap {
+				t.magCap = c
+			}
+		}
 	}
 	// Resolve this thread's processor heap per size class once (the
 	// paper's find_heap computes heap = f(sz, thread id) per malloc;
@@ -399,11 +445,22 @@ type Thread struct {
 	hookFn func(HookPoint)
 	rec    *telemetry.ThreadShard // non-nil when telemetry is attached
 
-	// Magazine layer (Config.MagazineSize > 0): per-size-class private
-	// block caches, owned exclusively by this thread's goroutine.
+	// stripeID is the descriptor-pool stripe this thread allocates from
+	// and retires to: the thread id by default, rebindable through the
+	// policy layer (see stripe()).
+	stripeID int
+
+	// pol is this thread's view of the runtime policy layer; non-nil
+	// only on adaptive allocators (Config.Adapt). The hot paths read
+	// only the nil-ness and the applied epoch (see malloc's policy
+	// poll); everything else lives in outlined applyPolicy.
+	pol *threadPolicy
+
+	// Magazine layer (Config.MagazineSize > 0 or Config.Adapt):
+	// per-size-class private block caches, owned exclusively by this
+	// thread's goroutine.
 	mags       []magazine
-	magCap     int       // high watermark per magazine; 0 = layer disabled
-	magWant    uint64    // blocks taken per batched refill
+	magCap     int       // max per-class watermark; 0 = layer disabled
 	magScratch []mem.Ptr // reused flush-group buffer
 
 	// Operation counters, aggregated by Allocator.Stats. The owning
@@ -414,13 +471,12 @@ type Thread struct {
 
 	// shadow mirrors Allocator.shadow; non-nil only when the oracle is
 	// attached (shadowheap builds). Last field for the same reason as
-	// Allocator.shadow: identical layout for the unshadowed build.
+	// Allocator.shadow: identical layout for the unshadowed build. The
+	// fields above fill the 256-byte size class exactly, so every
+	// Thread stays 64-byte aligned with the ops counter block at a
+	// fixed cache-line phase (policy.go pins the total with
+	// compile-time assertions).
 	shadow *shadow.Oracle
-
-	// Pad into the 256-byte size class so every Thread is 64-byte
-	// aligned and the ops counter block sits at a fixed cache-line
-	// phase (see the matching padding on Allocator).
-	_ [256 - 248]byte
 }
 
 // opCounters is the per-thread operation-counter block. The owning

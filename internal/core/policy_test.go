@@ -1,0 +1,343 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func adaptConfig(size int) Config {
+	cfg := testConfig()
+	cfg.MagazineSize = size
+	cfg.Adapt = true
+	return cfg
+}
+
+// TestPolicyNotAdaptive: the mutation surface must reject calls on
+// allocators built without Config.Adapt, and the read side must fall
+// back to the construction-time values.
+func TestPolicyNotAdaptive(t *testing.T) {
+	a := newTestAllocator(t, magConfig(16))
+	if a.Adaptive() {
+		t.Fatal("Adaptive() = true without Config.Adapt")
+	}
+	if err := a.SetMagazineCap(-1, 8); err == nil {
+		t.Error("SetMagazineCap succeeded without Config.Adapt")
+	}
+	if err := a.RebindStripe(0, 0); err == nil {
+		t.Error("RebindStripe succeeded without Config.Adapt")
+	}
+	if err := a.RebindArena(0, 0); err == nil {
+		t.Error("RebindArena succeeded without Config.Adapt")
+	}
+	if got := a.MagazineCap(0); got != 16 {
+		t.Errorf("MagazineCap(0) = %d, want Config.MagazineSize 16", got)
+	}
+}
+
+// TestPolicySetMagazineCapValidation: out-of-range caps and classes are
+// rejected without publishing anything.
+func TestPolicySetMagazineCapValidation(t *testing.T) {
+	a := newTestAllocator(t, adaptConfig(16))
+	if err := a.SetMagazineCap(0, -1); err == nil {
+		t.Error("negative cap accepted")
+	}
+	if err := a.SetMagazineCap(0, MaxMagazineCap+1); err == nil {
+		t.Error("over-max cap accepted")
+	}
+	if err := a.SetMagazineCap(len(a.classes), 8); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+	if seq := a.pol.seq.Load(); seq != 0 {
+		t.Errorf("rejected calls bumped the epoch to %d", seq)
+	}
+	if err := a.RebindStripe(0, a.descs.Stripes()); err == nil {
+		t.Error("out-of-range stripe accepted")
+	}
+	if err := a.RebindStripe(99, 0); err == nil {
+		t.Error("rebind of unregistered thread accepted")
+	}
+	if err := a.RebindArena(0, a.heap.Arenas()); err == nil {
+		t.Error("out-of-range arena accepted")
+	}
+}
+
+// TestPolicyGrowArmsMagazines: an adaptive allocator built with
+// MagazineSize 0 starts with caching off; publishing a cap arms the
+// magazines at the next malloc.
+func TestPolicyGrowArmsMagazines(t *testing.T) {
+	a := newTestAllocator(t, adaptConfig(0))
+	th := a.Thread()
+	p, err := th.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Free(p)
+	if hits := a.Stats().Ops.MagazineHits; hits != 0 {
+		t.Fatalf("MagazineHits = %d with cap 0", hits)
+	}
+	if err := a.SetMagazineCap(-1, 16); err != nil {
+		t.Fatal(err)
+	}
+	// The next malloc applies the policy (cap 16), then a free/malloc
+	// pair must round-trip through the magazine.
+	p, err = th.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Free(p)
+	q, err := th.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("magazine returned %v, freed %v", q, p)
+	}
+	if hits := a.Stats().Ops.MagazineHits; hits != 1 {
+		t.Errorf("MagazineHits = %d after grow, want 1", hits)
+	}
+	th.Free(q)
+	th.Unregister()
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyShrinkFlushes: shrinking the cap below the current fill
+// must flush the excess at the next malloc, with invariants exact
+// before and after.
+func TestPolicyShrinkFlushes(t *testing.T) {
+	a := newTestAllocator(t, adaptConfig(64))
+	th := a.Thread()
+	var ptrs []mem.Ptr
+	for i := 0; i < 48; i++ {
+		p, err := th.Malloc(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs[8:] {
+		th.Free(p)
+	}
+	cls := 0
+	for c := range th.mags {
+		if len(th.mags[c].blocks) > 0 {
+			cls = c
+		}
+	}
+	if fill := len(th.mags[cls].blocks); fill <= 4 {
+		t.Fatalf("magazine fill = %d, want > 4 to exercise the shrink", fill)
+	}
+	if err := a.CheckInvariants(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetMagazineCap(-1, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The shrink applies on the next malloc, before the operation.
+	p, err := th.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range th.mags {
+		if n := len(th.mags[c].blocks); n > 4 {
+			t.Errorf("class %d caches %d blocks after shrink to 4", c, n)
+		}
+		if th.mags[c].cap != 4 {
+			t.Errorf("class %d cap = %d, want 4", c, th.mags[c].cap)
+		}
+	}
+	if err := a.CheckInvariants(9); err != nil {
+		t.Fatal(err)
+	}
+	th.Free(p)
+	for _, q := range ptrs[:8] {
+		th.Free(q)
+	}
+	th.Unregister()
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyPerClassCap: a per-class override must arm exactly that
+// class, leaving the others at the base cap.
+func TestPolicyPerClassCap(t *testing.T) {
+	a := newTestAllocator(t, adaptConfig(0))
+	th := a.Thread()
+	const class = 3
+	if err := a.SetMagazineCap(class, 32); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.MagazineCap(class); got != 32 {
+		t.Errorf("MagazineCap(%d) = %d, want 32", class, got)
+	}
+	if got := a.MagazineCap(0); got != 0 {
+		t.Errorf("MagazineCap(0) = %d, want base 0", got)
+	}
+	caps := a.MagazineCaps()
+	if caps[class] != 32 || caps[0] != 0 {
+		t.Errorf("MagazineCaps() = %v", caps)
+	}
+	// One malloc applies the policy; the armed class caches, others not.
+	p, _ := th.Malloc(8)
+	th.Free(p)
+	if th.mags[class].cap != 32 {
+		t.Errorf("class %d cap = %d, want 32", class, th.mags[class].cap)
+	}
+	for c := range th.mags {
+		if c != class && th.mags[c].cap != 0 {
+			t.Errorf("class %d cap = %d, want 0", c, th.mags[c].cap)
+		}
+	}
+	th.Unregister()
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyRebind: stripe and arena rebinds take effect at the next
+// malloc and report through ThreadBindings; -1 restores defaults.
+func TestPolicyRebind(t *testing.T) {
+	cfg := adaptConfig(8)
+	cfg.DescStripes = 4
+	cfg.HeapConfig.Arenas = 4
+	a := newTestAllocator(t, cfg)
+	th := a.Thread() // id 0
+	if err := a.RebindStripe(th.ID(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RebindArena(th.ID(), 3); err != nil {
+		t.Fatal(err)
+	}
+	p, err := th.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.stripe() != 2 {
+		t.Errorf("stripe = %d after rebind, want 2", th.stripe())
+	}
+	if want := a.heap.Arena(3); th.arena != want {
+		t.Errorf("arena = %v after rebind, want %v", th.arena, want)
+	}
+	bs := a.ThreadBindings()
+	if len(bs) != 1 || bs[0].Stripe != 2 || bs[0].Arena != 3 {
+		t.Errorf("ThreadBindings() = %+v, want stripe 2 arena 3", bs)
+	}
+	// Restore defaults.
+	if err := a.RebindStripe(th.ID(), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RebindArena(th.ID(), -1); err != nil {
+		t.Fatal(err)
+	}
+	q, err := th.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.stripe() != 0 {
+		t.Errorf("stripe = %d after restore, want 0", th.stripe())
+	}
+	th.Free(p)
+	th.Free(q)
+	th.Unregister()
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyUnregisterPins: a policy published after Unregister must
+// not re-arm the released handle's magazines (the handle stays a
+// pass-through), while invariants hold.
+func TestPolicyUnregisterPins(t *testing.T) {
+	a := newTestAllocator(t, adaptConfig(16))
+	th := a.Thread()
+	p, _ := th.Malloc(8)
+	th.Free(p)
+	th.Unregister()
+	if err := a.SetMagazineCap(-1, 64); err != nil {
+		t.Fatal(err)
+	}
+	p, err := th.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Free(p)
+	for c := range th.mags {
+		if th.mags[c].cap != 0 || len(th.mags[c].blocks) != 0 {
+			t.Errorf("class %d re-armed after Unregister (cap %d, %d cached)",
+				c, th.mags[c].cap, len(th.mags[c].blocks))
+		}
+	}
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyChurn hammers the policy surface from a controller
+// goroutine while workers malloc/free, then checks invariants at
+// quiescence. Run with -race this doubles as the memory-ordering check
+// for the publication protocol.
+func TestPolicyChurn(t *testing.T) {
+	cfg := adaptConfig(8)
+	cfg.DescStripes = 4
+	cfg.HeapConfig.Arenas = 4
+	a := newTestAllocator(t, cfg)
+	const workers = 4
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := a.Thread()
+			defer th.Unregister()
+			rng := rand.New(rand.NewSource(seed))
+			live := make([]mem.Ptr, 0, 128)
+			for i := 0; !stop.Load() || len(live) > 0; i++ {
+				if stop.Load() || (len(live) > 0 && rng.Intn(2) == 0) {
+					n := rng.Intn(len(live))
+					th.Free(live[n])
+					live[n] = live[len(live)-1]
+					live = live[:len(live)-1]
+				} else {
+					p, err := th.Malloc(uint64(8 << rng.Intn(6)))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					live = append(live, p)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		caps := []int{0, 4, 16, 64}
+		for i := 0; i < 400; i++ {
+			switch i % 4 {
+			case 0:
+				a.SetMagazineCap(-1, caps[rng.Intn(len(caps))])
+			case 1:
+				a.SetMagazineCap(rng.Intn(len(a.classes)), caps[rng.Intn(len(caps))])
+			case 2:
+				a.RebindStripe(uint64(rng.Intn(workers)), rng.Intn(4))
+			case 3:
+				a.RebindArena(uint64(rng.Intn(workers)), rng.Intn(4))
+			}
+			a.ThreadBindings()
+			a.MagazineCaps()
+		}
+		stop.Store(true)
+	}()
+	wg.Wait()
+	if err := a.CheckInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/alloc"
+	"repro/internal/adapt"
 	"repro/internal/bench"
 	"repro/internal/census"
 	"repro/internal/core"
@@ -49,6 +50,12 @@ type RunConfig struct {
 	// every lock-free allocator constructed for an experiment
 	// (pool.AlgoFreelist, the default, or pool.AlgoConstTime).
 	DescAlgo pool.Algo
+	// Adapt builds every lock-free allocator with the runtime-mutable
+	// policy surface (core.Config.Adapt) and runs an internal/adapt
+	// controller (default hysteresis policy) beside each measurement.
+	// Requires Telemetry for the controller to have sensors; the adapt
+	// experiment compares static vs adaptive regardless of this flag.
+	Adapt bool
 	// SampleRate sets the allocation sampler's period (one sample per
 	// SampleRate mallocs) on every telemetry recorder constructed for
 	// an experiment; 0 leaves the sampler off. Requires Telemetry.
@@ -81,9 +88,41 @@ func (c RunConfig) lockFreeOptions(lf core.Config) alloc.Options {
 	if lf.DescAlgo == pool.AlgoFreelist {
 		lf.DescAlgo = c.DescAlgo
 	}
+	lf.Adapt = lf.Adapt || c.Adapt
 	opt := alloc.Options{Processors: c.Processors, LockFree: lf}
 	opt.HeapConfig.Arenas = c.Arenas
 	return opt
+}
+
+// adaptInterval scales the controller's step interval with the
+// experiment durations, so a quick-scale run still gives the policy
+// ~50 samples per timed phase.
+func (c RunConfig) adaptInterval() time.Duration {
+	iv := c.scaleDur(30*time.Second) / 50
+	if iv < 5*time.Millisecond {
+		iv = 5 * time.Millisecond
+	}
+	return iv
+}
+
+// startAdapt attaches and starts an adaptive controller on a when the
+// run was configured with Adapt, returning its stop function. The
+// returned function is a no-op when Adapt is off, the allocator is not
+// the lock-free core, or the controller cannot attach (no telemetry).
+func (c RunConfig) startAdapt(a alloc.Allocator) func() {
+	if !c.Adapt {
+		return func() {}
+	}
+	ca, ok := a.(alloc.CoreAccessor)
+	if !ok {
+		return func() {}
+	}
+	ctrl, err := adapt.New(ca.Core(), adapt.Config{Interval: c.adaptInterval()})
+	if err != nil {
+		return func() {}
+	}
+	ctrl.Start()
+	return ctrl.Stop
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -132,6 +171,7 @@ func (c RunConfig) newAlloc(name string) (alloc.Allocator, error) {
 		opt.LockFree.MagazineSize = c.Magazine
 		opt.LockFree.DescStripes = c.DescStripes
 		opt.LockFree.DescAlgo = c.DescAlgo
+		opt.LockFree.Adapt = c.Adapt
 	}
 	return alloc.New(name, opt)
 }
@@ -306,6 +346,12 @@ func Experiments() []Experiment {
 			Paper: "beyond the paper — quantifies the observability tax: sampler off vs on with a concurrent census walker; acceptance is <= 3% ops/s at the default sample rate",
 			Run:   runCensus,
 		},
+		{
+			ID:    "adapt",
+			Title: "Adaptive policy: self-tuning controller vs static configurations across a phase change",
+			Paper: "beyond the paper — a two-phase Larson (small objects, then large objects with deep churn) where no static magazine cap wins both phases; acceptance is the adaptive allocator within 10% of the best static config in each phase",
+			Run:   runAdapt,
+		},
 	}
 }
 
@@ -333,7 +379,9 @@ func bestOf(cfg RunConfig, name string, w bench.Workload, threads int) (bench.Re
 			return bench.Result{}, err
 		}
 		runtime.GC()
+		stop := cfg.startAdapt(a)
 		r := w.Run(a, threads)
+		stop()
 		cfg.note(r)
 		if r.OpsPerSec() > best.OpsPerSec() {
 			best = r
@@ -371,7 +419,9 @@ func figRunner(mkWorkload func(RunConfig) bench.Workload) func(RunConfig, io.Wri
 				// collect them outside the timed region so background
 				// sweeps do not perturb the measurement.
 				runtime.GC()
+				stop := cfg.startAdapt(a)
 				r := w.Run(a, t)
+				stop()
 				cfg.note(r)
 				s.Points = append(s.Points, Point{Threads: t, Value: r.SpeedupOver(base)})
 				fmt.Fprintf(out, "# %s\n", r)
@@ -899,6 +949,136 @@ func runCensus(cfg RunConfig, out io.Writer) error {
 			fmt.Sprintf("%.0f", best.OpsPerSec()),
 			rel, walksCell, samples, intFrag, extFrag, ageP50,
 		})
+	}
+	fmt.Fprint(out, t.Render())
+	return nil
+}
+
+// runAdapt is the acceptance experiment for the adaptive policy layer:
+// a workload whose optimal magazine cap changes mid-run. Phase 1 is the
+// paper's Larson (small objects, high locality — big magazines win);
+// phase 2 switches to large objects with a deep churn set (few blocks
+// per superblock — caching costs memory and pays little). Both phases
+// run back-to-back on the SAME allocator, so a static configuration is
+// necessarily wrong in one of them; the adaptive variant must re-tune
+// across the transition and land within 10% of the best static config
+// in each phase. Telemetry is forced on (the controller's sensors), so
+// every row carries the magazine hit rate and desc retries/op of its
+// own phase.
+func runAdapt(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	cfg.Telemetry = true
+	// Each variant carries its own explicit MagazineSize/Adapt; clear
+	// the global flags so the static rows really run statically.
+	cfg.Magazine = 0
+	cfg.Adapt = false
+	maxT := cfg.Threads[len(cfg.Threads)-1]
+	phases := []struct {
+		name string
+		w    bench.Workload
+	}{
+		{"small", bench.Larson{Duration: cfg.scaleDur(15 * time.Second), BlocksPerThread: 1024, MinSize: 16, MaxSize: 80}},
+		{"large", bench.Larson{Duration: cfg.scaleDur(15 * time.Second), BlocksPerThread: 256, MinSize: 512, MaxSize: 2048}},
+	}
+	variants := []struct {
+		name  string
+		mag   int
+		adapt bool
+	}{
+		{"static mag=0 (paper-faithful)", 0, false},
+		{"static mag=64", 64, false},
+		{"adaptive (start mag=8, hysteresis)", 8, true},
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Adaptive policy: two-phase Larson at %d threads", maxT),
+		Columns: []string{"variant", "phase", "ops/s", "hit rate", "desc retries/op", "decisions"},
+		Notes: []string{
+			"phases run back-to-back on the same allocator; 'decisions' counts the controller's knob movements during that phase",
+		},
+	}
+	// best[phase index] tracks the best static ops/s; adaptOps the
+	// adaptive variant's, for the acceptance ratio.
+	best := make([]float64, len(phases))
+	adaptOps := make([]float64, len(phases))
+	for _, v := range variants {
+		// Best-of-N by combined throughput; both phase rows come from the
+		// winning rep so the transition they show is a real one.
+		var bestRes []bench.Result
+		var bestDecs []uint64
+		var bestCombined float64
+		for rep := 0; rep < scalarReps; rep++ {
+			a := alloc.NewLockFree(cfg.lockFreeOptions(core.Config{MagazineSize: v.mag, Adapt: v.adapt}))
+			var ctrl *adapt.Controller
+			if v.adapt {
+				var err error
+				ctrl, err = adapt.New(a.(alloc.CoreAccessor).Core(), adapt.Config{Interval: cfg.adaptInterval()})
+				if err != nil {
+					return err
+				}
+				ctrl.Start()
+			}
+			var results []bench.Result
+			var decs []uint64
+			var ops uint64
+			var elapsed time.Duration
+			var prevDecs uint64
+			for _, ph := range phases {
+				runtime.GC()
+				r := ph.w.Run(a, maxT)
+				cfg.note(r)
+				results = append(results, r)
+				ops += r.Ops
+				elapsed += r.Elapsed
+				var d uint64
+				if ctrl != nil {
+					d = ctrl.DecisionCount() - prevDecs
+					prevDecs += d
+				}
+				decs = append(decs, d)
+			}
+			if ctrl != nil {
+				ctrl.Stop()
+			}
+			combined := float64(ops) / elapsed.Seconds()
+			if combined > bestCombined {
+				bestCombined, bestRes, bestDecs = combined, results, decs
+			}
+		}
+		for i, r := range bestRes {
+			hit, perOp := "-", "-"
+			if tel := r.Telemetry; tel != nil && r.Ops > 0 {
+				if tel.MagHits+tel.MagMisses > 0 {
+					hit = fmt.Sprintf("%.1f%%", 100*tel.MagHitRate)
+				}
+				var rr uint64
+				for _, site := range descSites {
+					rr += tel.RetriesBySite[site]
+				}
+				perOp = fmt.Sprintf("%.6f", float64(rr)/float64(r.Ops))
+			}
+			decCell := "-"
+			if v.adapt {
+				decCell = fmt.Sprintf("%d", bestDecs[i])
+			}
+			ops := r.OpsPerSec()
+			if v.adapt {
+				adaptOps[i] = ops
+			} else if ops > best[i] {
+				best[i] = ops
+			}
+			t.Rows = append(t.Rows, []string{
+				v.name, phases[i].name,
+				fmt.Sprintf("%.0f", ops),
+				hit, perOp, decCell,
+			})
+		}
+	}
+	for i := range phases {
+		if best[i] > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"phase %s: adaptive/best-static = %.2f (acceptance >= 0.90)",
+				phases[i].name, adaptOps[i]/best[i]))
+		}
 	}
 	fmt.Fprint(out, t.Render())
 	return nil

@@ -18,7 +18,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -84,6 +86,14 @@ type Plan struct {
 	// count and any walker failure land in Result.CensusWalks /
 	// CensusErr.
 	Census bool
+	// Adapt builds the allocator with the runtime-mutable policy layer
+	// (core.Config.Adapt) and runs an internal/adapt controller with
+	// the deterministic Exerciser policy concurrently with the kills:
+	// magazine caps cycle and stripe/arena bindings rotate while
+	// victims die at every hook point, so policy application is
+	// verified to be kill-tolerant. Step and decision counts land in
+	// Result.AdaptSteps / AdaptDecisions.
+	Adapt bool
 }
 
 // Result reports what happened.
@@ -108,6 +118,10 @@ type Result struct {
 	// kills anywhere in the allocator.
 	CensusWalks int
 	CensusErr   error
+	// AdaptSteps/AdaptDecisions count the controller's control steps
+	// and recorded decisions (Plan.Adapt).
+	AdaptSteps     uint64
+	AdaptDecisions uint64
 }
 
 func (r Result) String() string {
@@ -135,18 +149,42 @@ func Run(plan Plan) (Result, error) {
 			Telemetry:     plan.Telemetry,
 		})
 	}
+	tele := plan.Telemetry
+	if plan.Adapt && tele == nil {
+		// The controller needs sensors; attach a quiet recorder when the
+		// plan didn't bring one.
+		tele = core.NewRecorder(telemetry.Config{})
+	}
 	a := core.New(core.Config{
 		Processors:   procs,
 		HeapConfig:   mem.Config{SegmentWordsLog2: 18, TotalWordsLog2: 28, Arenas: plan.Arenas},
-		Telemetry:    plan.Telemetry,
+		Telemetry:    tele,
 		MagazineSize: plan.Magazine,
 		DescStripes:  plan.DescStripes,
 		DescAlgo:     plan.DescAlgo,
+		Adapt:        plan.Adapt,
 		Shadow:       sh,
 	})
 
 	res := Result{Kills: map[core.HookPoint]int{}}
 	var killMu sync.Mutex
+
+	// The controller churns the policy surface (Exerciser: caps cycle,
+	// bindings rotate) on a tight interval for the whole run; it must
+	// be stopped before the post-mortem checks, which assume
+	// quiescence.
+	var ctrl *adapt.Controller
+	if plan.Adapt {
+		var err error
+		ctrl, err = adapt.New(a, adapt.Config{
+			Interval: 500 * time.Microsecond,
+			Policy:   &adapt.Exerciser{Rebind: true},
+		})
+		if err != nil {
+			return res, fmt.Errorf("adapt controller: %w", err)
+		}
+		ctrl.Start()
+	}
 
 	// The census walker starts before the victims so walks overlap the
 	// kills. Plain writes to res.CensusWalks/CensusErr are safe: the
@@ -285,6 +323,11 @@ func Run(plan Plan) (Result, error) {
 	if plan.Census {
 		close(censusStop)
 		<-censusDone
+	}
+	if ctrl != nil {
+		ctrl.Stop()
+		res.AdaptSteps = ctrl.Steps()
+		res.AdaptDecisions = ctrl.DecisionCount()
 	}
 	close(survivorErrs)
 	for err := range survivorErrs {

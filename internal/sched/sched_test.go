@@ -67,6 +67,42 @@ func TestKillAtEveryPointMagazine(t *testing.T) {
 	}
 }
 
+// TestKillAtEveryPointAdapt repeats the per-point kill sweep with the
+// runtime-mutable policy layer and a live controller (Exerciser: caps
+// cycle between values, stripe and arena bindings rotate every step),
+// so victims die while policies are being published and applied —
+// including mid-shrink incremental flushes. The controller is stopped
+// before the post-mortem, which must find an intact structure.
+func TestKillAtEveryPointAdapt(t *testing.T) {
+	for p := core.HookPoint(0); p < core.NumHookPoints; p++ {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			res, err := Run(Plan{
+				Victims:        2,
+				Survivors:      2,
+				OpsPerSurvivor: 20000,
+				OpsBeforeKill:  50,
+				Seed:           int64(p) + 1,
+				Point:          p,
+				Magazine:       16,
+				Adapt:          true,
+			})
+			if err != nil {
+				t.Fatalf("survivors blocked: %v", err)
+			}
+			if res.SurvivorOps != 2*20000 {
+				t.Errorf("survivor ops = %d", res.SurvivorOps)
+			}
+			if res.InvariantErr != nil {
+				t.Errorf("structure corrupted: %v", res.InvariantErr)
+			}
+			if res.AdaptSteps == 0 {
+				t.Error("controller made no steps during the run")
+			}
+		})
+	}
+}
+
 // TestMassacreMagazine is the random-point massacre with magazines on.
 func TestMassacreMagazine(t *testing.T) {
 	res, err := Run(Plan{
