@@ -25,6 +25,7 @@ import (
 	"repro/internal/chunkheap"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/offload"
 	"repro/internal/shadow"
 )
 
@@ -89,11 +90,24 @@ type Options struct {
 	ShadowConfig shadow.Config
 }
 
-type lockFree struct{ a *core.Allocator }
+type lockFree struct {
+	a *core.Allocator
+	// eng is the allocation-core offload engine, non-nil only when the
+	// allocator was constructed with Config.Offload.Cores > 0. With it
+	// set, NewThread hands out offload workers (stash + batched
+	// submission to dedicated allocator goroutines) instead of raw core
+	// thread handles.
+	eng *offload.Engine
+}
 
-func (w lockFree) Name() string      { return w.a.Name() }
-func (w lockFree) NewThread() Thread { return w.a.Thread() }
-func (w lockFree) Heap() *mem.Heap   { return w.a.Heap() }
+func (w lockFree) Name() string { return w.a.Name() }
+func (w lockFree) NewThread() Thread {
+	if w.eng != nil {
+		return w.eng.Worker()
+	}
+	return w.a.Thread()
+}
+func (w lockFree) Heap() *mem.Heap { return w.a.Heap() }
 
 // Core returns the underlying core allocator (for stats and tests).
 func (w lockFree) Core() *core.Allocator { return w.a }
@@ -105,6 +119,15 @@ func (w lockFree) ShadowOracle() *shadow.Oracle { return w.a.ShadowOracle() }
 // CoreAccessor is implemented by the lock-free allocator wrapper to
 // expose the underlying core.Allocator.
 type CoreAccessor interface{ Core() *core.Allocator }
+
+// OffloadEngine exposes the allocation-core engine, or nil when the
+// allocator was built without offload (Config.Offload.Cores == 0).
+func (w lockFree) OffloadEngine() *offload.Engine { return w.eng }
+
+// OffloadAccessor is implemented by the lock-free allocator wrapper to
+// expose its offload engine (nil when offload is off). Benchmarks use
+// it to report engine stats; tools use it to Stop the cores early.
+type OffloadAccessor interface{ OffloadEngine() *offload.Engine }
 
 // NewLockFree constructs the paper's lock-free allocator.
 func NewLockFree(opt Options) Allocator {
@@ -125,7 +148,12 @@ func NewLockFree(opt Options) Allocator {
 		sc.CrossCheck = true
 		cfg.Shadow = shadow.New(sc)
 	}
-	return lockFree{core.New(cfg)}
+	a := core.New(cfg)
+	w := lockFree{a: a}
+	if cfg.Offload.Cores > 0 {
+		w.eng = offload.New(a)
+	}
+	return w
 }
 
 type serialAlloc struct{ a *serial.Allocator }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/mem"
 )
 
@@ -291,5 +292,47 @@ func TestSharedWorkloadDifferential(t *testing.T) {
 		for _, h := range live {
 			th.Free(h.p)
 		}
+	}
+}
+
+// TestOffloadConformance runs the behavioural suite against the
+// lock-free allocator in offload mode: NewThread hands out offload
+// workers (stash + batched submission to dedicated allocation cores),
+// so every check — including payload integrity under concurrent
+// stress — exercises the refill/batch/fallback paths end to end.
+func TestOffloadConformance(t *testing.T) {
+	opt := testOptions()
+	opt.LockFree.Offload = core.OffloadConfig{Cores: 2, Batch: 8}
+	a := NewLockFree(opt)
+	oa, ok := a.(OffloadAccessor)
+	if !ok || oa.OffloadEngine() == nil {
+		t.Fatal("offload engine not attached despite Offload.Cores > 0")
+	}
+	defer oa.OffloadEngine().Stop()
+
+	t.Run("roundtrip", func(t *testing.T) { conformRoundtrip(t, a) })
+	t.Run("distinct", func(t *testing.T) { conformDistinct(t, a) })
+	t.Run("large", func(t *testing.T) { conformLarge(t, a) })
+	t.Run("freeNil", func(t *testing.T) { a.NewThread().Free(0) })
+	t.Run("crossThreadFree", func(t *testing.T) { conformCrossFree(t, a) })
+	t.Run("integrityStress", func(t *testing.T) { conformStress(t, a) })
+
+	if st := oa.OffloadEngine().Stats(); st.StashHits == 0 {
+		t.Errorf("offload engine never served a stash hit (stats %+v)", st)
+	}
+}
+
+// TestOffloadDisabledHasNoEngine pins the opt-in contract: without
+// Offload.Cores the wrapper hands out raw core thread handles and no
+// engine (or its goroutines) exists.
+func TestOffloadDisabledHasNoEngine(t *testing.T) {
+	a := NewLockFree(testOptions())
+	if oa, ok := a.(OffloadAccessor); !ok {
+		t.Fatal("lockfree wrapper lost OffloadAccessor")
+	} else if oa.OffloadEngine() != nil {
+		t.Error("offload engine attached without opt-in")
+	}
+	if _, ok := a.NewThread().(*core.Thread); !ok {
+		t.Error("offload-off NewThread is not a raw core thread handle")
 	}
 }

@@ -7,6 +7,8 @@
 //
 //	allocmon [-addr :8723] [-threads 4] [-hyper] [-pause 50us]
 //	         [-interval 1s] [-samplerate 1024] [-history 120] [-adapt]
+//	         [-magazine N] [-arenas N] [-descstripes N]
+//	         [-descalgo freelist|consttime] [-offload N] [-offloadbatch N]
 //	allocmon -once [-warmup 2s]
 //
 // Endpoints:
@@ -22,6 +24,9 @@
 //	/series.json the sampled census+snapshot ring, oldest first
 //	/adapt.json  adaptive controller state: live knob values and the
 //	             decision log ({"enabled":false} without -adapt)
+//	/offload.json allocation-core offload engine state: cores, batch
+//	             size, queue depth, and cumulative counters
+//	             ({"enabled":false} without -offload)
 //	/metrics     Prometheus text format (version 0.0.4)
 //	/stream      server-sent events: one series point per sample tick
 //
@@ -29,6 +34,11 @@
 // and runs an internal/adapt controller (default hysteresis policy) on
 // the sampling interval; its decision log and live knob values appear
 // on the dashboard, /adapt.json, and /metrics.
+//
+// -offload N routes the workload's malloc/free traffic through N
+// dedicated allocation-core goroutines (internal/offload); the engine's
+// queue depth, stash hit rate, and batch counters appear on the
+// dashboard, /offload.json, and as offload_* Prometheus families.
 //
 // -once skips the server: it warms up, prints the text dashboard to
 // stdout, and exits (useful for smoke tests).
@@ -46,9 +56,11 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/bench"
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/offload"
 	"repro/internal/telemetry"
 )
 
@@ -60,6 +72,7 @@ type monitor struct {
 	series *telemetry.Series
 	events int               // flight-recorder events on the text dashboard
 	ctrl   *adapt.Controller // nil unless -adapt
+	eng    *offload.Engine   // nil unless -offload
 
 	mu   sync.Mutex
 	subs map[chan telemetry.SeriesPoint]struct{}
@@ -133,6 +146,7 @@ func (m *monitor) mux() *http.ServeMux {
 		printHeapStats(w, m.a)
 		printCensusSummary(w, census.Take(m.a))
 		printAdaptSummary(w, m.ctrl)
+		printOffloadSummary(w, m.eng)
 	})
 	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
 		snap := m.rec.Snapshot()
@@ -189,6 +203,18 @@ func (m *monitor) mux() *http.ServeMux {
 			"log":          m.ctrl.Decisions(32),
 		})
 	})
+	mux.HandleFunc("/offload.json", func(w http.ResponseWriter, r *http.Request) {
+		if m.eng == nil {
+			writeJSON(w, map[string]any{"enabled": false})
+			return
+		}
+		writeJSON(w, map[string]any{
+			"enabled": true,
+			"cores":   m.eng.Cores(),
+			"batch":   m.eng.Batch(),
+			"stats":   m.eng.Stats(),
+		})
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", census.ContentType)
 		snap := m.rec.Snapshot()
@@ -198,6 +224,9 @@ func (m *monitor) mux() *http.ServeMux {
 		}
 		if m.ctrl != nil {
 			writeAdaptMetrics(w, m.ctrl)
+		}
+		if m.eng != nil {
+			writeOffloadMetrics(w, m.eng)
 		}
 	})
 	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) {
@@ -268,23 +297,32 @@ func main() {
 		interval   = flag.Duration("interval", time.Second, "census sampling interval for /series.json and /stream")
 		sampleRate = flag.Int("samplerate", 1024, "allocation sampling period (mallocs per sample, 0 = off)")
 		history    = flag.Int("history", 120, "series points retained")
-		adaptF     = flag.Bool("adapt", false, "runtime-mutable policy surface + adaptive controller (hysteresis) on the sampling interval")
+		af         = bench.RegisterAllocFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
 	rec := core.NewRecorder(telemetry.Config{SampleRate: *sampleRate})
-	a := core.New(core.Config{
+	cfg, err := af.Apply(core.Config{
 		Processors:  *threads,
 		Hyperblocks: *hyper,
 		Telemetry:   rec,
-		Adapt:       *adaptF,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocmon: %v\n", err)
+		os.Exit(1)
+	}
+	a := core.New(cfg)
+	var eng *offload.Engine
+	if cfg.Offload.Cores > 0 {
+		eng = offload.New(a)
+	}
 	for g := 0; g < *threads; g++ {
-		go churn(a, int64(g), *pause)
+		go churn(a, eng, int64(g), *pause)
 	}
 
 	m := newMonitor(rec, a, *history, *events)
-	if *adaptF {
+	m.eng = eng
+	if cfg.Adapt {
 		ctrl, err := adapt.New(a, adapt.Config{Interval: *interval})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "allocmon: %v\n", err)
@@ -300,13 +338,14 @@ func main() {
 		printHeapStats(os.Stdout, a)
 		printCensusSummary(os.Stdout, census.Take(a))
 		printAdaptSummary(os.Stdout, m.ctrl)
+		printOffloadSummary(os.Stdout, eng)
 		return
 	}
 
 	go m.run(*interval, make(chan struct{}))
 
-	fmt.Printf("allocmon: %d workload threads (hyper=%v pause=%v samplerate=%d adapt=%v), serving on %s\n",
-		*threads, *hyper, *pause, *sampleRate, *adaptF, *addr)
+	fmt.Printf("allocmon: %d workload threads (hyper=%v pause=%v samplerate=%d adapt=%v offload=%d), serving on %s\n",
+		*threads, *hyper, *pause, *sampleRate, cfg.Adapt, cfg.Offload.Cores, *addr)
 	if err := http.ListenAndServe(*addr, m.mux()); err != nil {
 		fmt.Fprintf(os.Stderr, "allocmon: %v\n", err)
 		os.Exit(1)
@@ -379,10 +418,63 @@ func writeAdaptMetrics(w interface{ Write([]byte) (int, error) }, ctrl *adapt.Co
 	}
 }
 
+// printOffloadSummary appends the allocation-core offload engine's
+// queue depth and cumulative counters to the text dashboard; no-op
+// without -offload.
+func printOffloadSummary(w interface{ Write([]byte) (int, error) }, eng *offload.Engine) {
+	if eng == nil {
+		return
+	}
+	st := eng.Stats()
+	hitPct := 0.0
+	if st.StashHits+st.StashMisses > 0 {
+		hitPct = 100 * float64(st.StashHits) / float64(st.StashHits+st.StashMisses)
+	}
+	fmt.Fprintf(w, "offload: cores=%d (%d live) batch=%d queue depth=%d workers=%d\n",
+		eng.Cores(), st.LiveCores, eng.Batch(), st.QueueDepth, st.Workers)
+	fmt.Fprintf(w, "offload: %d submits, stash hit %.1f%%, %d fallbacks; refill %d batches/%d blocks, free %d batches/%d blocks\n",
+		st.Submits, hitPct, st.Fallbacks,
+		st.RefillBatches, st.RefillBlocks, st.FreeBatches, st.FreedBlocks)
+}
+
+// writeOffloadMetrics appends the offload engine's Prometheus families
+// after the census (and adapt) exposition; same text format, validated
+// by the endpoint test with census.ValidateMetrics.
+func writeOffloadMetrics(w interface{ Write([]byte) (int, error) }, eng *offload.Engine) {
+	st := eng.Stats()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("offload_submits_total", "Requests submitted to the allocation cores.", st.Submits)
+	counter("offload_refill_batches_total", "Refill batches executed by allocation cores.", st.RefillBatches)
+	counter("offload_refill_blocks_total", "Blocks delivered by refill batches.", st.RefillBlocks)
+	counter("offload_free_batches_total", "Free batches executed by allocation cores.", st.FreeBatches)
+	counter("offload_freed_blocks_total", "Blocks freed via batched requests.", st.FreedBlocks)
+	counter("offload_stash_hits_total", "Worker mallocs served from the local stash.", st.StashHits)
+	counter("offload_stash_misses_total", "Worker mallocs that missed the stash.", st.StashMisses)
+	counter("offload_fallbacks_total", "Operations executed synchronously under queue backpressure.", st.Fallbacks)
+	counter("offload_core_kills_total", "Allocation cores killed by fault injection.", st.CoreKills)
+	counter("offload_adopted_blocks_total", "Blocks adopted from killed cores' in-flight batches.", st.AdoptedBlocks)
+	gauge("offload_queue_depth", "Requests currently queued to the allocation cores.", int64(st.QueueDepth))
+	gauge("offload_live_cores", "Allocation-core goroutines currently running.", int64(st.LiveCores))
+	gauge("offload_workers", "Workers currently registered with the offload engine.", int64(st.Workers))
+}
+
 // churn is the embedded workload: random-size malloc/free traffic with
 // a bounded live set, the same shape as mlfstress.
-func churn(a *core.Allocator, seed int64, pause time.Duration) {
-	th := a.Thread()
+func churn(a *core.Allocator, eng *offload.Engine, seed int64, pause time.Duration) {
+	var th interface {
+		Malloc(uint64) (mem.Ptr, error)
+		Free(mem.Ptr)
+	}
+	if eng != nil {
+		th = eng.Worker()
+	} else {
+		th = a.Thread()
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var held []mem.Ptr
 	for i := 0; ; i++ {

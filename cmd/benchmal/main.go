@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas|poolstripes|poolalgo|census|adapt]
+//	benchmal [-exp all|table1|fig8a..fig8h|latency|space|unip|ablate|magazine|arenas|poolstripes|poolalgo|census|adapt|offload]
 //	         [-threads 1,2,4,8,16] [-scale 0.01] [-allocs lockfree,hoard,...]
 //	         [-procs N] [-telemetry] [-magazine N] [-arenas N] [-descstripes N]
-//	         [-descalgo freelist|consttime] [-adapt] [-samplerate N]
-//	         [-json] [-list] [-v]
+//	         [-descalgo freelist|consttime] [-adapt] [-offload N] [-offloadbatch N]
+//	         [-samplerate N] [-json] [-list] [-v]
 //
 // -scale 1.0 runs the paper's full parameters (10M malloc/free pairs
 // per thread, 30-second timed phases); the default 0.01 finishes each
@@ -33,7 +33,11 @@
 // lock-free allocator with the runtime-mutable policy surface and runs
 // an adaptive controller (internal/adapt) beside each measurement; the
 // adapt experiment compares static vs adaptive regardless of this
-// flag. -samplerate N enables the allocation sampler (one sample
+// flag. -offload N routes every lock-free allocator's malloc/free
+// traffic through N dedicated allocation-core goroutines
+// (internal/offload); -offloadbatch sets the request batch size; the
+// offload experiment compares magazines vs offload regardless of
+// these flags. -samplerate N enables the allocation sampler (one sample
 // per N mallocs) on every telemetry recorder, adding a census digest —
 // fragmentation and live-block ages — to each measurement (0 = off,
 // the default, preserving the bare telemetry cost); the census
@@ -55,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/report"
 )
 
@@ -73,6 +78,8 @@ type jsonReport struct {
 	DescStripes   int            `json:"descStripes,omitempty"`
 	DescAlgo      string         `json:"descAlgo,omitempty"`
 	Adapt         bool           `json:"adapt,omitempty"`
+	Offload       int            `json:"offload,omitempty"`
+	OffloadBatch  int            `json:"offloadBatch,omitempty"`
 	SampleRate    int            `json:"sampleRate,omitempty"`
 	Results       []bench.Result `json:"results"`
 }
@@ -119,6 +126,7 @@ func main() {
 		DescStripes: *allocFlags.DescStripes,
 		DescAlgo:    descAlgo,
 		Adapt:       *allocFlags.Adapt,
+		Offload:     core.OffloadConfig{Cores: *allocFlags.Offload, Batch: *allocFlags.OffloadBatch},
 		SampleRate:  *rateFlag,
 	}
 	if *allocsFlag != "" {
@@ -175,6 +183,8 @@ func main() {
 			DescStripes:   *allocFlags.DescStripes,
 			DescAlgo:      descAlgo.String(),
 			Adapt:         *allocFlags.Adapt,
+			Offload:       *allocFlags.Offload,
+			OffloadBatch:  *allocFlags.OffloadBatch,
 			SampleRate:    *rateFlag,
 			Results:       results,
 		}

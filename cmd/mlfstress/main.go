@@ -8,6 +8,7 @@
 //	          [-credits 64] [-seed 1] [-telemetry] [-events 16]
 //	          [-magazine 0] [-arenas 0] [-descstripes 0]
 //	          [-descalgo freelist|consttime] [-adapt] [-shadow]
+//	          [-offload 0] [-offloadbatch 0]
 //
 // With -telemetry, the lock-free observability layer is attached: the
 // run ends with a contention/latency summary, and in fault-injection
@@ -29,6 +30,12 @@
 // write-after-free via poison-on-free; the first violation aborts the
 // run with the offending pointer, the allocating and freeing thread
 // ids, and the flight recorder's tail.
+//
+// With -offload N, malloc/free traffic is routed through N dedicated
+// allocation-core goroutines (internal/offload): each worker holds a
+// per-class stash and submits batched refill/free requests over the
+// MS queue. In fault-injection mode the kills target the allocation
+// cores themselves — the run then verifies no batch was stranded.
 package main
 
 import (
@@ -44,6 +51,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/offload"
 	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/shadow"
@@ -109,9 +117,14 @@ func main() {
 		})
 	}
 	a := core.New(cfg)
-	fmt.Printf("mlfstress: %d threads x %d ops (hyper=%v lifo=%v credits=%d magazine=%d arenas=%d descstripes=%d descalgo=%s adapt=%v shadow=%v)\n",
+	fmt.Printf("mlfstress: %d threads x %d ops (hyper=%v lifo=%v credits=%d magazine=%d arenas=%d descstripes=%d descalgo=%s adapt=%v offload=%d shadow=%v)\n",
 		*threads, *ops, *hyper, *lifo, cfg.MaxCredits, *af.Magazine, *af.Arenas,
-		*af.DescStripes, descAlgo, cfg.Adapt, *shadowF && shadow.Enabled)
+		*af.DescStripes, descAlgo, cfg.Adapt, cfg.Offload.Cores, *shadowF && shadow.Enabled)
+
+	var eng *offload.Engine
+	if cfg.Offload.Cores > 0 {
+		eng = offload.New(a)
+	}
 
 	var ctrl *adapt.Controller
 	if cfg.Adapt {
@@ -130,7 +143,16 @@ func main() {
 		wg.Add(1)
 		go func(s int64) {
 			defer wg.Done()
-			th := a.Thread()
+			var th interface {
+				Malloc(uint64) (mem.Ptr, error)
+				Free(mem.Ptr)
+				Unregister()
+			}
+			if eng != nil {
+				th = eng.Worker()
+			} else {
+				th = a.Thread()
+			}
 			rng := rand.New(rand.NewSource(s))
 			var held []mem.Ptr
 			for i := 0; i < *ops; i++ {
@@ -165,6 +187,19 @@ func main() {
 	// Quiesce the controller before the post-run structural checks.
 	if ctrl != nil {
 		ctrl.Stop()
+	}
+	if eng != nil {
+		// The engine auto-quiesces at the last worker Unregister; Stop is
+		// a belt-and-braces barrier so the post-run checks see no live
+		// allocation cores or queued batches.
+		eng.Stop()
+		es := eng.Stats()
+		fmt.Printf("offload: %d submits, %d refill batches (%d blocks), %d free batches (%d blocks), hit rate %.1f%%, %d fallbacks, queue depth %d\n",
+			es.Submits, es.RefillBatches, es.RefillBlocks, es.FreeBatches,
+			es.FreedBlocks, hitRate(es.StashHits, es.StashMisses), es.Fallbacks, es.QueueDepth)
+		if es.QueueDepth != 0 || es.LiveCores != 0 {
+			fail("offload engine not quiescent: depth=%d liveCores=%d", es.QueueDepth, es.LiveCores)
+		}
 	}
 
 	s := a.Stats()
@@ -224,9 +259,9 @@ func main() {
 }
 
 func runKillStress(kills, threads, ops int, seed int64, tele bool, events int, af *bench.AllocFlags, descAlgo pool.Algo, useShadow bool) {
-	fmt.Printf("mlfstress: fault injection — %d kills, %d survivors x %d ops (magazine=%d arenas=%d descstripes=%d descalgo=%s adapt=%v shadow=%v)\n",
+	fmt.Printf("mlfstress: fault injection — %d kills, %d survivors x %d ops (magazine=%d arenas=%d descstripes=%d descalgo=%s adapt=%v offload=%d shadow=%v)\n",
 		kills, threads, ops, *af.Magazine, *af.Arenas, *af.DescStripes,
-		descAlgo, *af.Adapt, useShadow && shadow.Enabled)
+		descAlgo, *af.Adapt, *af.Offload, useShadow && shadow.Enabled)
 	var rec *telemetry.Recorder
 	if tele {
 		rec = core.NewRecorder(telemetry.Config{})
@@ -243,6 +278,8 @@ func runKillStress(kills, threads, ops int, seed int64, tele bool, events int, a
 		DescStripes:    *af.DescStripes,
 		DescAlgo:       descAlgo,
 		Adapt:          *af.Adapt,
+		Offload:        *af.Offload,
+		OffloadBatch:   *af.OffloadBatch,
 		Telemetry:      rec,
 		Shadow:         useShadow,
 	})
@@ -256,6 +293,13 @@ func runKillStress(kills, threads, ops int, seed int64, tele bool, events int, a
 		fail("survivors blocked: %v", err)
 	}
 	fmt.Printf("%v\n", res)
+	if *af.Offload > 0 {
+		fmt.Printf("offload: %d core kills, %d blocks adopted, %d fallbacks, %d stranded\n",
+			res.OffloadCoreKills, res.OffloadAdopted, res.OffloadFallbacks, res.OffloadStranded)
+		if res.OffloadStranded != 0 {
+			fail("offload: %d batches stranded after kills", res.OffloadStranded)
+		}
+	}
 	if *af.Adapt {
 		fmt.Printf("adapt: %d control steps, %d decisions while victims died\n",
 			res.AdaptSteps, res.AdaptDecisions)
@@ -267,6 +311,13 @@ func runKillStress(kills, threads, ops int, seed int64, tele bool, events int, a
 		fail("shadow oracle after kills: %v", res.ShadowErr)
 	}
 	fmt.Println("survivors made full progress; structure intact (bounded leak only)")
+}
+
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
 }
 
 func fail(format string, args ...any) {

@@ -13,10 +13,12 @@ import (
 // in one place with one help string instead of being copied per
 // command.
 type AllocFlags struct {
-	Magazine    *int
-	Arenas      *int
-	DescStripes *int
-	Adapt       *bool
+	Magazine     *int
+	Arenas       *int
+	DescStripes  *int
+	Adapt        *bool
+	Offload      *int
+	OffloadBatch *int
 
 	descAlgo *string
 }
@@ -29,8 +31,10 @@ func RegisterAllocFlags(fs *flag.FlagSet) *AllocFlags {
 		Magazine:    fs.Int("magazine", 0, "thread-local magazine capacity for lock-free allocators (0 = off)"),
 		Arenas:      fs.Int("arenas", 0, "region arenas per heap (0 = one per processor, 1 = unsharded)"),
 		DescStripes: fs.Int("descstripes", 0, "descriptor-pool freelist stripes (0 = one per processor, 1 = single DescAvail)"),
-		Adapt:       fs.Bool("adapt", false, "runtime-mutable policy surface + adaptive controller on lock-free allocators"),
-		descAlgo:    fs.String("descalgo", "", "descriptor-pool backend: freelist (default) or consttime (Blelloch-Wei)"),
+		Adapt:        fs.Bool("adapt", false, "runtime-mutable policy surface + adaptive controller on lock-free allocators"),
+		Offload:      fs.Int("offload", 0, "dedicated allocation cores for lock-free allocators (0 = off)"),
+		OffloadBatch: fs.Int("offloadbatch", 0, "offload refill/free batch size (0 = default)"),
+		descAlgo:     fs.String("descalgo", "", "descriptor-pool backend: freelist (default) or consttime (Blelloch-Wei)"),
 	}
 }
 
@@ -51,6 +55,7 @@ func (f *AllocFlags) Apply(cfg core.Config) (core.Config, error) {
 	cfg.DescStripes = *f.DescStripes
 	cfg.DescAlgo = algo
 	cfg.Adapt = *f.Adapt
+	cfg.Offload = core.OffloadConfig{Cores: *f.Offload, Batch: *f.OffloadBatch}
 	if cfg.HeapConfig == (mem.Config{}) {
 		cfg.HeapConfig = mem.Config{Arenas: *f.Arenas}
 	} else {

@@ -124,6 +124,14 @@ type Config struct {
 	// instrumented branch.
 	Telemetry *telemetry.Recorder
 
+	// Offload configures the SpeedMalloc-style allocation-core offload
+	// mode (internal/offload): Cores worker-serving allocator
+	// goroutines and the request batch size. The core itself only
+	// carries the knobs — it never reads them on any path — so the
+	// zero value (offload off) adds nothing to malloc/free; the
+	// internal/offload engine and the alloc wrapper consume them.
+	Offload OffloadConfig
+
 	// Shadow, when non-nil, mirrors every Malloc/Free into the
 	// shadow-heap differential oracle (internal/shadow): a debugging
 	// layer that detects double frees, overlapping live blocks, prefix
@@ -132,6 +140,17 @@ type Config struct {
 	// `shadowheap` build tag shadow.New returns nil, so the field stays
 	// nil and the mirroring costs one nil-check per operation.
 	Shadow *shadow.Oracle
+}
+
+// OffloadConfig parameterizes the allocation-core offload mode (see
+// Config.Offload and internal/offload). Cores <= 0 disables the mode.
+type OffloadConfig struct {
+	// Cores is the number of dedicated allocator goroutines serving
+	// batched malloc/free requests from all workers.
+	Cores int
+	// Batch is the refill and free-batch size (blocks per request).
+	// 0 selects the offload engine's default.
+	Batch int
 }
 
 // NewRecorder creates a telemetry recorder sized for this allocator's
@@ -183,13 +202,14 @@ type Allocator struct {
 	// paths — are byte-identical with or without the layer compiled in.
 	shadow *shadow.Oracle
 
-	// Pad the struct into the 256-byte allocation size class: 256-byte
-	// objects are always 64-byte aligned, so the hot fields above land
-	// on the same cache lines in every process, rather than at whatever
-	// phase a 208- or 224-byte slot happens to start at. Growing the
-	// struct within the padding budget cannot change the layout
-	// (policy.go pins the total with compile-time assertions).
-	_ [256 - 240]byte
+	// The struct fills the 256-byte allocation size class exactly
+	// (Config.Offload spent the last of the former padding budget):
+	// 256-byte objects are always 64-byte aligned, so the hot fields
+	// above land on the same cache lines in every process, rather than
+	// at whatever phase a 208- or 224-byte slot happens to start at.
+	// Growing the struct further requires shrinking or out-lining a
+	// cold field (policy.go pins the total with compile-time
+	// assertions).
 }
 
 // scState is the per-size-class state (paper's sizeclass structure).
@@ -326,7 +346,7 @@ func (a *Allocator) desc(idx uint64) *Descriptor { return a.descs.Get(idx) }
 // the pool reduces any non-negative id modulo its stripe count, and
 // cross-stripe alloc/retire mixing is harmless, so a rebind needs no
 // synchronization beyond happening between operations.
-func (t *Thread) stripe() int { return t.stripeID }
+func (t *Thread) stripe() int { return int(t.stripeID) }
 
 // allocSB obtains a superblock region through the calling thread's
 // region arena, or through the hyperblock layer when enabled (paper
@@ -383,7 +403,8 @@ func (a *Allocator) ShadowOracle() *shadow.Oracle { return a.shadow }
 // paper's pthread environment.
 func (a *Allocator) Thread() *Thread {
 	t := &Thread{a: a, id: a.nextThread.Add(1) - 1, shadow: a.shadow}
-	t.stripeID = int(t.id)
+	t.opsp = &t.ops
+	t.stripeID = int32(t.id)
 	// The thread's region arena, like its processor heaps below: a pure
 	// function of the thread id, resolved once (rebindable through the
 	// policy layer on adaptive allocators).
@@ -415,8 +436,8 @@ func (a *Allocator) Thread() *Thread {
 			// next flush; one Active CAS can reserve at most MaxCredits
 			// blocks.
 			mag.want = min(uint64(c/2)+1, a.maxCredits)
-			if c > t.magCap {
-				t.magCap = c
+			if int32(c) > t.magCap {
+				t.magCap = int32(c)
 			}
 		}
 	}
@@ -447,8 +468,14 @@ type Thread struct {
 
 	// stripeID is the descriptor-pool stripe this thread allocates from
 	// and retires to: the thread id by default, rebindable through the
-	// policy layer (see stripe()).
-	stripeID int
+	// policy layer (see stripe()). int32 (with magCap below) to fund
+	// the opsp word inside the fixed 256-byte budget; both are small by
+	// construction (stripe counts and MaxMagazineCap are tiny).
+	stripeID int32
+
+	// magCap is the max per-class magazine watermark; 0 = layer
+	// disabled.
+	magCap int32
 
 	// pol is this thread's view of the runtime policy layer; non-nil
 	// only on adaptive allocators (Config.Adapt). The hot paths read
@@ -460,13 +487,22 @@ type Thread struct {
 	// per-size-class private block caches, owned exclusively by this
 	// thread's goroutine.
 	mags       []magazine
-	magCap     int       // max per-class watermark; 0 = layer disabled
 	magScratch []mem.Ptr // reused flush-group buffer
 
+	// opsp is where this thread's operation counters land: &ops below
+	// by default, retargeted by SetCharge while an offload allocator
+	// core executes another thread's request, so proxy-executed
+	// operations are charged to the submitting thread. Owner-only
+	// plain field; the counters behind it are atomic, so cross-thread
+	// charging is race-free. Always non-nil, so the counter paths pay
+	// one pointer load and no branch.
+	opsp *opCounters
+
 	// Operation counters, aggregated by Allocator.Stats. The owning
-	// goroutine is the only writer; each counter is atomic so Stats
-	// can sample them live from any goroutine (see Stats for the
-	// snapshot semantics).
+	// goroutine is the only writer (or, transiently, an offload
+	// allocator core charged to this thread — see SetCharge); each
+	// counter is atomic so Stats can sample them live from any
+	// goroutine (see Stats for the snapshot semantics).
 	ops opCounters
 
 	// shadow mirrors Allocator.shadow; non-nil only when the oracle is
@@ -622,6 +658,48 @@ func (t *Thread) ID() uint64 { return t.id }
 
 // Allocator returns the owning allocator.
 func (t *Thread) Allocator() *Allocator { return t.a }
+
+// SetCharge retargets this thread's operation counters at another
+// thread: while a charge is set, every Malloc/Free this handle
+// executes is counted against other's OpStats instead of its own.
+// SetCharge(nil) restores self-charging.
+//
+// This is the attribution contract for proxy execution (the offload
+// engine's allocator cores): an operation submitted by worker W but
+// executed by core C must appear in W's counters — C executes it *on
+// behalf of* W — or per-thread accounting double- or mis-counts (see
+// TestChargeAttribution). Only the owning goroutine may call SetCharge
+// (like Malloc/Free); the charged counters are atomic, so the target
+// thread may run its own operations concurrently.
+func (t *Thread) SetCharge(other *Thread) {
+	if other == nil {
+		t.opsp = &t.ops
+		return
+	}
+	t.opsp = &other.ops
+}
+
+// OpStats returns this thread's own operation counters (including
+// operations proxy-charged to it via SetCharge). Safe to call from any
+// goroutine; same snapshot semantics as Allocator.Stats.
+func (t *Thread) OpStats() OpStats { return t.ops.snapshot() }
+
+// TelemetryShard returns the thread's telemetry shard (nil when the
+// telemetry layer is disabled). The offload worker layer uses it to
+// record stash hit/miss/fallback counters and stash-hit latencies into
+// the same per-thread shards the core's operations use.
+func (t *Thread) TelemetryShard() *telemetry.ThreadShard { return t.rec }
+
+// OffloadConfig returns the construction-time offload knobs
+// (Config.Offload). The core never acts on them; the internal/offload
+// engine reads them here.
+func (a *Allocator) OffloadConfig() OffloadConfig { return a.cfg.Offload }
+
+// BlockIsLarge reports whether a block returned by Malloc is a large
+// block (allocated directly from the OS layer) by inspecting its
+// prefix. The offload worker layer uses it to route large frees
+// directly instead of deferring them in a batch.
+func (a *Allocator) BlockIsLarge(p mem.Ptr) bool { return prefixIsLarge(a.heap.Load(p - 1)) }
 
 // findHeap maps (size class, thread id) to a processor heap (paper:
 // "Use sz and thread id to find heap").

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestChargeAttribution is the regression test for proxy-execution
+// accounting: when one thread executes operations on behalf of another
+// (the offload engine's allocator cores), the operations must be
+// charged to the submitting thread, not the executor. Before SetCharge
+// existed, a proxy executor charged everything to itself — per-thread
+// OpStats mis-counted (the submitter showed zero work, the executor
+// showed work it never requested) and any layer that additionally
+// counted worker-side saw the ops twice. This test fails in that
+// world.
+func TestChargeAttribution(t *testing.T) {
+	a := New(Config{Processors: 2})
+	worker := a.Thread()  // the submitting thread
+	exec := a.Thread()    // the proxy executor ("allocator core")
+	bystander := a.Thread()
+
+	const n = 100
+	exec.SetCharge(worker)
+	ptrs := make([]mem.Ptr, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := exec.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		exec.Free(p)
+	}
+	exec.SetCharge(nil)
+
+	ws, es, bs := worker.OpStats(), exec.OpStats(), bystander.OpStats()
+	if ws.Mallocs != n || ws.Frees != n {
+		t.Errorf("submitting thread charged %d mallocs / %d frees, want %d / %d",
+			ws.Mallocs, ws.Frees, n, n)
+	}
+	if es.Mallocs != 0 || es.Frees != 0 {
+		t.Errorf("executor charged %d mallocs / %d frees for proxy work, want 0 / 0",
+			es.Mallocs, es.Frees)
+	}
+	if bs.Mallocs != 0 || bs.Frees != 0 {
+		t.Errorf("bystander charged %d mallocs / %d frees, want 0 / 0", bs.Mallocs, bs.Frees)
+	}
+
+	// The aggregate must count each operation exactly once — no
+	// double-count between executor and submitter.
+	agg := a.Stats().Ops
+	if agg.Mallocs != n || agg.Frees != n {
+		t.Errorf("aggregate %d mallocs / %d frees, want exactly %d / %d (no double count)",
+			agg.Mallocs, agg.Frees, n, n)
+	}
+
+	// After the charge is cleared the executor charges itself again.
+	p, err := exec.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.Free(p)
+	if es := exec.OpStats(); es.Mallocs != 1 || es.Frees != 1 {
+		t.Errorf("after SetCharge(nil): executor has %d mallocs / %d frees, want 1 / 1",
+			es.Mallocs, es.Frees)
+	}
+}
+
+// TestChargeConcurrentWithOwner verifies the charging contract under
+// the race the offload design actually produces: the submitting thread
+// keeps running its own (fallback) operations on its handle while an
+// executor charged to it runs proxied operations. The counters behind
+// the charge are atomic, so both sides' operations must all land, once
+// each, on the submitting thread. Run with -race.
+func TestChargeConcurrentWithOwner(t *testing.T) {
+	a := New(Config{Processors: 2})
+	worker := a.Thread()
+	exec := a.Thread()
+
+	const perSide = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			p, err := worker.Malloc(48)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			worker.Free(p)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		exec.SetCharge(worker)
+		defer exec.SetCharge(nil)
+		for i := 0; i < perSide; i++ {
+			p, err := exec.Malloc(48)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			exec.Free(p)
+		}
+	}()
+	wg.Wait()
+
+	ws := worker.OpStats()
+	if ws.Mallocs != 2*perSide || ws.Frees != 2*perSide {
+		t.Errorf("worker charged %d mallocs / %d frees, want %d each",
+			ws.Mallocs, ws.Frees, 2*perSide)
+	}
+	if es := exec.OpStats(); es.Mallocs != 0 || es.Frees != 0 {
+		t.Errorf("executor charged %d mallocs / %d frees, want 0", es.Mallocs, es.Frees)
+	}
+}
+
+// TestMagazineCountersFollowCharge pins the magazine-layer interaction:
+// a charged executor's magazine hits/misses/refills are charged to the
+// submitter too, so Mallocs (which is derived from the path counters)
+// stays exact under proxy execution with magazines on.
+func TestMagazineCountersFollowCharge(t *testing.T) {
+	a := New(Config{Processors: 1, MagazineSize: 8})
+	worker := a.Thread()
+	exec := a.Thread()
+
+	const n = 64
+	exec.SetCharge(worker)
+	ptrs := make([]mem.Ptr, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := exec.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		exec.Free(p)
+	}
+	exec.SetCharge(nil)
+	exec.Unregister() // flush the executor's magazines (charges itself; flushes are not ops)
+
+	ws := worker.OpStats()
+	if ws.Mallocs != n {
+		t.Errorf("worker charged %d mallocs (hits %d + active %d + partial %d + newSB %d), want %d",
+			ws.Mallocs, ws.MagazineHits, ws.FromActive, ws.FromPartial, ws.FromNewSB, n)
+	}
+	if ws.Frees != n {
+		t.Errorf("worker charged %d frees, want %d", ws.Frees, n)
+	}
+	if es := exec.OpStats(); es.Mallocs != 0 || es.Frees != 0 {
+		t.Errorf("executor charged %d mallocs / %d frees, want 0", es.Mallocs, es.Frees)
+	}
+}

@@ -62,7 +62,7 @@ func (t *Thread) free(ptr mem.Ptr, prefix uint64) {
 	if prefixIsLarge(prefix) { // line 4
 		// Large block: return directly to the OS layer (line 5).
 		a.heap.FreeRegion(block, prefix>>1)
-		t.ops.largeFrees.Add(1)
+		t.opsp.largeFrees.Add(1)
 		return
 	}
 	descIdx := prefix >> 1
@@ -74,7 +74,7 @@ func (t *Thread) free(ptr mem.Ptr, prefix uint64) {
 		// class's own cap gates the put (cap 0 = caching off there).
 		if cls := desc.ClassIndex(); t.mags[cls].cap > 0 {
 			t.magazinePut(cls, ptr)
-			t.ops.frees.Add(1)
+			t.opsp.frees.Add(1)
 			return
 		}
 	}
@@ -98,7 +98,7 @@ func (t *Thread) free(ptr mem.Ptr, prefix uint64) {
 		nw += 1 << atomicx.AnchorCountShift // count++
 		t.hook(HookFreeBeforeCAS)
 		if desc.Anchor.CompareAndSwap(w, nw) {
-			t.ops.frees.Add(1)
+			t.opsp.frees.Add(1)
 			return
 		}
 		if t.rec != nil {
@@ -136,13 +136,13 @@ func (t *Thread) free(ptr mem.Ptr, prefix uint64) {
 			t.rec.Retry(telemetry.SiteFreeSlow)
 		}
 	}
-	t.ops.frees.Add(1)
+	t.opsp.frees.Add(1)
 
 	if newAnchor.State == atomicx.StateEmpty { // lines 19-21
 		// This thread freed the last allocated block: the superblock
 		// is EMPTY and safe to return to the OS.
 		a.freeSB(sb, desc.SBWords())
-		t.ops.emptySBFreed.Add(1)
+		t.opsp.emptySBFreed.Add(1)
 		if t.rec != nil {
 			t.rec.Note(telemetry.EvSBRetire, desc.ClassIndex(), uint64(sb))
 		}
@@ -199,7 +199,7 @@ func (t *Thread) heapPutPartial(descIdx uint64) {
 // the condition is observable. The pre-pool implementation panicked.
 func (t *Thread) listPutPartial(sc *scState, descIdx uint64) {
 	if err := sc.partial.Put(descIdx); err != nil {
-		t.ops.partialListDrops.Add(1)
+		t.opsp.partialListDrops.Add(1)
 	}
 }
 

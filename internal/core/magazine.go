@@ -201,7 +201,7 @@ func (t *Thread) refillFromActive(h *ProcHeap, mag *magazine, want uint64) mem.P
 	mag.n.Store(uint64(len(mag.blocks)))
 	// One user-visible malloc was satisfied from the active superblock;
 	// the cached remainder surfaces later as magazine hits.
-	t.ops.fromActive.Add(1)
+	t.opsp.fromActive.Add(1)
 	return ret
 }
 
@@ -301,14 +301,14 @@ func (t *Thread) spliceGroup(descIdx uint64, group []mem.Ptr) {
 			t.rec.Retry(telemetry.SiteMagFlush)
 		}
 	}
-	t.ops.magFlushes.Add(1)
+	t.opsp.magFlushes.Add(1)
 	if t.rec != nil {
 		t.rec.MagFlush(m)
 	}
 
 	if newAnchor.State == atomicx.StateEmpty {
 		a.freeSB(sb, desc.SBWords())
-		t.ops.emptySBFreed.Add(1)
+		t.opsp.emptySBFreed.Add(1)
 		if t.rec != nil {
 			t.rec.Note(telemetry.EvSBRetire, desc.ClassIndex(), uint64(sb))
 		}

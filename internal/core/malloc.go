@@ -60,7 +60,7 @@ func (t *Thread) malloc(size uint64) (mem.Ptr, int, error) {
 		if p := mag.pop(); !p.IsNil() {
 			// Magazine hit: the block is thread-private and its prefix
 			// is still in place — no shared word is touched.
-			t.ops.magHits.Add(1)
+			t.opsp.magHits.Add(1)
 			if t.rec != nil {
 				t.rec.MagHit()
 			}
@@ -70,7 +70,7 @@ func (t *Thread) malloc(size uint64) (mem.Ptr, int, error) {
 			// Only an armed class counts misses and refills: with a
 			// per-class cap of 0 the magazine is a drained pass-through
 			// and the op belongs to the paper's paths below.
-			t.ops.magMisses.Add(1)
+			t.opsp.magMisses.Add(1)
 			if t.rec != nil {
 				t.rec.MagMiss()
 			}
@@ -85,11 +85,11 @@ func (t *Thread) malloc(size uint64) (mem.Ptr, int, error) {
 	heap := t.findHeap(sc)
 	for {
 		if addr := t.mallocFromActive(heap); !addr.IsNil() {
-			t.ops.fromActive.Add(1)
+			t.opsp.fromActive.Add(1)
 			return addr, cls, nil
 		}
 		if addr := t.mallocFromPartial(heap); !addr.IsNil() {
-			t.ops.fromPartial.Add(1)
+			t.opsp.fromPartial.Add(1)
 			return addr, cls, nil
 		}
 		addr, err := t.mallocFromNewSB(heap)
@@ -97,7 +97,7 @@ func (t *Thread) malloc(size uint64) (mem.Ptr, int, error) {
 			return 0, cls, err
 		}
 		if !addr.IsNil() {
-			t.ops.fromNewSB.Add(1)
+			t.opsp.fromNewSB.Add(1)
 			return addr, cls, nil
 		}
 	}
@@ -130,7 +130,7 @@ func (t *Thread) mallocLarge(size uint64) (mem.Ptr, error) {
 	// The prefix records the region's actual (rounded) size, so the
 	// free path hands FreeRegion the canonical region size.
 	t.a.heap.Store(base, largePrefix(regionWords))
-	t.ops.largeMallocs.Add(1)
+	t.opsp.largeMallocs.Add(1)
 	return base.Add(1), nil
 }
 
@@ -276,7 +276,7 @@ retry:
 		oldWord := desc.Anchor.Load()
 		oa := atomicx.UnpackAnchor(oldWord)
 		if oa.State == atomicx.StateEmpty {
-			t.ops.emptyPartialSkips.Add(1)
+			t.opsp.emptyPartialSkips.Add(1)
 			a.descs.Retire(t.stripe(), descIdx) // line 6
 			goto retry
 		}
@@ -450,7 +450,7 @@ func (t *Thread) mallocFromNewSB(h *ProcHeap) (mem.Ptr, error) {
 	desc.Anchor.Store(atomicx.Anchor{State: atomicx.StateEmpty, Tag: anchor.Tag + 1}.Pack())
 	a.freeSB(sb, cls.SBWords)
 	a.descs.Retire(t.stripe(), descIdx)
-	t.ops.newSBRaceLoss.Add(1)
+	t.opsp.newSBRaceLoss.Add(1)
 	if t.rec != nil {
 		t.rec.Note(telemetry.EvRaceLoss, cls.Index, uint64(sb))
 	}

@@ -96,9 +96,9 @@ func (t *Thread) applyPolicy() {
 	// application is idempotent, nothing is lost.
 	p.applied = p.table.seq.Load()
 	if s := p.stripeTarget.Load(); s >= 0 {
-		t.stripeID = int(s)
+		t.stripeID = int32(s)
 	} else {
-		t.stripeID = int(t.id)
+		t.stripeID = int32(t.id)
 	}
 	if id := p.arenaTarget.Load(); id >= 0 {
 		t.arena = t.a.heap.Arena(int(id))
@@ -127,7 +127,7 @@ func (t *Thread) applyPolicy() {
 			maxCap = mag.cap
 		}
 	}
-	t.magCap = maxCap
+	t.magCap = int32(maxCap)
 }
 
 // Adaptive reports whether the allocator was built with Config.Adapt

@@ -54,10 +54,19 @@ func (q *Queue[T]) Handle() *Handle[T] {
 	return &Handle[T]{q: q, rec: q.dom.Acquire()}
 }
 
-// Close releases the handle's hazard record for reuse.
+// Close releases the handle's hazard record for reuse. Close is
+// idempotent: a second Close is a no-op rather than a drain/release of
+// a record that another goroutine may have re-acquired in the
+// meantime (which would wipe the new owner's hazard slots out from
+// under it). Queue operations (including Queue.Len on other handles)
+// remain safe concurrently with a Close.
 func (h *Handle[T]) Close() {
+	if h.rec == nil {
+		return
+	}
 	h.rec.Drain()
 	h.rec.Release()
+	h.rec = nil
 }
 
 // Enqueue appends v.

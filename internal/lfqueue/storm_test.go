@@ -1,0 +1,158 @@
+package lfqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoubleCloseDoesNotReleaseReusedRecord pins the Close idempotence
+// fix: before it, a second Close drained and released the hazard
+// record again — and since Release makes the record acquirable, the
+// second Close could deactivate a record that a *new* handle had
+// already re-acquired, leaving two goroutines sharing one record (and
+// the new owner's hazard slots wiped). With the fix the second Close
+// is a no-op, so the re-acquired record stays exclusively owned.
+func TestDoubleCloseDoesNotReleaseReusedRecord(t *testing.T) {
+	q := New[int]()
+	h1 := q.Handle()
+	h1.Enqueue(1)
+	h1.Close()
+
+	// h2 re-acquires h1's released record (single-threaded, so the
+	// freelist scan finds it first).
+	h2 := q.Handle()
+	if h2.rec == nil {
+		t.Fatal("h2 has no record")
+	}
+
+	// The buggy second Close would Release h2's record...
+	h1.Close()
+
+	// ...making it acquirable by a third handle while h2 still uses it.
+	h3 := q.Handle()
+	defer h3.Close()
+	defer h2.Close()
+	if h3.rec == h2.rec {
+		t.Fatal("double Close released a record already re-acquired by another handle")
+	}
+	if v, ok := h2.Dequeue(); !ok || v != 1 {
+		t.Errorf("h2.Dequeue = (%d, %v), want (1, true)", v, ok)
+	}
+}
+
+// TestHandleStorm runs a Register/Unregister storm — goroutines
+// acquiring a handle, moving a few values, and closing it, over and
+// over — concurrently with steady producer/consumer traffic, and
+// checks exactly-once delivery. This is the access pattern the offload
+// engine's worker registration churn and core respawns produce. Run
+// with -race.
+func TestHandleStorm(t *testing.T) {
+	q := New[uint64]()
+	const stormers = 8
+	const rounds = 300
+	const steady = 2
+	const perSteady = 20000
+
+	var produced, consumed atomic.Uint64
+	var wg sync.WaitGroup
+
+	// Steady producers keep the queue non-empty so stormers' dequeues
+	// exercise the hazard-protected traversal against concurrent
+	// reclamation.
+	for s := 0; s < steady; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := q.Handle()
+			defer h.Close()
+			for i := 0; i < perSteady; i++ {
+				h.Enqueue(1)
+				produced.Add(1)
+			}
+		}()
+	}
+	for g := 0; g < stormers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				h := q.Handle()
+				h.Enqueue(1)
+				produced.Add(1)
+				if _, ok := h.Dequeue(); ok {
+					consumed.Add(1)
+				}
+				h.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Drain the remainder and check conservation: every value enqueued
+	// is dequeued exactly once.
+	h := q.Handle()
+	defer h.Close()
+	for {
+		if _, ok := h.Dequeue(); !ok {
+			break
+		}
+		consumed.Add(1)
+	}
+	if produced.Load() != consumed.Load() {
+		t.Errorf("produced %d, consumed %d", produced.Load(), consumed.Load())
+	}
+	if n := q.Len(); n != 0 {
+		t.Errorf("drained queue Len = %d", n)
+	}
+}
+
+// TestLenDuringClose hammers Queue.Len from reader goroutines while
+// handles churn (Enqueue/Dequeue/Close storms, each Close draining
+// retired nodes). Len must stay race-free and never go negative.
+func TestLenDuringClose(t *testing.T) {
+	q := New[int]()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n := q.Len(); n < 0 {
+					t.Error("Len went negative")
+					return
+				}
+			}
+		}()
+	}
+	var churn sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for i := 0; i < 400; i++ {
+				h := q.Handle()
+				for j := 0; j < 32; j++ {
+					h.Enqueue(j)
+				}
+				for j := 0; j < 32; j++ {
+					h.Dequeue()
+				}
+				h.Close()
+			}
+		}()
+	}
+	churn.Wait()
+	close(stop)
+	wg.Wait()
+	if n := q.Len(); n != 0 {
+		t.Errorf("Len = %d after balanced churn", n)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/census"
 	"repro/internal/core"
+	"repro/internal/offload"
 	"repro/internal/pool"
 	"repro/internal/telemetry"
 )
@@ -56,6 +57,13 @@ type RunConfig struct {
 	// Requires Telemetry for the controller to have sensors; the adapt
 	// experiment compares static vs adaptive regardless of this flag.
 	Adapt bool
+	// Offload sets Config.Offload on every lock-free allocator
+	// constructed for an experiment (Cores 0 = off): workers submit
+	// batched malloc/free requests to dedicated allocation cores. The
+	// offload experiment compares architectures regardless of this
+	// field, but uses its Cores/Batch as the offload variant's shape
+	// when set.
+	Offload core.OffloadConfig
 	// SampleRate sets the allocation sampler's period (one sample per
 	// SampleRate mallocs) on every telemetry recorder constructed for
 	// an experiment; 0 leaves the sampler off. Requires Telemetry.
@@ -89,6 +97,9 @@ func (c RunConfig) lockFreeOptions(lf core.Config) alloc.Options {
 		lf.DescAlgo = c.DescAlgo
 	}
 	lf.Adapt = lf.Adapt || c.Adapt
+	if lf.Offload.Cores == 0 {
+		lf.Offload = c.Offload
+	}
 	opt := alloc.Options{Processors: c.Processors, LockFree: lf}
 	opt.HeapConfig.Arenas = c.Arenas
 	return opt
@@ -172,6 +183,7 @@ func (c RunConfig) newAlloc(name string) (alloc.Allocator, error) {
 		opt.LockFree.DescStripes = c.DescStripes
 		opt.LockFree.DescAlgo = c.DescAlgo
 		opt.LockFree.Adapt = c.Adapt
+		opt.LockFree.Offload = c.Offload
 	}
 	return alloc.New(name, opt)
 }
@@ -351,6 +363,12 @@ func Experiments() []Experiment {
 			Title: "Adaptive policy: self-tuning controller vs static configurations across a phase change",
 			Paper: "beyond the paper — a two-phase Larson (small objects, then large objects with deep churn) where no static magazine cap wins both phases; acceptance is the adaptive allocator within 10% of the best static config in each phase",
 			Run:   runAdapt,
+		},
+		{
+			ID:    "offload",
+			Title: "Allocation-core offload: dedicated allocator cores vs thread-local magazines",
+			Paper: "beyond the paper — the SpeedMalloc architecture: workers batch malloc/free requests to K dedicated cores over the MS queue, overlapping allocation with compute; head-to-head against the magazine layer across the thread sweep, reporting the crossover",
+			Run:   runOffload,
 		},
 	}
 }
@@ -1122,6 +1140,129 @@ func runAblations(cfg RunConfig, out io.Writer) error {
 				fmt.Sprintf("%.0f", best.OpsPerSec()),
 				fmt.Sprintf("%d", best.MaxLiveBytes),
 			})
+		}
+		fmt.Fprint(out, t.Render())
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runOffload runs the allocation-core architecture head to head
+// against the magazine layer across the thread sweep, on the two
+// sustained-churn workloads. Both variants sit on the identical
+// lock-free heap; the contest is purely between the two ways of
+// keeping workers off the shared CAS paths — thread-local caching
+// (magazines) versus shipping batches to dedicated allocator cores
+// (offload). The table reports, per thread count, both throughputs and
+// their ratio plus the hit-rate/latency columns of the magazine
+// experiment, and the notes characterize the crossover.
+func runOffload(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	cfg.Telemetry = true
+	cores := cfg.Offload.Cores
+	if cores <= 0 {
+		// SpeedMalloc dedicates a minority of the machine to
+		// allocation; a quarter of the sweep's processor budget (at
+		// least one) is the default shape.
+		cores = cfg.Processors / 4
+		if cores < 1 {
+			cores = 1
+		}
+	}
+	batch := cfg.Offload.Batch
+	if batch <= 0 {
+		batch = offload.DefaultBatch
+	}
+	magSize := cfg.Magazine
+	if magSize == 0 {
+		magSize = 64
+	}
+	// Each variant carries its own layer config; clear the globals so
+	// neither row inherits the other's layer.
+	cfg.Magazine = 0
+	cfg.Offload = core.OffloadConfig{}
+
+	run := func(w bench.Workload, lf core.Config, threads int) bench.Result {
+		var best bench.Result
+		for i := 0; i < scalarReps; i++ {
+			a := alloc.NewLockFree(cfg.lockFreeOptions(lf))
+			runtime.GC()
+			r := w.Run(a, threads)
+			if oa, ok := a.(alloc.OffloadAccessor); ok {
+				// The engine auto-quiesces when the workload's threads
+				// unregister; Stop here is belt and braces so no core
+				// goroutines outlive the measurement.
+				if e := oa.OffloadEngine(); e != nil {
+					e.Stop()
+				}
+			}
+			cfg.note(r)
+			if r.OpsPerSec() > best.OpsPerSec() {
+				best = r
+			}
+		}
+		return best
+	}
+	hitCols := func(r bench.Result, mag bool) (hit, p50 string) {
+		hit, p50 = "-", "-"
+		tel := r.Telemetry
+		if tel == nil {
+			return
+		}
+		p50 = time.Duration(tel.MallocP50NS).String()
+		if mag && tel.MagHits+tel.MagMisses > 0 {
+			hit = fmt.Sprintf("%.1f%%", 100*tel.MagHitRate)
+		}
+		if !mag && tel.OffHits+tel.OffMisses > 0 {
+			hit = fmt.Sprintf("%.1f%%", 100*tel.OffHitRate)
+		}
+		return
+	}
+
+	for _, w := range []bench.Workload{cfg.larson(), cfg.producerConsumer(500)} {
+		t := Table{
+			Title: fmt.Sprintf("Offload vs magazine: %s (offload cores=%d batch=%d, magazine size=%d)",
+				w.Name(), cores, batch, magSize),
+			Columns: []string{"threads", "mag ops/s", "off ops/s", "off/mag", "mag hit", "off hit", "off fb", "mag p50", "off p50"},
+			Notes: []string{
+				"same lock-free heap underneath; magazines cache per thread, offload ships batches to dedicated allocator cores",
+				"off p50 is the latency of the shared-structure ops the cores execute, not the worker-side stash pop",
+			},
+		}
+		crossAt := 0
+		var lastRatio float64
+		for _, th := range cfg.Threads {
+			mag := run(w, core.Config{MagazineSize: magSize}, th)
+			off := run(w, core.Config{Offload: core.OffloadConfig{Cores: cores, Batch: batch}}, th)
+			ratio := 0.0
+			if m := mag.OpsPerSec(); m > 0 {
+				ratio = off.OpsPerSec() / m
+			}
+			lastRatio = ratio
+			if crossAt == 0 && ratio >= 1 {
+				crossAt = th
+			}
+			magHit, magP50 := hitCols(mag, true)
+			offHit, offP50 := hitCols(off, false)
+			offFB := "-"
+			if off.Telemetry != nil {
+				offFB = fmt.Sprintf("%d", off.Telemetry.OffFallbacks)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", th),
+				fmt.Sprintf("%.0f", mag.OpsPerSec()),
+				fmt.Sprintf("%.0f", off.OpsPerSec()),
+				fmt.Sprintf("%.2f", ratio),
+				magHit, offHit, offFB, magP50, offP50,
+			})
+		}
+		switch {
+		case crossAt > 0:
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"crossover: offload matches the magazine layer from %d threads on this host", crossAt))
+		default:
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"no crossover in this sweep (off/mag %.2f at the top end): batch submission overhead dominates while magazines stay thread-local", lastRatio))
 		}
 		fmt.Fprint(out, t.Render())
 		fmt.Fprintln(out)

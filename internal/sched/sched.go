@@ -24,6 +24,7 @@ import (
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/offload"
 	"repro/internal/pool"
 	"repro/internal/shadow"
 	"repro/internal/telemetry"
@@ -31,6 +32,14 @@ import (
 
 // killSignal is the panic value used to abandon an operation.
 type killSignal struct{ point core.HookPoint }
+
+// opThread is the common surface of a raw core.Thread and an
+// offload.Worker, so survivors run unchanged in both modes.
+type opThread interface {
+	Malloc(size uint64) (mem.Ptr, error)
+	Free(p mem.Ptr)
+	Unregister()
+}
 
 // Plan schedules which operations die where.
 type Plan struct {
@@ -94,6 +103,19 @@ type Plan struct {
 	// verified to be kill-tolerant. Step and decision counts land in
 	// Result.AdaptSteps / AdaptDecisions.
 	Adapt bool
+	// Offload, when > 0, attaches an allocation-core offload engine
+	// (internal/offload) with that many cores and routes all survivor
+	// traffic through offload workers. The kill targets then change:
+	// instead of victim goroutines, Victims counts kills injected into
+	// the allocation cores themselves (via Engine.SetCoreHook), so a
+	// core dies mid-batch at the chosen hook point. The engine must
+	// adopt the in-flight batch, respawn a replacement, and strand
+	// nothing: survivors still complete their quota, and after quiesce
+	// the request queue must be empty (Result.OffloadStranded == 0).
+	Offload int
+	// OffloadBatch sets the engine's refill/free batch size (0 = engine
+	// default).
+	OffloadBatch int
 }
 
 // Result reports what happened.
@@ -122,6 +144,14 @@ type Result struct {
 	// and recorded decisions (Plan.Adapt).
 	AdaptSteps     uint64
 	AdaptDecisions uint64
+	// Offload-mode post-mortem (Plan.Offload > 0): allocation cores
+	// killed, free-batch blocks adopted by undertakers, synchronous
+	// fallbacks taken by workers, and the request-queue depth after
+	// quiesce — stranded batches; must be 0 on a passing run.
+	OffloadCoreKills uint64
+	OffloadAdopted   uint64
+	OffloadFallbacks uint64
+	OffloadStranded  int
 }
 
 func (r Result) String() string {
@@ -169,6 +199,50 @@ func Run(plan Plan) (Result, error) {
 	res := Result{Kills: map[core.HookPoint]int{}}
 	var killMu sync.Mutex
 
+	// Offload mode: the kill targets are the engine's allocation cores,
+	// not victim goroutines. The shared core hook walks a pre-drawn
+	// schedule of (point, skip) targets; each firing kills whichever
+	// core reaches the target first, mid-batch.
+	var eng *offload.Engine
+	if plan.Offload > 0 {
+		eng = offload.NewWith(a, plan.Offload, plan.OffloadBatch)
+		// Targets are independent (not a sequential schedule): a target
+		// whose point is never reached simply doesn't fire — it must not
+		// block the others, mirroring how a non-offload victim whose
+		// point is never reached dies of natural causes.
+		type killTarget struct {
+			point core.HookPoint
+			skip  atomic.Int64
+			fired atomic.Bool
+		}
+		targets := make([]*killTarget, plan.Victims)
+		for i := range targets {
+			p := plan.Point
+			if p < 0 {
+				p = core.HookPoint(rng.Intn(int(core.NumHookPoints)))
+			}
+			kt := &killTarget{point: p}
+			kt.skip.Store(rng.Int63n(4))
+			targets[i] = kt
+		}
+		eng.SetCoreHook(func(p core.HookPoint) {
+			for _, kt := range targets {
+				if kt.point != p || kt.fired.Load() {
+					continue
+				}
+				if kt.skip.Add(-1) >= 0 {
+					continue
+				}
+				if kt.fired.CompareAndSwap(false, true) {
+					killMu.Lock()
+					res.Kills[p]++
+					killMu.Unlock()
+					panic(killSignal{p})
+				}
+			}
+		})
+	}
+
 	// The controller churns the policy surface (Exerciser: caps cycle,
 	// bindings rotate) on a tight interval for the whole run; it must
 	// be stopped before the post-mortem checks, which assume
@@ -215,7 +289,13 @@ func Run(plan Plan) (Result, error) {
 	}
 
 	var victims sync.WaitGroup
-	for v := 0; v < plan.Victims; v++ {
+	victimCount := plan.Victims
+	if eng != nil {
+		// Offload mode: kills are injected into the allocation cores by
+		// the hook installed above; no victim goroutines run.
+		victimCount = 0
+	}
+	for v := 0; v < victimCount; v++ {
 		point := plan.Point
 		if point < 0 {
 			point = core.HookPoint(rng.Intn(int(core.NumHookPoints)))
@@ -294,7 +374,12 @@ func Run(plan Plan) (Result, error) {
 		survivors.Add(1)
 		go func(seed int64) {
 			defer survivors.Done()
-			th := a.Thread()
+			var th opThread
+			if eng != nil {
+				th = eng.Worker()
+			} else {
+				th = a.Thread()
+			}
 			r := rand.New(rand.NewSource(seed))
 			var held []mem.Ptr
 			for i := 0; i < plan.OpsPerSurvivor; i++ {
@@ -320,6 +405,18 @@ func Run(plan Plan) (Result, error) {
 
 	victims.Wait()
 	survivors.Wait()
+	if eng != nil {
+		// All workers have unregistered, so the engine has quiesced (or
+		// does so now, forced); any batch the killed cores left behind
+		// has been drained. A non-empty queue after this is a stranded
+		// batch — a bug the tests fail on.
+		eng.Stop()
+		st := eng.Stats()
+		res.OffloadCoreKills = st.CoreKills
+		res.OffloadAdopted = st.AdoptedBlocks
+		res.OffloadFallbacks = st.Fallbacks
+		res.OffloadStranded = st.QueueDepth
+	}
 	if plan.Census {
 		close(censusStop)
 		<-censusDone
