@@ -1,8 +1,9 @@
 // Package alloc is the public API of the repository: a common interface
-// over the lock-free allocator of Michael (PLDI 2004) and the three
+// over the lock-free allocator of Michael (PLDI 2004), the three
 // baseline allocators the paper compares against (a serial global-lock
 // allocator standing in for AIX libc malloc, a Hoard-like allocator,
-// and a Ptmalloc-like arena allocator).
+// and a Ptmalloc-like arena allocator), the standalone boundary-tag
+// chunk heap, and the non-blocking buddy allocator (Marotta et al.).
 //
 // All allocators operate on the simulated word-addressed heap of
 // internal/mem (see DESIGN.md for why the address space is simulated):
@@ -55,7 +56,8 @@ type Unregisterer interface {
 // Allocator is the common interface satisfied by all four allocators.
 type Allocator interface {
 	// Name identifies the allocator in benchmark output
-	// ("lockfree", "hoard", "ptmalloc", "serial", "chunkheap").
+	// ("lockfree", "hoard", "ptmalloc", "serial", "chunkheap",
+	// "buddy").
 	Name() string
 	// NewThread registers a worker and returns its handle.
 	NewThread() Thread
@@ -207,9 +209,9 @@ func NewPtmalloc(opt Options) Allocator {
 
 // Names lists the registered allocator names in canonical benchmark
 // order (the paper's: new allocator, Hoard, Ptmalloc, libc) plus the
-// direct chunk-engine baseline.
+// direct chunk-engine baseline and the non-blocking buddy system.
 func Names() []string {
-	return []string{"lockfree", "hoard", "ptmalloc", "serial", "chunkheap"}
+	return []string{"lockfree", "hoard", "ptmalloc", "serial", "chunkheap", "buddy"}
 }
 
 // New constructs an allocator by name.
@@ -225,6 +227,8 @@ func New(name string, opt Options) (Allocator, error) {
 		return NewSerial(opt), nil
 	case "chunkheap":
 		return NewChunkHeap(opt), nil
+	case "buddy":
+		return NewBuddy(opt), nil
 	}
 	valid := Names()
 	sort.Strings(valid)

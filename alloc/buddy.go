@@ -1,0 +1,54 @@
+package alloc
+
+import (
+	"repro/internal/buddy"
+	"repro/internal/mem"
+)
+
+// buddyAlloc exposes the non-blocking buddy system (internal/buddy,
+// after Marotta et al., arXiv:1804.03436) as the sixth allocator: the
+// only backend with lock-free coalescing. Where the lock-free core
+// avoids coalescing entirely (Michael's fixed size classes) and the
+// chunk-engine baselines coalesce under a lock, the buddy backend
+// merges freed blocks back into larger ones with per-node CAS only.
+type buddyAlloc struct{ a *buddy.Allocator }
+
+func (w buddyAlloc) Name() string      { return w.a.Name() }
+func (w buddyAlloc) NewThread() Thread { return w.a.Thread() }
+func (w buddyAlloc) Heap() *mem.Heap   { return w.a.Heap() }
+
+// Buddy returns the underlying buddy allocator (for order-census
+// reporting and tests).
+func (w buddyAlloc) Buddy() *buddy.Allocator { return w.a }
+
+// BuddyAccessor is implemented by the buddy allocator wrapper to
+// expose the underlying buddy.Allocator for order-occupancy census and
+// invariant checks.
+type BuddyAccessor interface{ Buddy() *buddy.Allocator }
+
+// BuddyFrom returns the buddy allocator backing a (unwrapping the
+// shadow wrapper if present), or nil when a is a different backend.
+func BuddyFrom(a Allocator) *buddy.Allocator {
+	for a != nil {
+		if b, ok := a.(BuddyAccessor); ok {
+			return b.Buddy()
+		}
+		u, ok := a.(interface{ Unwrap() Allocator })
+		if !ok {
+			return nil
+		}
+		a = u.Unwrap()
+	}
+	return nil
+}
+
+// NewBuddy constructs the non-blocking buddy allocator.
+func NewBuddy(opt Options) Allocator {
+	a := buddyAlloc{buddy.New(buddy.Config{HeapConfig: opt.HeapConfig})}
+	// The buddy's free path never touches the heap (all bookkeeping is
+	// Go-side status words), but its malloc path writes a sub-block's
+	// prefix *inside* the extent of an enclosing freed block when it
+	// fragments a coalesced region — so, like the chunk heaps,
+	// poison-verify-on-reuse would flag legitimate writes and is off.
+	return shadowWrap(a, opt, false, 0)
+}

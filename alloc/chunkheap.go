@@ -49,13 +49,8 @@ func (t *chunkThread) Malloc(size uint64) (mem.Ptr, error) {
 		words = 1
 	}
 	if words >= chunkLargeThresholdWords {
-		base, regionWords, err := a.heap.AllocRegion(words + 1)
-		if err != nil {
-			return 0, err
-		}
-		// Record the rounded region size for the free path.
-		a.heap.Store(base, chunkheap.MakeLargeHeader(regionWords))
-		return base.Add(1), nil
+		// The header records the rounded region size for the free path.
+		return a.heap.LargeAlloc(size, chunkheap.MakeLargeHeader)
 	}
 	a.mu.Lock()
 	p, err := a.ch.Alloc(words)
@@ -71,7 +66,7 @@ func (t *chunkThread) Free(p mem.Ptr) {
 	a := t.a
 	hdr := a.heap.Load(p - 1)
 	if chunkheap.IsLargeHeader(hdr) {
-		a.heap.FreeRegion(p-1, chunkheap.LargeWords(hdr))
+		a.heap.LargeFree(p, chunkheap.LargeWords(hdr))
 		return
 	}
 	a.mu.Lock()

@@ -44,6 +44,7 @@ func ExampleNew() {
 		fmt.Println(a.Name())
 	}
 	// Output:
+	// buddy
 	// chunkheap
 	// hoard
 	// lockfree

@@ -52,6 +52,10 @@ func (s *shadowed) Name() string                 { return s.inner.Name() }
 func (s *shadowed) Heap() *mem.Heap              { return s.inner.Heap() }
 func (s *shadowed) ShadowOracle() *shadow.Oracle { return s.oracle }
 
+// Unwrap exposes the wrapped allocator so backend-specific accessors
+// (BuddyFrom) work on shadowed allocators too.
+func (s *shadowed) Unwrap() Allocator { return s.inner }
+
 func (s *shadowed) NewThread() Thread {
 	inner := s.inner.NewThread()
 	t := &shadowThread{

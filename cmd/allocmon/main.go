@@ -9,6 +9,7 @@
 //	         [-interval 1s] [-samplerate 1024] [-history 120] [-adapt]
 //	         [-magazine N] [-arenas N] [-descstripes N]
 //	         [-descalgo freelist|consttime] [-offload N] [-offloadbatch N]
+//	         [-buddy]
 //	allocmon -once [-warmup 2s]
 //
 // Endpoints:
@@ -40,6 +41,11 @@
 // queue depth, stash hit rate, and batch counters appear on the
 // dashboard, /offload.json, and as offload_* Prometheus families.
 //
+// -buddy additionally runs the same churn on the non-blocking buddy
+// allocator (internal/buddy); its per-order free/used block counts
+// appear on the dashboard, as a "buddy" section in /census.json, and
+// as buddy_* Prometheus families on /metrics.
+//
 // -once skips the server: it warms up, prints the text dashboard to
 // stdout, and exits (useful for smoke tests).
 package main
@@ -57,6 +63,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/bench"
+	"repro/internal/buddy"
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -73,6 +80,7 @@ type monitor struct {
 	events int               // flight-recorder events on the text dashboard
 	ctrl   *adapt.Controller // nil unless -adapt
 	eng    *offload.Engine   // nil unless -offload
+	bud    *buddy.Allocator  // nil unless -buddy
 
 	mu   sync.Mutex
 	subs map[chan telemetry.SeriesPoint]struct{}
@@ -94,7 +102,7 @@ func newMonitor(rec *telemetry.Recorder, a *core.Allocator, history, events int)
 func (m *monitor) sampleOnce() telemetry.SeriesPoint {
 	snap := m.rec.Snapshot()
 	snap.Events = nil // the series is numeric; /events serves the ring
-	pt := m.series.Add(snap, census.Take(m.a))
+	pt := m.series.Add(snap, m.census())
 	m.mu.Lock()
 	for ch := range m.subs {
 		select {
@@ -104,6 +112,17 @@ func (m *monitor) sampleOnce() telemetry.SeriesPoint {
 	}
 	m.mu.Unlock()
 	return pt
+}
+
+// census takes the core census and, under -buddy, attaches the buddy
+// forest's order-occupancy section (served on /census.json, /series.json
+// and rendered as buddy_* families on /metrics).
+func (m *monitor) census() *census.Census {
+	c := census.Take(m.a)
+	if m.bud != nil {
+		c.Buddy = census.TakeBuddy(m.bud)
+	}
+	return c
 }
 
 func (m *monitor) subscribe() chan telemetry.SeriesPoint {
@@ -144,9 +163,11 @@ func (m *monitor) mux() *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, m.rec.Snapshot().Text(m.events))
 		printHeapStats(w, m.a)
-		printCensusSummary(w, census.Take(m.a))
+		c := m.census()
+		printCensusSummary(w, c)
 		printAdaptSummary(w, m.ctrl)
 		printOffloadSummary(w, m.eng)
+		printBuddySummary(w, c.Buddy)
 	})
 	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
 		snap := m.rec.Snapshot()
@@ -183,7 +204,7 @@ func (m *monitor) mux() *http.ServeMux {
 		})
 	})
 	mux.HandleFunc("/census.json", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, census.Take(m.a))
+		writeJSON(w, m.census())
 	})
 	mux.HandleFunc("/series.json", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, m.series.Points())
@@ -218,7 +239,7 @@ func (m *monitor) mux() *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", census.ContentType)
 		snap := m.rec.Snapshot()
-		if err := census.WriteMetrics(w, snap, census.Take(m.a)); err != nil {
+		if err := census.WriteMetrics(w, snap, m.census()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -297,6 +318,7 @@ func main() {
 		interval   = flag.Duration("interval", time.Second, "census sampling interval for /series.json and /stream")
 		sampleRate = flag.Int("samplerate", 1024, "allocation sampling period (mallocs per sample, 0 = off)")
 		history    = flag.Int("history", 120, "series points retained")
+		withBuddy  = flag.Bool("buddy", false, "run a second churn on the non-blocking buddy allocator and expose its order census")
 		af         = bench.RegisterAllocFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -322,6 +344,12 @@ func main() {
 
 	m := newMonitor(rec, a, *history, *events)
 	m.eng = eng
+	if *withBuddy {
+		m.bud = buddy.New(buddy.Config{Telemetry: rec.Stripes()})
+		for g := 0; g < *threads; g++ {
+			go buddyChurn(m.bud, int64(g), *pause)
+		}
+	}
 	if cfg.Adapt {
 		ctrl, err := adapt.New(a, adapt.Config{Interval: *interval})
 		if err != nil {
@@ -336,9 +364,11 @@ func main() {
 		time.Sleep(*warmup)
 		fmt.Print(rec.Snapshot().Text(*events))
 		printHeapStats(os.Stdout, a)
-		printCensusSummary(os.Stdout, census.Take(a))
+		c := m.census()
+		printCensusSummary(os.Stdout, c)
 		printAdaptSummary(os.Stdout, m.ctrl)
 		printOffloadSummary(os.Stdout, eng)
+		printBuddySummary(os.Stdout, c.Buddy)
 		return
 	}
 
@@ -461,6 +491,54 @@ func writeOffloadMetrics(w interface{ Write([]byte) (int, error) }, eng *offload
 	gauge("offload_queue_depth", "Requests currently queued to the allocation cores.", int64(st.QueueDepth))
 	gauge("offload_live_cores", "Allocation-core goroutines currently running.", int64(st.LiveCores))
 	gauge("offload_workers", "Workers currently registered with the offload engine.", int64(st.Workers))
+}
+
+// printBuddySummary appends the buddy forest's order-occupancy table
+// to the text dashboard; no-op without -buddy.
+func printBuddySummary(w interface{ Write([]byte) (int, error) }, bc *census.BuddyCensus) {
+	if bc == nil {
+		return
+	}
+	fmt.Fprintf(w, "buddy: %d trees x %d words, frees coalesced to ext-frag %.1f%%, %d coal bits\n",
+		bc.Trees, bc.TreeWords, 100*bc.ExternalFragRatio, bc.CoalBits)
+	for _, o := range bc.Orders {
+		if o.Free == 0 && o.Used == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "buddy: order %d (%d words): free=%d used=%d\n",
+			o.Order, o.BlockWords, o.Free, o.Used)
+	}
+}
+
+// buddyChurn mirrors churn on the buddy allocator: random mixed-size
+// traffic with a bounded live set, including occasional blocks big
+// enough to span several orders.
+func buddyChurn(b *buddy.Allocator, seed int64, pause time.Duration) {
+	th := b.Thread()
+	rng := rand.New(rand.NewSource(seed))
+	var held []mem.Ptr
+	for i := 0; ; i++ {
+		if len(held) > 0 && (rng.Intn(2) == 0 || len(held) > 128) {
+			k := rng.Intn(len(held))
+			th.Free(held[k])
+			held[k] = held[len(held)-1]
+			held = held[:len(held)-1]
+		} else {
+			sz := uint64(8 << rng.Intn(9))
+			if rng.Intn(200) == 0 {
+				sz = 4096 + uint64(rng.Intn(16384))
+			}
+			p, err := th.Malloc(sz)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "allocmon: buddy malloc: %v\n", err)
+				os.Exit(1)
+			}
+			held = append(held, p)
+		}
+		if pause > 0 && i%64 == 0 {
+			time.Sleep(pause)
+		}
+	}
 }
 
 // churn is the embedded workload: random-size malloc/free traffic with

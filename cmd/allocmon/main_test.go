@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/adapt"
+	"repro/internal/buddy"
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -457,5 +458,55 @@ func TestDashboardCensusSummary(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("dashboard missing %q", want)
 		}
+	}
+}
+
+// TestBuddyEndpoints: with -buddy attached, /census.json carries the
+// buddy order table and /metrics appends valid buddy_* families.
+func TestBuddyEndpoints(t *testing.T) {
+	m, _ := newTestMonitor(t, 100)
+	m.bud = buddy.New(buddy.Config{
+		HeapConfig:    mem.Config{SegmentWordsLog2: 14, TotalWordsLog2: 22},
+		TreeWordsLog2: 12,
+	})
+	bt := m.bud.Thread()
+	var held []mem.Ptr
+	for _, sz := range []uint64{8, 100, 1000, 20000} {
+		p, err := bt.Malloc(sz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, p)
+	}
+	srv := httptest.NewServer(m.mux())
+	defer srv.Close()
+
+	body, _ := get(t, srv, "/census.json")
+	var c census.Census
+	if err := json.Unmarshal([]byte(body), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Buddy == nil || len(c.Buddy.Orders) == 0 {
+		t.Fatalf("/census.json has no buddy order table: %s", body)
+	}
+	var used uint64
+	for _, o := range c.Buddy.Orders {
+		used += o.Used
+	}
+	if used != uint64(len(held)) {
+		t.Fatalf("buddy census counts %d used blocks, want %d", used, len(held))
+	}
+
+	metrics, _ := get(t, srv, "/metrics")
+	if err := census.ValidateMetrics([]byte(metrics)); err != nil {
+		t.Fatalf("/metrics with buddy families invalid: %v", err)
+	}
+	for _, want := range []string{"buddy_order_blocks", "buddy_external_frag_ratio", "buddy_trees"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	for _, p := range held {
+		bt.Free(p)
 	}
 }

@@ -4,6 +4,7 @@
 // Useful for sanity-checking configuration against the paper.
 //
 //	heapinfo [-live] [-threads 4] [-ops 50000] [-arenas N] [-samplerate 1024]
+//	heapinfo -live -buddy
 //
 // With -live, a short multithreaded malloc/free workload is run on a
 // fresh allocator (hyperblock layer enabled) and the resulting live
@@ -16,6 +17,11 @@
 // bytes. -arenas overrides the region-arena count (0 = one per
 // processor heap, 1 = unsharded); -samplerate sets the allocation
 // sampling period (0 = sampler off).
+//
+// With -buddy, the -live workload runs on the non-blocking buddy
+// allocator (internal/buddy) instead, and the census printed is its
+// per-order free/used block table with the external-fragmentation
+// ratio.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/atomicx"
+	"repro/internal/buddy"
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -42,6 +49,7 @@ func main() {
 		ops     = flag.Int("ops", 50000, "operations per goroutine (-live)")
 		arenas  = flag.Int("arenas", 0, "region arenas (-live; 0 = one per processor, 1 = unsharded)")
 		rate    = flag.Int("samplerate", 1024, "allocation sampling period for the census (-live; 0 = off)")
+		useBud  = flag.Bool("buddy", false, "run the -live workload on the non-blocking buddy allocator")
 	)
 	flag.Parse()
 	fmt.Println("Packed word layouts (paper Figure 3):")
@@ -69,7 +77,11 @@ func main() {
 
 	if *live {
 		fmt.Println()
-		runLive(*threads, *ops, *arenas, *rate)
+		if *useBud {
+			runLiveBuddy(*threads, *ops)
+		} else {
+			runLive(*threads, *ops, *arenas, *rate)
+		}
 	}
 }
 
@@ -167,6 +179,82 @@ func runLive(threads, ops, arenas, rate int) {
 	printCensus(c)
 	fmt.Println()
 	fmt.Print(rec.Snapshot().Text(8))
+}
+
+// runLiveBuddy exercises a fresh buddy allocator with the same shape
+// of workload and prints its statistics and order-occupancy census:
+// per-order free/used block counts taken while the final live sets are
+// still held, then again after the drain (when coalescing must have
+// rebuilt whole-tree blocks).
+func runLiveBuddy(threads, ops int) {
+	a := buddy.New(buddy.Config{})
+	var wg, churnDone sync.WaitGroup
+	censusReady := make(chan struct{})
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		churnDone.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := a.Thread()
+			rng := rand.New(rand.NewSource(seed))
+			var held []mem.Ptr
+			for i := 0; i < ops; i++ {
+				if len(held) > 0 && (rng.Intn(2) == 0 || len(held) > 64) {
+					k := rng.Intn(len(held))
+					th.Free(held[k])
+					held[k] = held[len(held)-1]
+					held = held[:len(held)-1]
+					continue
+				}
+				sz := uint64(8 << rng.Intn(9))
+				if rng.Intn(100) == 0 {
+					sz = 4096 + uint64(rng.Intn(65536))
+				}
+				p, err := th.Malloc(sz)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "heapinfo: buddy malloc: %v\n", err)
+					os.Exit(1)
+				}
+				held = append(held, p)
+			}
+			churnDone.Done()
+			<-censusReady // hold the live set while the census walks
+			for _, p := range held {
+				th.Free(p)
+			}
+		}(int64(g))
+	}
+	churnDone.Wait()
+	held := census.TakeBuddy(a)
+	close(censusReady)
+	wg.Wait()
+	drained := census.TakeBuddy(a)
+
+	s := a.Stats()
+	fmt.Printf("Buddy live statistics (%d threads x %d ops):\n", threads, ops)
+	fmt.Printf("  ops: %d mallocs / %d frees (beyond-tree %d/%d)\n",
+		s.Mallocs, s.Frees, s.LargeMallocs, s.LargeFrees)
+	fmt.Printf("  trees: %d x %d words (leaf %d words); %d grown, %d lost races\n",
+		s.Trees, s.TreeWords, s.MinBlockWords, s.Grows, s.GrowRaces)
+	fmt.Printf("  alloc paths: %d hint hits, %d level scans\n", s.HintHits, s.Scans)
+
+	printBuddyCensus("with workload live sets held", held)
+	printBuddyCensus("after drain (fully coalesced)", drained)
+}
+
+// printBuddyCensus renders one order-occupancy table.
+func printBuddyCensus(when string, bc *census.BuddyCensus) {
+	fmt.Printf("\nBuddy order census (%s): ext frag %.1f%%, %d coal bits\n",
+		when, 100*bc.ExternalFragRatio, bc.CoalBits)
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "order\tblock words\tfree\tused\t")
+	for _, o := range bc.Orders {
+		if o.Free == 0 && o.Used == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t\n", o.Order, o.BlockWords, o.Free, o.Used)
+	}
+	w.Flush()
 }
 
 // printCensus renders the heap census taken at peak liveness: per-class

@@ -145,7 +145,7 @@ func (t *Thread) heapIndex() int { return 1 + int(t.id)%(2*t.a.procs) }
 func (t *Thread) UsableWords(p mem.Ptr) uint64 {
 	prefix := t.a.heap.Load(p - 1)
 	if prefix&1 != 0 {
-		return prefix>>1 - 1
+		return mem.SizePrefixWords(prefix) - 1
 	}
 	return t.a.sbByIdx(prefix>>1).class.BlockWords - 1
 }
@@ -313,19 +313,9 @@ func (sb *superblock) popBlock(h *mem.Heap) mem.Ptr {
 }
 
 func (a *Allocator) mallocLarge(ar mem.Arena, size uint64) (mem.Ptr, error) {
-	payloadWords := (size + mem.WordBytes - 1) / mem.WordBytes
-	if payloadWords == 0 {
-		payloadWords = 1
-	}
-	totalWords := payloadWords + 1
-	base, regionWords, err := ar.AllocRegion(totalWords)
-	if err != nil {
-		return 0, err
-	}
 	// The prefix records the rounded region size, the canonical value
 	// for FreeRegion on the free path.
-	a.heap.Store(base, regionWords<<1|1)
-	return base.Add(1), nil
+	return ar.LargeAlloc(size, mem.SizePrefix)
 }
 
 // Free returns a block to its superblock, under the superblock's lock
@@ -338,7 +328,7 @@ func (t *Thread) Free(p mem.Ptr) {
 	block := p - 1
 	prefix := a.heap.Load(block)
 	if prefix&1 != 0 {
-		a.heap.FreeRegion(block, prefix>>1)
+		a.heap.LargeFree(p, mem.SizePrefixWords(prefix))
 		return
 	}
 	sb := a.sbByIdx(prefix >> 1)

@@ -118,12 +118,7 @@ func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
 	if words >= largeThresholdWords {
 		// Route through the last-used arena's region shard; the header
 		// records the rounded region size for the free path.
-		base, regionWords, err := a.heap.Arena(t.last).AllocRegion(words + 1)
-		if err != nil {
-			return 0, err
-		}
-		a.heap.Store(base, chunkheap.MakeLargeHeader(regionWords))
-		return base.Add(1), nil
+		return a.heap.Arena(t.last).LargeAlloc(size, chunkheap.MakeLargeHeader)
 	}
 	arenas := *a.arenas.Load()
 	// Try the last-used arena first, then the rest, with trylock.
@@ -180,7 +175,7 @@ func (t *Thread) Free(p mem.Ptr) {
 	a := t.a
 	hdr := a.heap.Load(p - 1)
 	if chunkheap.IsLargeHeader(hdr) {
-		a.heap.FreeRegion(p-1, chunkheap.LargeWords(hdr))
+		a.heap.LargeFree(p, chunkheap.LargeWords(hdr))
 		return
 	}
 	ai := chunkheap.Tag(a.heap, p)

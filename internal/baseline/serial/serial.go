@@ -74,13 +74,8 @@ func (t *Thread) Malloc(size uint64) (mem.Ptr, error) {
 		words = 1
 	}
 	if words >= largeThresholdWords {
-		base, regionWords, err := a.heap.AllocRegion(words + 1)
-		if err != nil {
-			return 0, err
-		}
-		// Record the rounded region size for the free path.
-		a.heap.Store(base, chunkheap.MakeLargeHeader(regionWords))
-		return base.Add(1), nil
+		// The header records the rounded region size for the free path.
+		return a.heap.LargeAlloc(size, chunkheap.MakeLargeHeader)
 	}
 	a.mu.Lock()
 	a.mallocs++
@@ -97,7 +92,7 @@ func (t *Thread) Free(p mem.Ptr) {
 	a := t.a
 	hdr := a.heap.Load(p - 1)
 	if chunkheap.IsLargeHeader(hdr) {
-		a.heap.FreeRegion(p-1, chunkheap.LargeWords(hdr))
+		a.heap.LargeFree(p, chunkheap.LargeWords(hdr))
 		return
 	}
 	a.mu.Lock()

@@ -106,6 +106,31 @@ func TestLarsonAllAllocators(t *testing.T) {
 	}
 }
 
+func TestFragChurnAllAllocators(t *testing.T) {
+	w := FragChurn{Ops: 3000, Slots: 64, MinSize: 16, MaxSize: 4096}
+	for _, a := range allAllocators(t) {
+		r := w.Run(a, 4)
+		if want := uint64(4 * w.Ops); r.Ops != want {
+			t.Errorf("%s: ops = %d, want %d", a.Name(), r.Ops, want)
+		}
+		if r.HeldBytes == 0 || r.InUseBytes == 0 {
+			t.Errorf("%s: space columns empty: held=%d inUse=%d", a.Name(), r.HeldBytes, r.InUseBytes)
+		}
+		if r.InUseBytes > r.HeldBytes {
+			t.Errorf("%s: in-use %d exceeds held %d — UsableWords accounting broken", a.Name(), r.InUseBytes, r.HeldBytes)
+		}
+		if r.ExternalFragRatio < 0 || r.ExternalFragRatio >= 1 {
+			t.Errorf("%s: ExternalFragRatio = %v, want [0,1)", a.Name(), r.ExternalFragRatio)
+		}
+		checkLockFreeInvariants(t, a)
+		if b := alloc.BuddyFrom(a); b != nil {
+			if err := b.CheckInvariants(true); err != nil {
+				t.Errorf("buddy invariants after drain: %v", err)
+			}
+		}
+	}
+}
+
 func TestProducerConsumerAllAllocators(t *testing.T) {
 	w := ProducerConsumer{
 		Duration: 150 * time.Millisecond,

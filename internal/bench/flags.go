@@ -28,9 +28,9 @@ type AllocFlags struct {
 // the handle to read them after fs.Parse.
 func RegisterAllocFlags(fs *flag.FlagSet) *AllocFlags {
 	return &AllocFlags{
-		Magazine:    fs.Int("magazine", 0, "thread-local magazine capacity for lock-free allocators (0 = off)"),
-		Arenas:      fs.Int("arenas", 0, "region arenas per heap (0 = one per processor, 1 = unsharded)"),
-		DescStripes: fs.Int("descstripes", 0, "descriptor-pool freelist stripes (0 = one per processor, 1 = single DescAvail)"),
+		Magazine:     fs.Int("magazine", 0, "thread-local magazine capacity for lock-free allocators (0 = off)"),
+		Arenas:       fs.Int("arenas", 0, "region arenas per heap (0 = one per processor, 1 = unsharded)"),
+		DescStripes:  fs.Int("descstripes", 0, "descriptor-pool freelist stripes (0 = one per processor, 1 = single DescAvail)"),
 		Adapt:        fs.Bool("adapt", false, "runtime-mutable policy surface + adaptive controller on lock-free allocators"),
 		Offload:      fs.Int("offload", 0, "dedicated allocation cores for lock-free allocators (0 = off)"),
 		OffloadBatch: fs.Int("offloadbatch", 0, "offload refill/free batch size (0 = default)"),

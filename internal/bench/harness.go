@@ -31,6 +31,15 @@ type Result struct {
 	// during the run (§4.2.5 space efficiency).
 	MaxLiveBytes uint64 `json:"maxLiveBytes"`
 
+	// HeldBytes/InUseBytes/ExternalFragRatio are filled only by
+	// workloads that measure space with the live set still held
+	// (FragChurn): bytes the allocator holds from the OS layer, bytes
+	// backing live blocks (prefix included), and 1 - inUse/held — the
+	// free-but-unreturnable fraction.
+	HeldBytes         uint64  `json:"heldBytes,omitempty"`
+	InUseBytes        uint64  `json:"inUseBytes,omitempty"`
+	ExternalFragRatio float64 `json:"externalFragRatio,omitempty"`
+
 	// Telemetry summarizes this run's interval of the allocator's
 	// telemetry layer (CAS retries, latency quantiles); nil when the
 	// allocator has no recorder attached.

@@ -1,0 +1,64 @@
+package buddy
+
+// HookPoint names a linearization-relevant step inside the allocator.
+// The sched harness installs a hook that panics at a chosen point to
+// simulate a thread dying there (the paper's async signal-safety /
+// kill-tolerance argument, applied to the buddy tree): no point may
+// leave the tree in a state that blocks other threads or strands a
+// block unrecoverably.
+type HookPoint int
+
+const (
+	// HookAllocAfterReserve fires after the leaf CAS(0, occ) claimed a
+	// node but before any ancestor is marked occupied.
+	HookAllocAfterReserve HookPoint = iota
+	// HookAllocDuringFragment fires before each ancestor CAS of the
+	// fragmentation walk.
+	HookAllocDuringFragment
+	// HookFreeAfterMark fires after every ancestor carries the
+	// coalescing bit but before the node is released.
+	HookFreeAfterMark
+	// HookFreeAfterRelease fires after status[n] is zeroed but before
+	// any ancestor bit is cleared.
+	HookFreeAfterRelease
+	// HookFreeDuringUnmark fires before each ancestor CAS of the
+	// unmark walk.
+	HookFreeDuringUnmark
+	// HookFreeDone fires after a free fully completed, before the node
+	// is pushed as an allocation hint.
+	HookFreeDone
+	// HookGrowBeforePublish fires after a new tree's region is
+	// allocated but before the CAS publishing it.
+	HookGrowBeforePublish
+
+	// NumHookPoints is the number of hook points.
+	NumHookPoints
+)
+
+var hookNames = [NumHookPoints]string{
+	"alloc-after-reserve",
+	"alloc-during-fragment",
+	"free-after-mark",
+	"free-after-release",
+	"free-during-unmark",
+	"free-done",
+	"grow-before-publish",
+}
+
+// String names the hook point.
+func (p HookPoint) String() string {
+	if p < 0 || p >= NumHookPoints {
+		return "hook-invalid"
+	}
+	return hookNames[p]
+}
+
+// SetHook installs fn to be called at every hook point this thread
+// passes; nil removes it. Used by the kill-tolerance harness.
+func (t *Thread) SetHook(fn func(HookPoint)) { t.hookFn = fn }
+
+func (t *Thread) hook(p HookPoint) {
+	if t.hookFn != nil {
+		t.hookFn(p)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !memdebug
+
+package buddy
+
+// memDebug compiles the buddy geometry assertions out of normal builds.
+const memDebug = false

@@ -1,0 +1,7 @@
+//go:build memdebug
+
+package buddy
+
+// memDebug enables the buddy geometry assertions (power-of-two block
+// sizes, order alignment, free-prefix validation) under -tags memdebug.
+const memDebug = true

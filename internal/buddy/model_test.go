@@ -1,0 +1,163 @@
+package buddy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// model_test.go checks the buddy allocator against an executable
+// model, mirroring chunkheap's: a map from live payload pointers to
+// their sizes. After every operation live blocks must be disjoint,
+// payloads must survive untouched (tattooed words re-read exactly),
+// and the tree invariants must hold at quiescent checkpoints.
+
+type modelBlock struct {
+	words uint64
+	seed  uint64
+}
+
+func fillBlock(m *mem.Heap, p mem.Ptr, b modelBlock) {
+	for i := uint64(0); i < b.words; i++ {
+		m.Set(p.Add(i), b.seed+i)
+	}
+}
+
+func checkBlock(t *testing.T, m *mem.Heap, p mem.Ptr, b modelBlock) {
+	t.Helper()
+	for i := uint64(0); i < b.words; i++ {
+		if got := m.Get(p.Add(i)); got != b.seed+i {
+			t.Fatalf("block %v word %d = %#x, want %#x", p, i, got, b.seed+i)
+		}
+	}
+}
+
+func TestModelConformance(t *testing.T) {
+	a := New(Config{
+		HeapConfig:    mem.Config{SegmentWordsLog2: 14, TotalWordsLog2: 24},
+		TreeWordsLog2: 12,
+	})
+	m := a.Heap()
+	th := a.Thread()
+	rng := rand.New(rand.NewSource(77))
+	live := map[mem.Ptr]modelBlock{}
+	var order []mem.Ptr
+
+	steps := 30000
+	if testing.Short() {
+		steps = 5000
+	}
+	for step := 0; step < steps; step++ {
+		if len(order) > 0 && (rng.Intn(2) == 0 || len(order) > 150) {
+			k := rng.Intn(len(order))
+			p := order[k]
+			checkBlock(t, m, p, live[p])
+			th.Free(p)
+			delete(live, p)
+			order[k] = order[len(order)-1]
+			order = order[:len(order)-1]
+			continue
+		}
+		// Mixed sizes spanning several orders, with an occasional
+		// beyond-tree request exercising the shared large path.
+		var bytes uint64
+		switch rng.Intn(10) {
+		case 0:
+			bytes = uint64(1 + rng.Intn(int(a.treeWords*mem.WordBytes)))
+		case 1, 2:
+			bytes = uint64(1 + rng.Intn(4096))
+		default:
+			bytes = uint64(1 + rng.Intn(256))
+		}
+		p, err := th.Malloc(bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := th.UsableWords(p)
+		if words*mem.WordBytes < bytes {
+			t.Fatalf("step %d: asked %d bytes, usable only %d words", step, bytes, words)
+		}
+		for q, qb := range live {
+			if uint64(p) < uint64(q)+qb.words && uint64(q) < uint64(p)+words {
+				t.Fatalf("step %d: new block %v+%d overlaps %v+%d",
+					step, p, words, q, qb.words)
+			}
+		}
+		b := modelBlock{words: words, seed: uint64(step) << 16}
+		fillBlock(m, p, b)
+		live[p] = b
+		order = append(order, p)
+
+		if step%5000 == 0 {
+			if err := a.CheckInvariants(true); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	for _, p := range order {
+		checkBlock(t, m, p, live[p])
+		th.Free(p)
+	}
+	if err := a.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	// Everything freed: each tree must have coalesced back to one
+	// maximal free block, and no coalescing marks may remain.
+	census := a.OrderCensus()
+	if census[0].Free != uint64(a.Trees()) {
+		t.Fatalf("after drain: %d whole-tree free blocks, want %d", census[0].Free, a.Trees())
+	}
+	if bits := a.CoalBits(); bits != 0 {
+		t.Fatalf("CoalBits = %d after drain, want 0", bits)
+	}
+}
+
+func FuzzModel(f *testing.F) {
+	f.Add(int64(1), uint16(500))
+	f.Add(int64(42), uint16(2000))
+	f.Fuzz(func(t *testing.T, seed int64, steps uint16) {
+		a := New(Config{
+			HeapConfig:    mem.Config{SegmentWordsLog2: 12, TotalWordsLog2: 20},
+			TreeWordsLog2: 9, // tiny trees: growth and exhaustion paths hit often
+		})
+		m := a.Heap()
+		th := a.Thread()
+		rng := rand.New(rand.NewSource(seed))
+		live := map[mem.Ptr]modelBlock{}
+		var order []mem.Ptr
+		for i := 0; i < int(steps)%4096; i++ {
+			if len(order) > 0 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(order))
+				p := order[k]
+				checkBlock(t, m, p, live[p])
+				th.Free(p)
+				delete(live, p)
+				order[k] = order[len(order)-1]
+				order = order[:len(order)-1]
+				continue
+			}
+			p, err := th.Malloc(uint64(1 + rng.Intn(600)))
+			if err != nil {
+				continue // tiny heap may fill up; that's fine
+			}
+			words := th.UsableWords(p)
+			for q, qb := range live {
+				if uint64(p) < uint64(q)+qb.words && uint64(q) < uint64(p)+words {
+					t.Fatalf("block %v+%d overlaps %v+%d", p, words, q, qb.words)
+				}
+			}
+			b := modelBlock{words: words, seed: uint64(i)<<16 | 0xb}
+			fillBlock(m, p, b)
+			live[p] = b
+			order = append(order, p)
+		}
+		for _, p := range order {
+			checkBlock(t, m, p, live[p])
+			th.Free(p)
+		}
+		if err := a.CheckInvariants(true); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

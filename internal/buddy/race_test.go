@@ -1,0 +1,190 @@
+package buddy
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// race_test.go drives the lock-free paths from many goroutines; run
+// with -race these tests double as the data-race proof for the status
+// CAS protocol, the hint stacks and the tree growth.
+
+func TestConcurrentChurn(t *testing.T) {
+	a := New(Config{
+		HeapConfig:    mem.Config{SegmentWordsLog2: 16, TotalWordsLog2: 26},
+		TreeWordsLog2: 12,
+	})
+	workers := 2 * runtime.GOMAXPROCS(0)
+	steps := 4000
+	if testing.Short() {
+		steps = 500
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := a.Thread()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []mem.Ptr
+			for i := 0; i < steps; i++ {
+				if len(mine) > 0 && (rng.Intn(2) == 0 || len(mine) > 64) {
+					k := rng.Intn(len(mine))
+					p := mine[k]
+					if got := a.Heap().Get(p); got != uint64(w)<<32|uint64(p) {
+						t.Errorf("worker %d: block %v tattoo %#x clobbered", w, p, got)
+						return
+					}
+					th.Free(p)
+					mine[k] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					continue
+				}
+				p, err := th.Malloc(uint64(1 + rng.Intn(2000)))
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				a.Heap().Set(p, uint64(w)<<32|uint64(p))
+				mine = append(mine, p)
+			}
+			for _, p := range mine {
+				th.Free(p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := a.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	census := a.OrderCensus()
+	if census[0].Free != uint64(a.Trees()) {
+		t.Fatalf("after concurrent drain: %d whole-tree free blocks, want %d",
+			census[0].Free, a.Trees())
+	}
+	if bits := a.CoalBits(); bits != 0 {
+		t.Fatalf("CoalBits = %d after quiescence, want 0", bits)
+	}
+}
+
+// TestSplitMergeInterleave hammers one buddy pair: two goroutines
+// repeatedly allocate and free blocks whose coalescing paths share
+// ancestors, so fragmentation (CAS-clearing coal bits) and unmark
+// (CAS-clearing occ bits) interleave constantly. The takeover protocol
+// must never lose or double-allocate a block.
+func TestSplitMergeInterleave(t *testing.T) {
+	a := New(Config{
+		HeapConfig:    mem.Config{SegmentWordsLog2: 14, TotalWordsLog2: 22},
+		TreeWordsLog2: 10, // one small tree: all paths collide at the root
+	})
+	iters := 30000
+	if testing.Short() {
+		iters = 3000
+	}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := a.Thread()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < iters && !stop.Load(); i++ {
+				// Alternate between a leaf and a half-tree block so the
+				// same ancestors are fragmented and coalesced from both
+				// sides at once.
+				var bytes uint64
+				if i%2 == w%2 {
+					bytes = 8
+				} else {
+					bytes = (a.treeWords/2 - 1) * mem.WordBytes
+				}
+				p, err := th.Malloc(bytes)
+				if err != nil {
+					continue // momentarily full is legal under contention
+				}
+				a.Heap().Set(p, uint64(w+1))
+				if rng.Intn(4) == 0 {
+					runtime.Gosched()
+				}
+				if got := a.Heap().Get(p); got != uint64(w+1) {
+					errs <- &overlapError{p: p, got: got, w: w}
+					stop.Store(true)
+					th.Free(p)
+					return
+				}
+				th.Free(p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := a.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	census := a.OrderCensus()
+	if census[0].Free != uint64(a.Trees()) {
+		t.Fatalf("after interleave drain: %d whole-tree free blocks, want %d",
+			census[0].Free, a.Trees())
+	}
+}
+
+type overlapError struct {
+	p   mem.Ptr
+	got uint64
+	w   int
+}
+
+func (e *overlapError) Error() string {
+	return "worker tattoo clobbered: double allocation"
+}
+
+// TestConcurrentGrow races many goroutines into simultaneous tree
+// growth; losers must free their regions and the heap must balance.
+func TestConcurrentGrow(t *testing.T) {
+	a := New(Config{
+		HeapConfig:    mem.Config{SegmentWordsLog2: 14, TotalWordsLog2: 24},
+		TreeWordsLog2: 10,
+	})
+	workers := 8
+	var wg sync.WaitGroup
+	ptrs := make([][]mem.Ptr, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := a.Thread()
+			for i := 0; i < 4; i++ {
+				p, err := th.Malloc((a.treeWords - 1) * mem.WordBytes)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				ptrs[w] = append(ptrs[w], p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	th := a.Thread()
+	for _, ps := range ptrs {
+		for _, p := range ps {
+			th.Free(p)
+		}
+	}
+	if err := a.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.Trees < workers*4 {
+		t.Fatalf("Trees = %d, want >= %d whole-tree blocks live at peak", s.Trees, workers*4)
+	}
+}

@@ -1,0 +1,135 @@
+package census
+
+// Buddy-forest census: the per-order occupancy of the non-blocking
+// buddy allocator (internal/buddy), rendered into the same JSON and
+// Prometheus surfaces as the core census. The order table is the
+// buddy allocator's fragmentation signature — many small free blocks
+// with no large ones left is external fragmentation made visible.
+
+import (
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/buddy"
+)
+
+// BuddyOrder is one block order's inventory across the buddy forest.
+type BuddyOrder struct {
+	// Order is the tree level (0 = whole-tree blocks); BlockWords the
+	// block size served at this order.
+	Order      int    `json:"order"`
+	BlockWords uint64 `json:"blockWords"`
+	// Free counts maximal free blocks (not contained in a larger free
+	// block); Used counts allocated blocks of exactly this order.
+	Free uint64 `json:"free"`
+	Used uint64 `json:"used"`
+}
+
+// BuddyCensus is a point-in-time inventory of the buddy forest.
+type BuddyCensus struct {
+	TakenUnixNano int64 `json:"takenUnixNano"`
+
+	// Trees is the number of published tree regions; TreeWords each
+	// region's size; MinBlockWords the leaf block size.
+	Trees         int    `json:"trees"`
+	TreeWords     uint64 `json:"treeWords"`
+	MinBlockWords uint64 `json:"minBlockWords"`
+
+	// Orders is the per-order free/used table, largest blocks first.
+	Orders []BuddyOrder `json:"orders"`
+
+	// FreeWords/UsedWords sum the order table; ExternalFragRatio is
+	// 1 − largestFreeBlock/freeWords: 0 when all free space is one
+	// block, approaching 1 as free space shatters into leaf fragments
+	// a large request cannot use.
+	FreeWords         uint64  `json:"freeWords"`
+	UsedWords         uint64  `json:"usedWords"`
+	ExternalFragRatio float64 `json:"externalFragRatio"`
+
+	// CoalBits counts in-flight (or kill-stranded) coalescing marks.
+	CoalBits int `json:"coalBits"`
+
+	// Stats snapshots the allocator's operation counters.
+	Stats buddy.Stats `json:"stats"`
+}
+
+// TakeBuddy walks the buddy forest and assembles its census. Like
+// Take, it is lock-free and racy-consistent: safe during concurrent
+// malloc/free, exact at quiescence.
+func TakeBuddy(b *buddy.Allocator) *BuddyCensus {
+	bc := &BuddyCensus{
+		TakenUnixNano: time.Now().UnixNano(),
+		Stats:         b.Stats(),
+		CoalBits:      b.CoalBits(),
+	}
+	bc.Trees = bc.Stats.Trees
+	bc.TreeWords = bc.Stats.TreeWords
+	bc.MinBlockWords = bc.Stats.MinBlockWords
+
+	orders := b.OrderCensus()
+	bc.Orders = make([]BuddyOrder, len(orders))
+	var largestFree uint64
+	for i, o := range orders {
+		bc.Orders[i] = BuddyOrder{
+			Order:      i,
+			BlockWords: o.BlockWords,
+			Free:       o.Free,
+			Used:       o.Used,
+		}
+		bc.FreeWords += o.Free * o.BlockWords
+		bc.UsedWords += o.Used * o.BlockWords
+		if o.Free > 0 && largestFree == 0 {
+			largestFree = o.BlockWords // orders run largest block first
+		}
+	}
+	if bc.FreeWords > 0 {
+		bc.ExternalFragRatio = 1 - float64(largestFree)/float64(bc.FreeWords)
+	}
+	return bc
+}
+
+// WriteBuddyMetrics renders bc as buddy_* Prometheus families (same
+// text format as WriteMetrics; append after it on a /metrics handler).
+func WriteBuddyMetrics(w io.Writer, bc *BuddyCensus) error {
+	p := &promWriter{w: w}
+
+	p.header("buddy_trees", "Published buddy tree regions.", "gauge")
+	p.sample("buddy_trees", float64(bc.Trees))
+	p.header("buddy_tree_words", "Words per buddy tree region.", "gauge")
+	p.sample("buddy_tree_words", float64(bc.TreeWords))
+
+	p.header("buddy_order_blocks", "Buddy block inventory by order (maximal free and allocated blocks).", "gauge")
+	for _, o := range bc.Orders {
+		words := strconv.FormatUint(o.BlockWords, 10)
+		p.sample("buddy_order_blocks", float64(o.Free), "order", strconv.Itoa(o.Order), "words", words, "kind", "free")
+		p.sample("buddy_order_blocks", float64(o.Used), "order", strconv.Itoa(o.Order), "words", words, "kind", "used")
+	}
+
+	p.header("buddy_words", "Buddy forest words by state.", "gauge")
+	p.sample("buddy_words", float64(bc.FreeWords), "kind", "free")
+	p.sample("buddy_words", float64(bc.UsedWords), "kind", "used")
+
+	p.header("buddy_external_frag_ratio", "1 - largest free block over total free words.", "gauge")
+	p.sample("buddy_external_frag_ratio", bc.ExternalFragRatio)
+
+	p.header("buddy_coal_bits", "In-flight or stranded coalescing marks.", "gauge")
+	p.sample("buddy_coal_bits", float64(bc.CoalBits))
+
+	p.header("buddy_ops_total", "Completed buddy operations.", "counter")
+	p.sample("buddy_ops_total", float64(bc.Stats.Mallocs), "op", "malloc")
+	p.sample("buddy_ops_total", float64(bc.Stats.Frees), "op", "free")
+	p.sample("buddy_ops_total", float64(bc.Stats.LargeMallocs), "op", "malloc_large")
+	p.sample("buddy_ops_total", float64(bc.Stats.LargeFrees), "op", "free_large")
+
+	p.header("buddy_grows_total", "Tree regions published under demand.", "counter")
+	p.sample("buddy_grows_total", float64(bc.Stats.Grows))
+	p.header("buddy_grow_races_total", "Tree regions discarded to a lost publish race.", "counter")
+	p.sample("buddy_grow_races_total", float64(bc.Stats.GrowRaces))
+	p.header("buddy_hint_hits_total", "Allocations served by a free-stack hint.", "counter")
+	p.sample("buddy_hint_hits_total", float64(bc.Stats.HintHits))
+	p.header("buddy_scans_total", "Allocations that fell back to a level scan.", "counter")
+	p.sample("buddy_scans_total", float64(bc.Stats.Scans))
+
+	return p.err
+}

@@ -1,0 +1,100 @@
+package census
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/buddy"
+	"repro/internal/mem"
+)
+
+func newBuddy(t *testing.T) (*buddy.Allocator, *buddy.Thread) {
+	t.Helper()
+	a := buddy.New(buddy.Config{
+		HeapConfig:    mem.Config{SegmentWordsLog2: 14, TotalWordsLog2: 22},
+		TreeWordsLog2: 12,
+	})
+	return a, a.Thread()
+}
+
+func TestTakeBuddy(t *testing.T) {
+	a, th := newBuddy(t)
+	p1, err := th.Malloc(8) // leaf block
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := th.Malloc(1000) // mid-order block
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := TakeBuddy(a)
+	if bc.Trees != 1 || bc.TreeWords != 4096 {
+		t.Fatalf("geometry = %d trees x %d words, want 1 x 4096", bc.Trees, bc.TreeWords)
+	}
+	var used uint64
+	for _, o := range bc.Orders {
+		used += o.Used
+	}
+	if used != 2 {
+		t.Fatalf("order table counts %d used blocks, want 2: %+v", used, bc.Orders)
+	}
+	if bc.FreeWords+bc.UsedWords != bc.TreeWords {
+		t.Fatalf("free %d + used %d != tree %d", bc.FreeWords, bc.UsedWords, bc.TreeWords)
+	}
+	if bc.ExternalFragRatio <= 0 || bc.ExternalFragRatio >= 1 {
+		t.Fatalf("ExternalFragRatio = %v, want in (0,1) with a split tree", bc.ExternalFragRatio)
+	}
+	th.Free(p1)
+	th.Free(p2)
+	bc = TakeBuddy(a)
+	if bc.ExternalFragRatio != 0 {
+		t.Fatalf("ExternalFragRatio = %v after full coalescing, want 0", bc.ExternalFragRatio)
+	}
+	if bc.CoalBits != 0 {
+		t.Fatalf("CoalBits = %d at quiescence, want 0", bc.CoalBits)
+	}
+	// The census must round-trip as the /census.json payload.
+	data, err := json.Marshal(&Census{Buddy: bc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Census
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Buddy == nil || back.Buddy.Trees != bc.Trees {
+		t.Fatalf("Buddy section did not survive the JSON round trip: %s", data)
+	}
+}
+
+func TestWriteBuddyMetricsValidates(t *testing.T) {
+	a, th := newBuddy(t)
+	var ptrs []mem.Ptr
+	for _, sz := range []uint64{8, 100, 1000, 20000} {
+		p, err := th.Malloc(sz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	bc := TakeBuddy(a)
+	var buf bytes.Buffer
+	if err := WriteBuddyMetrics(&buf, bc); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("buddy exposition not scrapeable: %v\n%s", err, buf.Bytes())
+	}
+	for _, want := range []string{
+		"buddy_order_blocks{order=", `kind="free"`, `kind="used"`,
+		"buddy_external_frag_ratio", "buddy_trees", "buddy_ops_total",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("exposition missing %q:\n%s", want, buf.Bytes())
+		}
+	}
+	for _, p := range ptrs {
+		th.Free(p)
+	}
+}

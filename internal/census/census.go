@@ -170,6 +170,11 @@ type Census struct {
 	Sites []SiteCensus `json:"sites,omitempty"`
 
 	Sampler SamplerInfo `json:"sampler"`
+
+	// Buddy, when set (allocmon -buddy), carries the non-blocking
+	// buddy allocator's order-occupancy census alongside the core's.
+	// Take never fills it; attach one from TakeBuddy.
+	Buddy *BuddyCensus `json:"buddy,omitempty"`
 }
 
 // Take walks the allocator and assembles a census. Lock-free and safe

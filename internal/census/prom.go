@@ -228,6 +228,12 @@ func WriteMetrics(w io.Writer, snap telemetry.Snapshot, c *Census) error {
 	p.header("census_sample_rate", "Sampling period (mallocs per sample, 0 = off).", "gauge")
 	p.sample("census_sample_rate", float64(c.Sampler.Rate))
 
+	if c.Buddy != nil {
+		if p.err != nil {
+			return p.err
+		}
+		return WriteBuddyMetrics(w, c.Buddy)
+	}
 	return p.err
 }
 

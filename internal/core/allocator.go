@@ -18,7 +18,6 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -708,13 +707,10 @@ func (t *Thread) findHeap(sc *scState) *ProcHeap {
 }
 
 // prefix encoding: small blocks store descIdx<<1 (bit 0 clear); large
-// blocks store the region's rounded word count <<1|1 (the paper's
-// "desc holds sz+1" with the large-block bit set; rounded so the free
-// path passes FreeRegion the canonical region size).
+// blocks store mem.SizePrefix(regionWords) — the region's rounded word
+// count <<1|1 (the paper's "desc holds sz+1" with the large-block bit
+// set; rounded so the free path passes FreeRegion the canonical region
+// size).
 func smallPrefix(descIdx uint64) uint64 { return descIdx << 1 }
 
-func largePrefix(regionWords uint64) uint64 { return regionWords<<1 | 1 }
-
 func prefixIsLarge(p uint64) bool { return p&1 != 0 }
-
-var errSizeOverflow = fmt.Errorf("core: allocation size exceeds maximum region: %w", mem.ErrOutOfMemory)

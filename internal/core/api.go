@@ -10,7 +10,7 @@ import (
 func (t *Thread) UsableWords(p mem.Ptr) uint64 {
 	prefix := t.a.heap.Load(p - 1)
 	if prefixIsLarge(prefix) {
-		return prefix>>1 - 1
+		return mem.SizePrefixWords(prefix) - 1
 	}
 	return t.a.desc(prefix>>1).Size() - 1
 }

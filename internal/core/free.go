@@ -61,7 +61,7 @@ func (t *Thread) free(ptr mem.Ptr, prefix uint64) {
 	block := ptr - 1
 	if prefixIsLarge(prefix) { // line 4
 		// Large block: return directly to the OS layer (line 5).
-		a.heap.FreeRegion(block, prefix>>1)
+		a.heap.LargeFree(ptr, mem.SizePrefixWords(prefix))
 		t.opsp.largeFrees.Add(1)
 		return
 	}

@@ -114,24 +114,15 @@ func (a *Allocator) classFor(size uint64) (*scState, bool) {
 // mallocLarge allocates a block directly from the OS layer (paper:
 // "If the block size is large, then the block is allocated directly
 // from the OS and its prefix is set to indicate the block's size").
+// The prefix records the region's actual (rounded) size, so the free
+// path hands FreeRegion the canonical region size.
 func (t *Thread) mallocLarge(size uint64) (mem.Ptr, error) {
-	payloadWords := (size + mem.WordBytes - 1) / mem.WordBytes
-	if payloadWords == 0 {
-		payloadWords = 1
-	}
-	totalWords := payloadWords + 1
-	if totalWords > t.a.heap.MaxRegionWords() {
-		return 0, errSizeOverflow
-	}
-	base, regionWords, err := t.arena.AllocRegion(totalWords)
+	p, err := t.arena.LargeAlloc(size, mem.SizePrefix)
 	if err != nil {
 		return 0, err
 	}
-	// The prefix records the region's actual (rounded) size, so the
-	// free path hands FreeRegion the canonical region size.
-	t.a.heap.Store(base, largePrefix(regionWords))
 	t.opsp.largeMallocs.Add(1)
-	return base.Add(1), nil
+	return p, nil
 }
 
 // mallocFromActive is Figure 4's MallocFromActive: reserve a block by

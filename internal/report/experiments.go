@@ -224,6 +224,13 @@ func (c RunConfig) larson() bench.Workload {
 	}
 }
 
+func (c RunConfig) fragChurn() bench.Workload {
+	// Log-uniform 16 B..8 KiB requests span ten buddy orders and every
+	// lock-free size class; 100k churn ops per worker at full scale
+	// shatter and re-coalesce each arena thousands of times.
+	return bench.FragChurn{Ops: c.scaleInt(100_000), Slots: 256, MinSize: 16, MaxSize: 8192}
+}
+
 func (c RunConfig) descChurn() bench.Workload {
 	// 2048-byte blocks put 7 blocks in each 16 KiB superblock, so every
 	// batch of 64 creates and empties ~10 superblocks: the descriptor
@@ -363,6 +370,12 @@ func Experiments() []Experiment {
 			Title: "Adaptive policy: self-tuning controller vs static configurations across a phase change",
 			Paper: "beyond the paper — a two-phase Larson (small objects, then large objects with deep churn) where no static magazine cap wins both phases; acceptance is the adaptive allocator within 10% of the best static config in each phase",
 			Run:   runAdapt,
+		},
+		{
+			ID:    "frag",
+			Title: "Fragmentation vs throughput: non-blocking buddy vs chunk heap vs lock-free size classes",
+			Paper: "beyond the paper — §2 dismisses coalescing for the hot path; the buddy backend (Marotta et al.) adds lock-free coalescing, and this measures what it buys: external fragmentation (free-but-unreturnable space while a mixed-size live set is held) against the ops/s it costs",
+			Run:   runFrag,
 		},
 		{
 			ID:    "offload",
@@ -577,6 +590,43 @@ func runSpace(cfg RunConfig, out io.Writer) error {
 			cells = append(cells, "-")
 		}
 		t.Rows = append(t.Rows, cells)
+	}
+	fmt.Fprint(out, t.Render())
+	return nil
+}
+
+// runFrag churns mixed-size blocks on the three allocators with a
+// structurally different answer to fragmentation — buddy (lock-free
+// coalescing), chunkheap (serialized boundary-tag coalescing), and
+// lockfree (size-class heaps, no coalescing below the superblock) —
+// and reports external fragmentation with the live set held, next to
+// the throughput each paid for it.
+func runFrag(cfg RunConfig, out io.Writer) error {
+	cfg = cfg.withDefaults()
+	maxT := cfg.Threads[len(cfg.Threads)-1]
+	w := cfg.fragChurn()
+	t := Table{
+		Title:   fmt.Sprintf("External fragmentation under mixed-size churn (16 B..8 KiB log-uniform, %d threads)", maxT),
+		Columns: []string{"allocator", "ops/s", "held KiB", "in use KiB", "ext frag"},
+		Notes: []string{
+			"ext frag = 1 - inUse/held with the final live set still allocated: the fraction of",
+			"allocator-held memory backing no live block (free lists, partial superblocks, holes)",
+			"held also bounds blowup: the buddy and chunk heap coalesce neighbors and reuse any",
+			"fit, the size-class heaps can only reuse a block for its own class",
+		},
+	}
+	for _, name := range []string{"buddy", "chunkheap", "lockfree"} {
+		r, err := bestOf(cfg, name, w, maxT)
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.0f", r.OpsPerSec()),
+			fmt.Sprintf("%d", r.HeldBytes/1024),
+			fmt.Sprintf("%d", r.InUseBytes/1024),
+			fmt.Sprintf("%.1f%%", 100*r.ExternalFragRatio),
+		})
 	}
 	fmt.Fprint(out, t.Render())
 	return nil

@@ -109,6 +109,23 @@ const (
 	// CAS retries; it shares the retry plumbing so migrations appear
 	// in the same reports.
 	SitePoolMigrate
+	// SiteBuddyReserve: failed CAS(FREE->OCC) claiming a buddy-tree
+	// node (internal/buddy try_alloc), counted once per node whose
+	// claim another thread won.
+	SiteBuddyReserve
+	// SiteBuddyFragment: retries of the bottom-up status CAS marking
+	// a claimed buddy node's ancestors occupied.
+	SiteBuddyFragment
+	// SiteBuddyMark: retries of the free path's coalescing-bit CAS
+	// (phase 1 of the non-blocking buddy free).
+	SiteBuddyMark
+	// SiteBuddyUnmark: retries of the free path's bottom-up
+	// coalescing CAS (phase 3), the lock-free merge itself.
+	SiteBuddyUnmark
+	// SiteBuddyGrow: buddy-tree growth races lost — a fully built
+	// tree discarded because another thread published its own first.
+	// Counts events, not CAS retries, like SiteRegionSteal.
+	SiteBuddyGrow
 	// NumSites is the number of instrumented sites.
 	NumSites
 )
@@ -135,6 +152,11 @@ var siteNames = [NumSites]string{
 	"region-bump",
 	"region-steal",
 	"pool-migrate",
+	"buddy-reserve",
+	"buddy-fragment",
+	"buddy-mark",
+	"buddy-unmark",
+	"buddy-grow",
 }
 
 func (s Site) String() string {
